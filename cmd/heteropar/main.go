@@ -1,0 +1,144 @@
+// Command heteropar parallelizes a sequential mini-C program for a
+// heterogeneous MPSoC and reports the extracted tasks, the pre-mapping and
+// the simulated speedup.
+//
+// Usage:
+//
+//	heteropar [flags] file.c
+//	heteropar [flags] -bench mult_10
+//
+// Flags:
+//
+//	-platform A|B     target platform configuration (default A)
+//	-scenario acc|slow main core selection (default acc)
+//	-approach het|hom  algorithm (default het)
+//	-annotate          print the annotated source
+//	-spec              print the parallel specification
+//	-plan              print the hierarchical task plan
+//	-bench name        use a bundled benchmark instead of a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	heteropar "repro"
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		platformFlag = flag.String("platform", "A", "platform configuration: A (100/250/500/500 MHz) or B (200/200/500/500 MHz)")
+		scenarioFlag = flag.String("scenario", "acc", "scenario: acc (slow main core) or slow (fast main core)")
+		approachFlag = flag.String("approach", "het", "approach: het (heterogeneous) or hom (homogeneous baseline)")
+		annotate     = flag.Bool("annotate", false, "print the annotated source")
+		spec         = flag.Bool("spec", false, "print the parallel specification")
+		plan         = flag.Bool("plan", false, "print the hierarchical task plan")
+		gantt        = flag.Bool("gantt", false, "print an ASCII Gantt chart of the simulated execution")
+		emitGo       = flag.String("emit-go", "", "write a runnable parallel Go implementation to this file")
+		benchFlag    = flag.String("bench", "", "use a bundled benchmark (see -list)")
+		list         = flag.Bool("list", false, "list bundled benchmarks")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range bench.All() {
+			fmt.Printf("%-12s %s\n", b.Name, b.Description)
+		}
+		return
+	}
+
+	var source, name string
+	switch {
+	case *benchFlag != "":
+		b := bench.ByName(*benchFlag)
+		if b == nil {
+			fatalf("unknown benchmark %q (use -list)", *benchFlag)
+		}
+		source, name = b.Source, b.Name
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		source, name = string(data), flag.Arg(0)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := heteropar.Options{}
+	switch strings.ToUpper(*platformFlag) {
+	case "A":
+		opts.Platform = heteropar.PlatformA()
+	case "B":
+		opts.Platform = heteropar.PlatformB()
+	default:
+		fatalf("unknown platform %q", *platformFlag)
+	}
+	switch *scenarioFlag {
+	case "acc":
+		opts.Scenario = heteropar.Accelerator
+	case "slow":
+		opts.Scenario = heteropar.SlowerCores
+	default:
+		fatalf("unknown scenario %q", *scenarioFlag)
+	}
+	switch *approachFlag {
+	case "het":
+		opts.Approach = heteropar.Heterogeneous
+	case "hom":
+		opts.Approach = heteropar.Homogeneous
+	default:
+		fatalf("unknown approach %q", *approachFlag)
+	}
+
+	rep, err := heteropar.Parallelize(source, opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("program:    %s\n", name)
+	fmt.Printf("platform:   %s\n", opts.Platform)
+	fmt.Printf("scenario:   %s (main class %s)\n", opts.Scenario,
+		opts.Platform.Classes[rep.MainClass].Name)
+	fmt.Printf("approach:   %s\n", opts.Approach)
+	fmt.Printf("tasks:      %d\n", rep.NumTasks())
+	fmt.Printf("ILPs:       %d (%d vars, %d constraints, %v solve time)\n",
+		rep.Result.Stats.NumILPs, rep.Result.Stats.NumVars,
+		rep.Result.Stats.NumConstraints, rep.Result.Stats.SolveTime.Round(1e6))
+	fmt.Printf("sequential: %.0f ns on the main core\n", rep.SequentialNs)
+	fmt.Printf("parallel:   %.0f ns measured on the MPSoC simulator\n", rep.MeasuredMakespanNs)
+	fmt.Printf("speedup:    %.2fx measured (%.2fx estimated, %.2fx theoretical limit)\n",
+		rep.MeasuredSpeedup, rep.EstimatedSpeedup, rep.TheoreticalLimit())
+
+	if *plan {
+		fmt.Printf("\n--- task plan ---\n%s", rep.PlanSummary())
+	}
+	if *gantt {
+		fmt.Printf("\n--- simulated timeline ---\n%s", rep.Gantt(96))
+	}
+	if *spec {
+		fmt.Printf("\n--- parallel specification ---\n%s", rep.ParallelSpec())
+	}
+	if *annotate {
+		fmt.Printf("\n--- annotated source ---\n%s", rep.AnnotatedSource())
+	}
+	if *emitGo != "" {
+		src, err := rep.GenerateGo()
+		if err != nil {
+			fatalf("emit-go: %v", err)
+		}
+		if err := os.WriteFile(*emitGo, []byte(src), 0o644); err != nil {
+			fatalf("emit-go: %v", err)
+		}
+		fmt.Printf("\nparallel Go implementation written to %s (run with `go run %s`)\n", *emitGo, *emitGo)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "heteropar: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Command htgdump prints the Augmented Hierarchical Task Graph of a mini-C
+// program in Graphviz DOT format (pipe into `dot -Tsvg`).
+//
+// Usage:
+//
+//	htgdump file.c
+//	htgdump -bench compress
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/htg"
+	"repro/internal/interp"
+	"repro/internal/minic"
+)
+
+func main() {
+	benchFlag := flag.String("bench", "", "use a bundled benchmark instead of a file")
+	flag.Parse()
+
+	var source string
+	switch {
+	case *benchFlag != "":
+		b := bench.ByName(*benchFlag)
+		if b == nil {
+			fmt.Fprintf(os.Stderr, "htgdump: unknown benchmark %q\n", *benchFlag)
+			os.Exit(1)
+		}
+		source = b.Source
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "htgdump: %v\n", err)
+			os.Exit(1)
+		}
+		source = string(data)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	prog, err := minic.Compile(source)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "htgdump: %v\n", err)
+		os.Exit(1)
+	}
+	in := interp.New(prog)
+	prof, err := in.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "htgdump: %v\n", err)
+		os.Exit(1)
+	}
+	g, err := htg.Build(prog, prof, htg.Config{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "htgdump: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(g.DOT())
+}

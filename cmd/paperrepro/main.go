@@ -1,0 +1,98 @@
+// Command paperrepro regenerates the paper's evaluation artifacts:
+// Figures 7(a), 7(b), 8(a), 8(b) and Table I.
+//
+// Usage:
+//
+//	paperrepro              # everything (several minutes)
+//	paperrepro -fig 7a      # one figure
+//	paperrepro -table 1     # Table I only
+//	paperrepro -bench mult_10,fir_256   # restrict the benchmark set
+//	paperrepro -out results.md          # additionally write a markdown report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		figFlag   = flag.String("fig", "", "figure to regenerate: 7a, 7b, 8a, 8b (empty = all)")
+		tableFlag = flag.String("table", "", "table to regenerate: 1 (empty = all when no -fig given)")
+		benchCSV  = flag.String("bench", "", "comma-separated benchmark subset (empty = all ten)")
+		outFlag   = flag.String("out", "", "also write a markdown report to this file")
+	)
+	flag.Parse()
+
+	var names []string
+	if *benchCSV != "" {
+		for _, n := range strings.Split(*benchCSV, ",") {
+			n = strings.TrimSpace(n)
+			if bench.ByName(n) == nil {
+				fmt.Fprintf(os.Stderr, "paperrepro: unknown benchmark %q\n", n)
+				os.Exit(1)
+			}
+			names = append(names, n)
+		}
+	}
+
+	cfg := core.Config{}
+	var md strings.Builder
+	md.WriteString("# Reproduction results\n\n")
+	fmt.Fprintf(&md, "Generated %s.\n\n", time.Now().Format(time.RFC1123))
+
+	runFig := func(id string) {
+		start := time.Now()
+		fig, err := experiments.RunFigure(id, names, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperrepro: figure %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		out := fig.Render()
+		fmt.Println(out)
+		fmt.Printf("(figure %s regenerated in %v)\n\n", id, time.Since(start).Round(time.Second))
+		fmt.Fprintf(&md, "## Figure %s\n\n```\n%s```\n\n", id, out)
+	}
+	runTable := func() {
+		start := time.Now()
+		tbl, err := experiments.RunTableI(names, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperrepro: table I: %v\n", err)
+			os.Exit(1)
+		}
+		out := tbl.Render()
+		fmt.Println(out)
+		fmt.Printf("(table I regenerated in %v)\n\n", time.Since(start).Round(time.Second))
+		fmt.Fprintf(&md, "## Table I\n\n```\n%s```\n\n", out)
+	}
+
+	switch {
+	case *figFlag != "":
+		runFig(*figFlag)
+		if *tableFlag == "1" {
+			runTable()
+		}
+	case *tableFlag == "1":
+		runTable()
+	default:
+		for _, id := range experiments.FigureIDs() {
+			runFig(id)
+		}
+		runTable()
+	}
+
+	if *outFlag != "" {
+		if err := os.WriteFile(*outFlag, []byte(md.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", *outFlag)
+	}
+}

@@ -1,0 +1,81 @@
+// Custom-kernel example: bring your own C kernel and your own platform.
+// Parallelizes a 2-D heat diffusion stencil for a three-class MPSoC and
+// emits the annotated source a downstream source-to-source flow would
+// consume.
+//
+//	go run ./examples/customkernel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	heteropar "repro"
+)
+
+const kernel = `
+/* 2-D heat diffusion on a 64x64 plate, 8 explicit Euler steps. */
+#define N 64
+#define STEPS 8
+
+float t0[64][64];
+float t1[64][64];
+float maxt;
+
+void main(void) {
+    for (int i = 0; i < N; i++) {
+        for (int j = 0; j < N; j++) {
+            t0[i][j] = 20.0;
+        }
+    }
+    for (int j = 0; j < N; j++) {
+        t0[0][j] = 100.0;   /* hot top edge */
+    }
+    for (int s = 0; s < STEPS; s++) {
+        for (int i = 1; i < N - 1; i++) {
+            for (int j = 1; j < N - 1; j++) {
+                t1[i][j] = t0[i][j] + 0.1 * (t0[i - 1][j] + t0[i + 1][j]
+                         + t0[i][j - 1] + t0[i][j + 1] - 4.0 * t0[i][j]);
+            }
+        }
+        for (int i = 1; i < N - 1; i++) {
+            for (int j = 1; j < N - 1; j++) {
+                t0[i][j] = t1[i][j];
+            }
+        }
+    }
+    maxt = 0.0;
+    for (int i = 0; i < N; i++) {
+        float rowmax = 0.0;
+        for (int j = 0; j < N; j++) {
+            rowmax = max(rowmax, t0[i][j]);
+        }
+        maxt = max(maxt, rowmax);
+    }
+}
+`
+
+func main() {
+	// A three-class platform: one efficiency core, two mid cores, one
+	// performance core.
+	pf := heteropar.NewPlatform("tri-cluster",
+		heteropar.ProcClass{Name: "eco@80MHz", MHz: 80, Count: 1, CPIFactor: 1},
+		heteropar.ProcClass{Name: "mid@300MHz", MHz: 300, Count: 2, CPIFactor: 1},
+		heteropar.ProcClass{Name: "perf@600MHz", MHz: 600, Count: 1, CPIFactor: 1},
+	)
+
+	rep, err := heteropar.Parallelize(kernel, heteropar.Options{
+		Platform: pf,
+		Scenario: heteropar.Accelerator, // main task on the eco core
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("platform:  %s\n", pf)
+	fmt.Printf("speedup:   %.2fx measured (limit %.2fx)\n\n",
+		rep.MeasuredSpeedup, rep.TheoreticalLimit())
+
+	fmt.Println("=== annotated source (input to a source-to-source backend) ===")
+	fmt.Println(rep.AnnotatedSource())
+}

@@ -1,0 +1,59 @@
+// Quickstart: parallelize a small sequential program for the default
+// heterogeneous platform and print what the tool did.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	heteropar "repro"
+)
+
+// A tiny signal-processing pipeline: generate a waveform, filter it, and
+// accumulate its energy. The two loops are data-parallel; the final loop is
+// a reduction.
+const src = `
+#define N 512
+
+float signal[N];
+float filtered[N];
+float energy;
+
+void main(void) {
+    for (int i = 0; i < N; i++) {
+        signal[i] = sin(i * 0.1) + 0.5 * sin(i * 0.37);
+    }
+    for (int i = 1; i < N - 1; i++) {
+        filtered[i] = 0.25 * signal[i - 1] + 0.5 * signal[i] + 0.25 * signal[i + 1];
+    }
+    energy = 0.0;
+    for (int i = 0; i < N; i++) {
+        energy += filtered[i] * filtered[i];
+    }
+}
+`
+
+func main() {
+	rep, err := heteropar.Parallelize(src, heteropar.Options{
+		Platform: heteropar.PlatformA(), // 100/250/500/500 MHz ARM cores
+		Scenario: heteropar.Accelerator, // main task on the 100 MHz core
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== quickstart ===")
+	fmt.Printf("extracted tasks:     %d\n", rep.NumTasks())
+	fmt.Printf("sequential runtime:  %.2f ms (on the 100 MHz main core)\n", rep.SequentialNs/1e6)
+	fmt.Printf("parallel runtime:    %.2f ms (measured on the MPSoC simulator)\n", rep.MeasuredMakespanNs/1e6)
+	fmt.Printf("speedup:             %.2fx of a theoretical %.2fx\n",
+		rep.MeasuredSpeedup, rep.TheoreticalLimit())
+
+	fmt.Println("\n=== hierarchical task plan ===")
+	fmt.Print(rep.PlanSummary())
+
+	fmt.Println("\n=== pre-mapping specification ===")
+	fmt.Print(rep.ParallelSpec())
+}

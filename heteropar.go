@@ -1,0 +1,237 @@
+// Package heteropar is an automatic parallelizer for heterogeneous MPSoCs:
+// a from-scratch reproduction of Cordes, Neugebauer, Engel and Marwedel,
+// "Automatic Extraction of Task-Level Parallelism for Heterogeneous
+// MPSoCs", ICPP 2013.
+//
+// The library takes a sequential program written in an ANSI-C subset and a
+// heterogeneous platform description (processor classes with different
+// clock speeds), profiles the program, builds an Augmented Hierarchical
+// Task Graph, and extracts task-level parallelism with Integer Linear
+// Programming models that simultaneously partition statements into tasks
+// and pre-map tasks onto processor classes. The resulting plan can be
+// inspected, rendered as an annotated source / parallel specification, and
+// measured on the bundled event-driven MPSoC simulator.
+//
+// Quick start:
+//
+//	rep, err := heteropar.Parallelize(src, heteropar.Options{
+//		Platform: heteropar.PlatformA(),
+//		Scenario: heteropar.Accelerator,
+//	})
+//	if err != nil { ... }
+//	fmt.Printf("speedup %.2fx\n", rep.MeasuredSpeedup)
+//	fmt.Println(rep.AnnotatedSource())
+package heteropar
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/htg"
+	"repro/internal/interp"
+	"repro/internal/minic"
+	"repro/internal/mpsoc"
+	"repro/internal/platform"
+	"repro/internal/taskspec"
+)
+
+// Platform re-exports the platform description type.
+type Platform = platform.Platform
+
+// ProcClass re-exports the processor class type.
+type ProcClass = platform.ProcClass
+
+// Scenario selects which processor class hosts the main (sequential) task.
+type Scenario = platform.Scenario
+
+// Scenario values: Accelerator puts the main task on the slowest class
+// (scenario I of the paper), SlowerCores on the fastest (scenario II).
+const (
+	Accelerator = platform.ScenarioAccelerator
+	SlowerCores = platform.ScenarioSlowerCores
+)
+
+// Approach selects the parallelization algorithm.
+type Approach = core.Approach
+
+// Approach values: Heterogeneous is the paper's contribution; Homogeneous
+// is the uniform-cost baseline it is compared against.
+const (
+	Heterogeneous = core.Heterogeneous
+	Homogeneous   = core.Homogeneous
+)
+
+// PlatformA returns evaluation configuration (A): ARM cores at
+// 100/250/500/500 MHz.
+func PlatformA() *Platform { return platform.ConfigA() }
+
+// PlatformB returns evaluation configuration (B): ARM cores at
+// 200/200/500/500 MHz (big.LITTLE-like).
+func PlatformB() *Platform { return platform.ConfigB() }
+
+// NewPlatform builds a custom platform from processor classes, using the
+// library's default bus and task-creation overheads.
+func NewPlatform(name string, classes ...ProcClass) *Platform {
+	base := platform.ConfigA()
+	return &Platform{
+		Name:          name,
+		Classes:       classes,
+		BusLatencyNs:  base.BusLatencyNs,
+		BusBytesPerNs: base.BusBytesPerNs,
+		TaskCreateNs:  base.TaskCreateNs,
+	}
+}
+
+// Options configures Parallelize.
+type Options struct {
+	// Platform is the target MPSoC (PlatformA() when nil).
+	Platform *Platform
+	// Scenario picks the main processor class (Accelerator by default).
+	Scenario Scenario
+	// Approach picks the algorithm (Heterogeneous by default).
+	Approach Approach
+	// MaxILPTime caps the solver time per ILP (optional).
+	MaxILPTime time.Duration
+	// DisableChunking turns DOALL iteration splitting off (ablation).
+	DisableChunking bool
+	// EnablePipelining turns on the software-pipelining extension for
+	// recurrence loops (beyond the published tool; see DESIGN.md).
+	EnablePipelining bool
+	// SkipSimulation omits the MPSoC measurement (faster; the report's
+	// Measured* fields stay zero).
+	SkipSimulation bool
+}
+
+// Report is the result of parallelizing one program.
+type Report struct {
+	// Program is the checked AST.
+	Program *minic.Program
+	// Graph is the Augmented Hierarchical Task Graph.
+	Graph *htg.Graph
+	// Result holds the chosen solution, the per-node parallel sets and
+	// the ILP statistics.
+	Result *core.Result
+	// Spec is the flattened parallel + pre-mapping specification.
+	Spec *taskspec.Spec
+
+	// EstimatedSpeedup is the parallelizer's cost-model prediction.
+	EstimatedSpeedup float64
+	// MeasuredSpeedup and MeasuredMakespanNs come from the MPSoC
+	// simulator (zero when SkipSimulation was set).
+	MeasuredSpeedup    float64
+	MeasuredMakespanNs float64
+	// SequentialNs is the baseline: sequential execution on the main core.
+	SequentialNs float64
+	// MeasuredEnergyUJ is the simulated energy of the parallel execution;
+	// SequentialEnergyUJ the baseline's (main core active, others idling).
+	MeasuredEnergyUJ   float64
+	SequentialEnergyUJ float64
+	// MainClass is the resolved main processor class index.
+	MainClass int
+	// Measured is the raw simulator result (trace, utilization, energy);
+	// nil when SkipSimulation was set.
+	Measured *mpsoc.Result
+
+	opts Options
+}
+
+// Parallelize runs the complete tool flow on source.
+func Parallelize(source string, opts Options) (*Report, error) {
+	if opts.Platform == nil {
+		opts.Platform = PlatformA()
+	}
+	if err := opts.Platform.Validate(); err != nil {
+		return nil, err
+	}
+	prog, err := minic.Compile(source)
+	if err != nil {
+		return nil, fmt.Errorf("heteropar: %w", err)
+	}
+	in := interp.New(prog)
+	prof, err := in.Run()
+	if err != nil {
+		return nil, fmt.Errorf("heteropar: profiling failed: %w", err)
+	}
+	g, err := htg.Build(prog, prof, htg.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("heteropar: %w", err)
+	}
+	mainClass := opts.Scenario.MainClass(opts.Platform)
+	cfg := core.Config{
+		ILPTimeout:       opts.MaxILPTime,
+		DisableChunking:  opts.DisableChunking,
+		EnablePipelining: opts.EnablePipelining,
+	}
+	res, err := core.Parallelize(g, opts.Platform, mainClass, opts.Approach, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("heteropar: %w", err)
+	}
+	rep := &Report{
+		Program:          prog,
+		Graph:            g,
+		Result:           res,
+		Spec:             taskspec.Build(res.Best, res.Platform),
+		EstimatedSpeedup: res.EstimatedSpeedup(g),
+		MainClass:        mainClass,
+		opts:             opts,
+	}
+	if !opts.SkipSimulation {
+		sim := mpsoc.New(opts.Platform, opts.Approach == Homogeneous)
+		meas, err := sim.Run(res.Best, mainClass)
+		if err != nil {
+			return nil, fmt.Errorf("heteropar: simulation failed: %w", err)
+		}
+		rep.SequentialNs = sim.SequentialBaseline(g, mainClass)
+		rep.MeasuredMakespanNs = meas.MakespanNs
+		rep.MeasuredSpeedup = mpsoc.Speedup(rep.SequentialNs, meas.MakespanNs)
+		rep.MeasuredEnergyUJ = meas.EnergyUJ
+		rep.SequentialEnergyUJ = sim.SequentialEnergyUJ(g, mainClass)
+		rep.Measured = meas
+	}
+	return rep, nil
+}
+
+// AnnotatedSource renders the program with OpenMP-style task annotations.
+func (r *Report) AnnotatedSource() string {
+	return r.Spec.AnnotateSource(r.Program)
+}
+
+// ParallelSpec renders the parallel + pre-mapping specification.
+func (r *Report) ParallelSpec() string { return r.Spec.Render() }
+
+// PlanSummary renders the hierarchical task plan.
+func (r *Report) PlanSummary() string {
+	return r.Result.Best.Describe(r.Result.Platform)
+}
+
+// NumTasks returns the number of tasks in the flattened specification.
+func (r *Report) NumTasks() int { return r.Spec.NumTasks() }
+
+// TheoreticalLimit returns the platform's maximum speedup for the chosen
+// scenario (the dashed line of the paper's figures).
+func (r *Report) TheoreticalLimit() float64 {
+	return r.opts.Platform.TheoreticalSpeedup(r.MainClass)
+}
+
+// Gantt renders the simulated execution as an ASCII timeline (empty when
+// the simulation was skipped).
+func (r *Report) Gantt(width int) string {
+	if r.Measured == nil {
+		return ""
+	}
+	return mpsoc.RenderGantt(r.opts.Platform, r.Measured, width)
+}
+
+// GenerateGo emits a runnable parallel Go implementation of the chosen
+// plan (goroutines + channel synchronization); the equivalent of the
+// paper's source-to-source implementation step.
+func (r *Report) GenerateGo() (string, error) {
+	return codegen.Parallel(r.Program, r.Result.Best)
+}
+
+// GenerateSequentialGo emits the sequential Go reference translation.
+func (r *Report) GenerateSequentialGo() (string, error) {
+	return codegen.Sequential(r.Program)
+}

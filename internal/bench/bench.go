@@ -1,0 +1,564 @@
+// Package bench ships the evaluation workloads of Section VI: the ten
+// benchmark programs (nine UTDSP-suite kernels plus the boundary-value
+// problem) re-implemented in the mini-C subset with embedded inputs, so the
+// whole evaluation is self-contained and reproducible offline.
+//
+// The kernels preserve the dependence structure of the originals — which is
+// everything the parallelizer observes: DOALL block/row/channel loops in
+// the data-parallel codes, per-sample recurrences in the filters, and the
+// two-phase producer/consumer shape of the spectral estimator.
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Benchmark is one evaluation program.
+type Benchmark struct {
+	Name        string
+	Description string
+	Source      string
+	// PaperHeteroA / PaperHomoA are the approximate speedups read off
+	// Figure 7(a) (configuration A, accelerator scenario) for the
+	// heterogeneous and homogeneous tools; used in EXPERIMENTS.md to
+	// compare shapes, never as pass/fail truth.
+	PaperHeteroA float64
+	PaperHomoA   float64
+}
+
+var registry = map[string]*Benchmark{}
+
+func register(b *Benchmark) {
+	if _, dup := registry[b.Name]; dup {
+		panic(fmt.Sprintf("bench: duplicate benchmark %q", b.Name))
+	}
+	registry[b.Name] = b
+}
+
+// All returns every benchmark sorted by name (paper table order).
+func All() []*Benchmark {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Benchmark, len(names))
+	for i, n := range names {
+		out[i] = registry[n]
+	}
+	return out
+}
+
+// ByName returns the named benchmark or nil.
+func ByName(name string) *Benchmark { return registry[name] }
+
+func init() {
+	register(&Benchmark{
+		Name:         "adpcm_enc",
+		Description:  "ADPCM speech encoder over independent 120-sample blocks",
+		PaperHeteroA: 8.0,
+		PaperHomoA:   3.4,
+		Source: `
+/* ADPCM encoder: blockwise IMA-style quantization. Blocks reset the
+ * predictor (streaming with block headers), so blocks are independent. */
+#define NBLOCKS 12
+#define BLOCK 120
+#define TOTAL 1440
+
+int input[TOTAL];
+int code_out[TOTAL];
+int checksum;
+
+int idx_adjust[8] = {-1, -1, -1, -1, 2, 4, 6, 8};
+
+int step_for(int index) {
+    int step = 7;
+    for (int i = 0; i < index; i++) {
+        step = step + (step >> 1);
+        if (step > 32767) { step = 32767; }
+    }
+    return step;
+}
+
+void main(void) {
+    for (int i = 0; i < TOTAL; i++) {
+        input[i] = (i * 37 + (i * i) % 97) % 4096 - 2048;
+    }
+    for (int b = 0; b < NBLOCKS; b++) {
+        int pred = 0;
+        int index = 0;
+        for (int j = 0; j < BLOCK; j++) {
+            int sample = input[b * BLOCK + j];
+            int step = 7 + index * 3;
+            int diff = sample - pred;
+            int sign = 0;
+            if (diff < 0) { sign = 8; diff = -diff; }
+            int code = 0;
+            if (diff >= step) { code = 4; diff = diff - step; }
+            if (diff >= step / 2) { code = code + 2; diff = diff - step / 2; }
+            if (diff >= step / 4) { code = code + 1; }
+            int delta = step / 8 + (code & 1) * (step / 4) + ((code >> 1) & 1) * (step / 2) + ((code >> 2) & 1) * step;
+            if (sign > 0) { pred = pred - delta; } else { pred = pred + delta; }
+            if (pred > 2047) { pred = 2047; }
+            if (pred < -2048) { pred = -2048; }
+            index = index + idx_adjust[code & 7];
+            if (index < 0) { index = 0; }
+            if (index > 88) { index = 88; }
+            code_out[b * BLOCK + j] = code | sign;
+        }
+    }
+    checksum = 0;
+    for (int i = 0; i < TOTAL; i++) {
+        checksum = checksum + code_out[i] * (i % 13 + 1);
+    }
+}
+`,
+	})
+
+	register(&Benchmark{
+		Name:         "bound_value",
+		Description:  "1-D boundary value problem via Jacobi relaxation sweeps",
+		PaperHeteroA: 11.5,
+		PaperHomoA:   3.6,
+		Source: `
+/* Boundary value problem: u'' = f on [0,1], u(0)=a, u(1)=b, solved by
+ * Jacobi relaxation. Each sweep is a DOALL over grid points. */
+#define N 1024
+#define SWEEPS 10
+
+float u[N];
+float unew[N];
+float rhs[N];
+float residual;
+
+void main(void) {
+    for (int i = 0; i < N; i++) {
+        float x = i * 0.0009765625;
+        rhs[i] = x * (1.0 - x) * 4.0;
+        u[i] = 0.0;
+    }
+    u[0] = 1.0;
+    u[N - 1] = 2.0;
+    unew[0] = 1.0;
+    unew[N - 1] = 2.0;
+    for (int s = 0; s < SWEEPS; s++) {
+        for (int i = 1; i < N - 1; i++) {
+            unew[i] = 0.5 * (u[i - 1] + u[i + 1]) - 0.0000004768 * rhs[i];
+        }
+        for (int i = 1; i < N - 1; i++) {
+            u[i] = unew[i];
+        }
+    }
+    residual = 0.0;
+    for (int i = 1; i < N - 1; i++) {
+        float r = u[i - 1] - 2.0 * u[i] + u[i + 1] - 0.00000095 * rhs[i];
+        residual += r * r;
+    }
+}
+`,
+	})
+
+	register(&Benchmark{
+		Name:         "compress",
+		Description:  "image compression: separable 8x8 block DCT + quantization",
+		PaperHeteroA: 12.0,
+		PaperHomoA:   3.7,
+		Source: `
+/* DCT-based image compression on a 96x96 image: 12x12 independent 8x8
+ * blocks; separable DCT (rows then columns) and uniform quantization.
+ * The block-row loop is the hot DOALL. */
+#define W 96
+#define BROWS 12
+
+float image[96][96];
+int packed[96][96];
+float cosbasis[8][8];
+float checksum;
+
+void main(void) {
+    for (int u = 0; u < 8; u++) {
+        for (int x = 0; x < 8; x++) {
+            cosbasis[u][x] = cos((2.0 * x + 1.0) * u * 0.19634954);
+        }
+    }
+    for (int i = 0; i < W; i++) {
+        for (int j = 0; j < W; j++) {
+            image[i][j] = (i * 7 + j * 13) % 256 - 128.0 + sin(i * 0.3) * 20.0;
+        }
+    }
+    for (int br = 0; br < BROWS; br++) {
+        float tmp[8][8];
+        float coef[8][8];
+        for (int bc = 0; bc < 12; bc++) {
+            for (int u = 0; u < 8; u++) {
+                for (int x = 0; x < 8; x++) {
+                    float acc = 0.0;
+                    for (int y = 0; y < 8; y++) {
+                        acc += cosbasis[x][y] * image[br * 8 + u][bc * 8 + y];
+                    }
+                    tmp[u][x] = acc;
+                }
+            }
+            for (int u = 0; u < 8; u++) {
+                for (int v = 0; v < 8; v++) {
+                    float acc2 = 0.0;
+                    for (int y = 0; y < 8; y++) {
+                        acc2 += cosbasis[u][y] * tmp[y][v];
+                    }
+                    coef[u][v] = acc2;
+                }
+            }
+            for (int u = 0; u < 8; u++) {
+                for (int v = 0; v < 8; v++) {
+                    int q = 4 + u + v;
+                    packed[br * 8 + u][bc * 8 + v] = (int)(coef[u][v] / q);
+                }
+            }
+        }
+    }
+    checksum = 0.0;
+    for (int i = 0; i < W; i++) {
+        float rowsum = 0.0;
+        for (int j = 0; j < W; j++) {
+            rowsum += packed[i][j] * ((i + j) % 7 + 1);
+        }
+        checksum += rowsum;
+    }
+}
+`,
+	})
+
+	register(&Benchmark{
+		Name:         "edge_detect",
+		Description:  "Sobel edge detection over a 96x96 image",
+		PaperHeteroA: 9.0,
+		PaperHomoA:   3.5,
+		Source: `
+/* Sobel edge detection: 3x3 convolution, thresholding. Row loop DOALL. */
+#define W 96
+
+float img[96][96];
+int edges[96][96];
+int strong;
+
+void main(void) {
+    for (int i = 0; i < W; i++) {
+        for (int j = 0; j < W; j++) {
+            img[i][j] = ((i * 31 + j * 17) % 255) * 1.0 + cos(j * 0.2) * 12.0;
+        }
+    }
+    for (int i = 1; i < W - 1; i++) {
+        for (int j = 1; j < W - 1; j++) {
+            float gx = img[i - 1][j + 1] + 2.0 * img[i][j + 1] + img[i + 1][j + 1]
+                     - img[i - 1][j - 1] - 2.0 * img[i][j - 1] - img[i + 1][j - 1];
+            float gy = img[i + 1][j - 1] + 2.0 * img[i + 1][j] + img[i + 1][j + 1]
+                     - img[i - 1][j - 1] - 2.0 * img[i - 1][j] - img[i - 1][j + 1];
+            float mag = sqrt(gx * gx + gy * gy);
+            if (mag > 140.0) {
+                edges[i][j] = 1;
+            } else {
+                edges[i][j] = 0;
+            }
+        }
+    }
+    strong = 0;
+    for (int i = 0; i < W; i++) {
+        int rowc = 0;
+        for (int j = 0; j < W; j++) {
+            rowc = rowc + edges[i][j];
+        }
+        strong = strong + rowc;
+    }
+}
+`,
+	})
+
+	register(&Benchmark{
+		Name:         "filterbank",
+		Description:  "bank of 8 FIR filters (32 taps) over 384 samples",
+		PaperHeteroA: 8.5,
+		PaperHomoA:   3.3,
+		Source: `
+/* Filter bank: 8 FIR band filters applied to one input stream. The output
+ * sample loop is DOALL; every sample evaluates all 8 filters. */
+#define NS 384
+#define NF 8
+#define TAPS 32
+
+float x[416];
+float y[384][8];
+float h[8][32];
+float energy;
+
+void main(void) {
+    for (int f = 0; f < NF; f++) {
+        for (int k = 0; k < TAPS; k++) {
+            h[f][k] = sin((f + 1) * (k + 1) * 0.049) / (k + 1.0);
+        }
+    }
+    for (int i = 0; i < 416; i++) {
+        x[i] = sin(i * 0.11) + 0.5 * sin(i * 0.37) + 0.25 * sin(i * 0.71);
+    }
+    for (int n = 0; n < NS; n++) {
+        for (int f = 0; f < NF; f++) {
+            float acc = 0.0;
+            for (int k = 0; k < TAPS; k++) {
+                acc += h[f][k] * x[n + k];
+            }
+            y[n][f] = acc;
+        }
+    }
+    energy = 0.0;
+    for (int n = 0; n < NS; n++) {
+        float rowsum = 0.0;
+        for (int f = 0; f < NF; f++) {
+            rowsum += y[n][f] * y[n][f];
+        }
+        energy += rowsum;
+    }
+}
+`,
+	})
+
+	register(&Benchmark{
+		Name:         "fir_256",
+		Description:  "256-tap FIR filter over 384 output samples",
+		PaperHeteroA: 10.0,
+		PaperHomoA:   3.6,
+		Source: `
+/* 256-tap low-pass FIR. Output sample loop DOALL. */
+#define TAPS 256
+#define NS 384
+
+float h[TAPS];
+float x[640];
+float y[NS];
+float energy;
+
+void main(void) {
+    for (int k = 0; k < TAPS; k++) {
+        h[k] = sin((k + 1) * 0.0123) / (k + 1.0) * 0.8;
+    }
+    for (int i = 0; i < 640; i++) {
+        x[i] = sin(i * 0.05) + 0.3 * sin(i * 0.31) + 0.1 * sin(i * 0.83);
+    }
+    for (int n = 0; n < NS; n++) {
+        float acc = 0.0;
+        for (int k = 0; k < TAPS; k++) {
+            acc += h[k] * x[n + k];
+        }
+        y[n] = acc;
+    }
+    energy = 0.0;
+    for (int n = 0; n < NS; n++) {
+        energy += y[n] * y[n];
+    }
+}
+`,
+	})
+
+	register(&Benchmark{
+		Name:         "iir_4",
+		Description:  "4-section cascaded IIR biquad over 12 independent channels",
+		PaperHeteroA: 9.0,
+		PaperHomoA:   3.4,
+		Source: `
+/* Cascaded IIR (4 biquad sections). Each channel carries its own filter
+ * state, so the channel loop is DOALL while samples stay sequential. */
+#define NCH 12
+#define NS 384
+
+float xin[12][384];
+float yout[12][384];
+float b0[4] = {0.2183, 0.2183, 0.2183, 0.2183};
+float b1[4] = {0.4366, 0.4366, 0.4366, 0.4366};
+float a1[4] = {-0.0943, -0.1225, -0.2349, -0.4519};
+float a2[4] = {0.0675, 0.1129, 0.2248, 0.4711};
+float energy;
+
+void main(void) {
+    for (int c = 0; c < NCH; c++) {
+        for (int n = 0; n < NS; n++) {
+            xin[c][n] = sin(n * 0.07 * (c + 1)) + 0.2 * sin(n * 0.41);
+        }
+    }
+    for (int c = 0; c < NCH; c++) {
+        float z1[4] = {0.0, 0.0, 0.0, 0.0};
+        float z2[4] = {0.0, 0.0, 0.0, 0.0};
+        for (int n = 0; n < NS; n++) {
+            float s = xin[c][n];
+            for (int k = 0; k < 4; k++) {
+                float w = s - a1[k] * z1[k] - a2[k] * z2[k];
+                s = b0[k] * w + b1[k] * z1[k] + b0[k] * z2[k];
+                z2[k] = z1[k];
+                z1[k] = w;
+            }
+            yout[c][n] = s;
+        }
+    }
+    energy = 0.0;
+    for (int c = 0; c < NCH; c++) {
+        float chsum = 0.0;
+        for (int n = 0; n < NS; n++) {
+            chsum += yout[c][n] * yout[c][n];
+        }
+        energy += chsum;
+    }
+}
+`,
+	})
+
+	register(&Benchmark{
+		Name:         "latnrm_32",
+		Description:  "32-stage normalized lattice filter, 6 channels, heavy state",
+		PaperHeteroA: 5.0,
+		PaperHomoA:   2.8,
+		Source: `
+/* Normalized lattice filter (32 stages). The stage recurrence serializes
+ * each sample; only the 4-way channel loop is parallel, and the per-channel
+ * state is large, so communication weighs in (the paper reports below-
+ * average speedups for this one). */
+#define NCH 4
+#define NS 384
+#define ORDER 32
+
+float xin[4][384];
+float yout[4][384];
+float kcoef[ORDER];
+float state[4][32];
+float energy;
+
+void main(void) {
+    for (int k = 0; k < ORDER; k++) {
+        kcoef[k] = 0.9 / (k + 2.0);
+    }
+    for (int c = 0; c < NCH; c++) {
+        for (int n = 0; n < NS; n++) {
+            xin[c][n] = sin(n * 0.09 * (c + 1));
+        }
+        for (int k = 0; k < ORDER; k++) {
+            state[c][k] = 0.0;
+        }
+    }
+    for (int c = 0; c < NCH; c++) {
+        for (int n = 0; n < NS; n++) {
+            float f = xin[c][n];
+            for (int k = ORDER - 1; k >= 0; k--) {
+                float g = state[c][k];
+                float fnew = f - kcoef[k] * g;
+                state[c][k] = g + kcoef[k] * fnew;
+                f = fnew;
+            }
+            /* shift the delay line */
+            for (int k = ORDER - 1; k > 0; k--) {
+                state[c][k] = state[c][k - 1];
+            }
+            state[c][0] = f;
+            yout[c][n] = f;
+        }
+    }
+    energy = 0.0;
+    for (int c = 0; c < NCH; c++) {
+        float chsum = 0.0;
+        for (int n = 0; n < NS; n++) {
+            chsum += yout[c][n] * yout[c][n];
+        }
+        energy += chsum;
+    }
+}
+`,
+	})
+
+	register(&Benchmark{
+		Name:         "mult_10",
+		Description:  "batch of 48 independent 10x10 matrix multiplications",
+		PaperHeteroA: 11.5,
+		PaperHomoA:   3.7,
+		Source: `
+/* Batched 10x10 matrix multiply (48 pairs), the UTDSP mult_10 kernel run
+ * over a work batch. The batch loop is the hot DOALL. */
+#define BATCH 48
+#define DIM 10
+
+float amat[480][10];
+float bmat[480][10];
+float cmat[480][10];
+float checksum;
+
+void main(void) {
+    for (int i = 0; i < 480; i++) {
+        for (int j = 0; j < DIM; j++) {
+            amat[i][j] = ((i + j * 3) % 17) * 0.25 - 2.0;
+            bmat[i][j] = ((i * 2 + j) % 13) * 0.5 - 3.0;
+        }
+    }
+    for (int b = 0; b < BATCH; b++) {
+        for (int r = 0; r < DIM; r++) {
+            for (int col = 0; col < DIM; col++) {
+                float acc = 0.0;
+                for (int k = 0; k < DIM; k++) {
+                    acc += amat[b * 10 + r][k] * bmat[b * 10 + k][col];
+                }
+                cmat[b * 10 + r][col] = acc;
+            }
+        }
+    }
+    checksum = 0.0;
+    for (int i = 0; i < 480; i++) {
+        float rowsum = 0.0;
+        for (int j = 0; j < DIM; j++) {
+            rowsum += cmat[i][j] * ((i % 5) + 1);
+        }
+        checksum += rowsum;
+    }
+}
+`,
+	})
+
+	register(&Benchmark{
+		Name:         "spectral",
+		Description:  "spectral estimation: autocorrelation + periodogram, two phases",
+		PaperHeteroA: 6.0,
+		PaperHomoA:   3.0,
+		Source: `
+/* Spectral estimation via the autocorrelation method: phase 1 computes 64
+ * autocorrelation lags of a 512-sample frame, phase 2 the power spectrum
+ * at 64 frequencies. The phases are dependent, so the full spectrum flows
+ * across the phase boundary (higher communication load, lower speedup -
+ * as the paper observes). */
+#define NS 512
+#define LAGS 64
+#define NFREQ 64
+
+float frame[NS];
+float autoc[LAGS];
+float spectrum[NFREQ];
+float peak;
+
+void main(void) {
+    for (int i = 0; i < NS; i++) {
+        frame[i] = sin(i * 0.123) + 0.6 * sin(i * 0.271) + 0.3 * sin(i * 0.533);
+    }
+    for (int lag = 0; lag < LAGS; lag++) {
+        float acc = 0.0;
+        for (int i = 0; i < NS - lag; i++) {
+            acc += frame[i] * frame[i + lag];
+        }
+        autoc[lag] = acc / NS;
+    }
+    for (int f = 0; f < NFREQ; f++) {
+        float acc = autoc[0];
+        for (int lag = 1; lag < LAGS; lag++) {
+            acc += 2.0 * autoc[lag] * cos(0.0490873852 * f * lag);
+        }
+        spectrum[f] = acc;
+    }
+    peak = 0.0;
+    for (int f = 0; f < NFREQ; f++) {
+        peak = max(peak, spectrum[f]);
+    }
+}
+`,
+	})
+}

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/htg"
+	"repro/internal/interp"
+	"repro/internal/minic"
+)
+
+// paperOrder is the exact benchmark list of Table I.
+var paperOrder = []string{
+	"adpcm_enc", "bound_value", "compress", "edge_detect", "filterbank",
+	"fir_256", "iir_4", "latnrm_32", "mult_10", "spectral",
+}
+
+func TestRegistryComplete(t *testing.T) {
+	if len(All()) != len(paperOrder) {
+		t.Fatalf("registry has %d benchmarks, want %d", len(All()), len(paperOrder))
+	}
+	for _, name := range paperOrder {
+		b := ByName(name)
+		if b == nil {
+			t.Errorf("missing benchmark %q", name)
+			continue
+		}
+		if b.Description == "" || b.Source == "" {
+			t.Errorf("%s: empty description or source", name)
+		}
+		if b.PaperHeteroA <= b.PaperHomoA {
+			t.Errorf("%s: paper hetero (%g) must exceed homo (%g) in Fig 7(a)",
+				name, b.PaperHeteroA, b.PaperHomoA)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Errorf("unknown name should return nil")
+	}
+}
+
+func TestAllBenchmarksCompileAndRun(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, err := minic.Compile(b.Source)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			in := interp.New(prog)
+			prof, err := in.Run()
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			sum := in.GlobalChecksum()
+			if sum == 0 || math.IsNaN(sum) || math.IsInf(sum, 0) {
+				t.Errorf("degenerate checksum %g", sum)
+			}
+			if prof.OpCount < 10000 {
+				t.Errorf("suspiciously little work: %d ops", prof.OpCount)
+			}
+			if prof.OpCount > 30_000_000 {
+				t.Errorf("workload too heavy for the harness: %d ops", prof.OpCount)
+			}
+			// Determinism.
+			if _, err := in.Run(); err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			if sum2 := in.GlobalChecksum(); sum2 != sum {
+				t.Errorf("non-deterministic checksum: %g vs %g", sum, sum2)
+			}
+		})
+	}
+}
+
+// TestHotLoopsAreDOALL verifies the dependence structure each kernel was
+// designed with: the hot loop of the data-parallel benchmarks must be
+// recognized as DOALL, and the recurrences must not be.
+func TestHotLoopsAreDOALL(t *testing.T) {
+	wantDOALL := map[string]bool{
+		"adpcm_enc":   true,
+		"bound_value": true, // the sweep loops inside the sequential outer
+		"compress":    true,
+		"edge_detect": true,
+		"filterbank":  true,
+		"fir_256":     true,
+		"iir_4":       true,
+		"latnrm_32":   true, // channel loop
+		"mult_10":     true,
+		"spectral":    true, // lag loop
+	}
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, err := minic.Compile(b.Source)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			sums := dataflow.Summarize(prog)
+			found := false
+			var walk func(s minic.Stmt)
+			walk = func(s minic.Stmt) {
+				if fs, ok := s.(*minic.ForStmt); ok {
+					if info := dataflow.AnalyzeLoop(fs, sums); info.Parallel {
+						found = true
+					}
+					for _, inner := range fs.Body.Stmts {
+						walk(inner)
+					}
+					return
+				}
+				if blk, ok := s.(*minic.BlockStmt); ok {
+					for _, inner := range blk.Stmts {
+						walk(inner)
+					}
+				}
+				if is, ok := s.(*minic.IfStmt); ok {
+					for _, inner := range is.Then.Stmts {
+						walk(inner)
+					}
+				}
+			}
+			for _, s := range prog.Func("main").Body.Stmts {
+				walk(s)
+			}
+			if found != wantDOALL[b.Name] {
+				t.Errorf("DOALL loop found=%v, want %v", found, wantDOALL[b.Name])
+			}
+		})
+	}
+}
+
+func TestGraphsBuild(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, err := minic.Compile(b.Source)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			in := interp.New(prog)
+			prof, err := in.Run()
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			g, err := htg.Build(prog, prof, htg.Config{})
+			if err != nil {
+				t.Fatalf("htg: %v", err)
+			}
+			if g.Root.SubtreeCycles <= 0 {
+				t.Errorf("no cost annotated")
+			}
+			if len(g.Root.Children) < 2 {
+				t.Errorf("root should have several phases, got %d", len(g.Root.Children))
+			}
+		})
+	}
+}

@@ -1,0 +1,202 @@
+package codegen
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/htg"
+	"repro/internal/interp"
+	"repro/internal/minic"
+	"repro/internal/platform"
+)
+
+// runGo writes src to a temp module and executes it, returning the printed
+// checksum.
+func runGo(t *testing.T, src string, race bool) float64 {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module gen\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"run"}
+	if race {
+		args = append(args, "-race")
+	}
+	args = append(args, ".")
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run failed: %v\n--- output ---\n%s\n--- source ---\n%s", err, out, numbered(src))
+	}
+	var sum float64
+	if _, err := fmt.Sscanf(lastLine(string(out)), "checksum %e", &sum); err != nil {
+		t.Fatalf("cannot parse checksum from %q", out)
+	}
+	return sum
+}
+
+func lastLine(s string) string {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	return lines[len(lines)-1]
+}
+
+func numbered(src string) string {
+	var sb strings.Builder
+	for i, l := range strings.Split(src, "\n") {
+		fmt.Fprintf(&sb, "%4d %s\n", i+1, l)
+	}
+	return sb.String()
+}
+
+func interpChecksum(t *testing.T, prog *minic.Program) float64 {
+	t.Helper()
+	in := interp.New(prog)
+	if _, err := in.Run(); err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	return in.GlobalChecksum()
+}
+
+func relClose(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6*(1+math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// TestSequentialCodegenMatchesInterpreter generates plain Go for every
+// benchmark and checks the executed checksum against the interpreter.
+func TestSequentialCodegenMatchesInterpreter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles generated programs")
+	}
+	for _, b := range bench.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, err := minic.Compile(b.Source)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			src, err := Sequential(prog)
+			if err != nil {
+				t.Fatalf("codegen: %v", err)
+			}
+			got := runGo(t, src, false)
+			want := interpChecksum(t, prog)
+			if !relClose(got, want) {
+				t.Errorf("checksum mismatch: generated %.9e, interpreter %.9e", got, want)
+			}
+		})
+	}
+}
+
+// TestParallelCodegenPreservesSemantics extracts parallelism, emits the
+// goroutine implementation, executes it and compares the checksum with the
+// sequential meaning. mult_10 runs under the race detector: the DOALL
+// analysis guarantees disjoint writes, and -race enforces it.
+func TestParallelCodegenPreservesSemantics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles generated programs")
+	}
+	pf := platform.ConfigA()
+	raceFor := map[string]bool{"mult_10": true}
+	for _, name := range []string{"mult_10", "fir_256", "spectral", "bound_value"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			b := bench.ByName(name)
+			prog, err := minic.Compile(b.Source)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			in := interp.New(prog)
+			prof, err := in.Run()
+			if err != nil {
+				t.Fatalf("profile: %v", err)
+			}
+			want := in.GlobalChecksum()
+			g, err := htg.Build(prog, prof, htg.Config{})
+			if err != nil {
+				t.Fatalf("htg: %v", err)
+			}
+			res, err := core.Parallelize(g, pf, pf.SlowestClass(), core.Heterogeneous, core.Config{})
+			if err != nil {
+				t.Fatalf("parallelize: %v", err)
+			}
+			src, err := Parallel(prog, res.Best)
+			if err != nil {
+				t.Fatalf("codegen: %v", err)
+			}
+			if !strings.Contains(src, "go func()") {
+				t.Logf("note: no goroutines emitted for %s (fully sequential fallback)", name)
+			}
+			got := runGo(t, src, raceFor[name])
+			if !relClose(got, want) {
+				t.Errorf("parallel execution changed the result: got %.9e, want %.9e", got, want)
+			}
+		})
+	}
+}
+
+// TestGeneratedSourceShape sanity-checks structural properties without
+// compiling.
+func TestGeneratedSourceShape(t *testing.T) {
+	prog, err := minic.Compile(`
+#define N 64
+float a[N]; float s;
+void main(void) {
+    for (int i = 0; i < N; i++) { a[i] = i * 0.5; }
+    s = 0.0;
+    for (int i = 0; i < N; i++) { s += a[i]; }
+}
+`)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	src, err := Sequential(prog)
+	if err != nil {
+		t.Fatalf("codegen: %v", err)
+	}
+	for _, want := range []string{"package main", "var a [64]float64", "func main()", "checksum"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q:\n%s", want, src)
+		}
+	}
+	if strings.Contains(src, "sync") {
+		t.Errorf("sequential output must not import sync")
+	}
+}
+
+// TestKeywordMangling: mini-C variables named like Go keywords must not
+// break the generated program.
+func TestKeywordMangling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles generated programs")
+	}
+	prog, err := minic.Compile(`
+int range; int chan;
+void main(void) {
+    range = 3;
+    chan = range * 2;
+}
+`)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	src, err := Sequential(prog)
+	if err != nil {
+		t.Fatalf("codegen: %v", err)
+	}
+	got := runGo(t, src, false)
+	want := interpChecksum(t, prog)
+	if !relClose(got, want) {
+		t.Errorf("checksum mismatch: %.9e vs %.9e", got, want)
+	}
+}

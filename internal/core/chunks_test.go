@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+)
+
+// newChunkRegion builds a synthetic 12-chunk DOALL region with total work
+// W nanoseconds on the slowest class.
+func newChunkRegion(pf *platform.Platform, w float64, k int) *regionSpec {
+	rs := &regionSpec{kind: KindChunked, spawnCount: 1}
+	for i := 0; i < k; i++ {
+		it := &regionItem{name: "chunk", chunkFrac: 1.0 / float64(k)}
+		it.cands = make([][]*Solution, len(pf.Classes))
+		for c := range pf.Classes {
+			procs := make([]int, len(pf.Classes))
+			procs[c] = 1
+			speed := pf.Classes[c].SpeedScore() / pf.Classes[pf.SlowestClass()].SpeedScore()
+			it.cands[c] = []*Solution{{
+				Kind: KindSequential, MainClass: c,
+				TimeNs:    w / float64(k) / speed,
+				ProcsUsed: procs, NumTasks: 1,
+			}}
+		}
+		it.inCommNs = 100
+		it.outCommNs = 100
+		rs.items = append(rs.items, it)
+	}
+	return rs
+}
+
+// TestChunkSolverProportionalSplit verifies the count-based chunk ILP finds
+// the speed-proportional distribution on configuration A quickly.
+func TestChunkSolverProportionalSplit(t *testing.T) {
+	pf := platform.ConfigA()
+	p := &Parallelizer{pf: pf, cfg: Config{}.withDefaults()}
+	rs := newChunkRegion(pf, 430100, 12)
+	start := time.Now()
+	sol := p.ilpParChunks(rs, 0, 4)
+	elapsed := time.Since(start)
+	if sol == nil {
+		t.Fatalf("chunk ILP returned nil")
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("chunk ILP too slow: %v", elapsed)
+	}
+	if sol.NumTasks != 4 {
+		t.Errorf("want 4 tasks, got %d (%v)", sol.NumTasks, sol)
+	}
+	// All four cores allocated.
+	want := []int{1, 1, 2}
+	for c, n := range sol.ProcsUsed {
+		if n != want[c] {
+			t.Errorf("procs[%d] = %d, want %d", c, n, want[c])
+		}
+	}
+	// The makespan must be close to the balanced ideal W/13.5 plus
+	// overheads (within 35%).
+	ideal := 430100.0 / pf.TheoreticalSpeedup(0)
+	if sol.TimeNs > ideal*1.35 {
+		t.Errorf("makespan %.0f too far above balanced ideal %.0f", sol.TimeNs, ideal)
+	}
+	// Chunk counts must be monotone with class speed: count the chunks
+	// assigned per task and check the fastest class holds the most.
+	perClass := make([]int, len(pf.Classes))
+	for _, tp := range sol.Tasks {
+		for _, it := range tp.Items {
+			if it.ChunkFrac > 0 {
+				perClass[tp.Class]++
+			}
+		}
+	}
+	if perClass[2] <= perClass[0] {
+		t.Errorf("fast class should run more chunks: %v", perClass)
+	}
+}
+
+// TestChunkSolverRespectsTaskBound checks the sweep dimension i of
+// Algorithm 1: a 2-task bound yields at most 2 tasks.
+func TestChunkSolverRespectsTaskBound(t *testing.T) {
+	pf := platform.ConfigA()
+	p := &Parallelizer{pf: pf, cfg: Config{}.withDefaults()}
+	rs := newChunkRegion(pf, 430100, 12)
+	sol := p.ilpParChunks(rs, 0, 2)
+	if sol == nil {
+		t.Fatalf("nil solution")
+	}
+	if sol.NumTasks > 2 {
+		t.Errorf("task bound violated: %d tasks", sol.NumTasks)
+	}
+}
+
+// TestChunkSolverHopelessRegionSkipped: when spawning costs exceed all
+// work, the solver must bail out immediately.
+func TestChunkSolverHopelessRegionSkipped(t *testing.T) {
+	pf := platform.ConfigA()
+	p := &Parallelizer{pf: pf, cfg: Config{}.withDefaults()}
+	rs := newChunkRegion(pf, 430100, 12)
+	rs.spawnCount = 1e6 // a million spawns at 2500ns each
+	if sol := p.ilpParChunks(rs, 0, 4); sol != nil {
+		t.Errorf("expected nil for hopeless region, got %v", sol)
+	}
+}
+
+// TestChunkSolverHomogeneousPlatform: single-class platform splits evenly.
+func TestChunkSolverHomogeneousPlatform(t *testing.T) {
+	pf := platform.Homogeneous("h4", 500, 4)
+	p := &Parallelizer{pf: pf, cfg: Config{}.withDefaults()}
+	rs := newChunkRegion(pf, 400000, 12)
+	sol := p.ilpParChunks(rs, 0, 4)
+	if sol == nil {
+		t.Fatalf("nil solution")
+	}
+	if sol.NumTasks != 4 {
+		t.Errorf("want 4 tasks, got %d", sol.NumTasks)
+	}
+	counts := []int{}
+	for _, tp := range sol.Tasks {
+		counts = append(counts, len(tp.Items))
+	}
+	for _, n := range counts {
+		if math.Abs(float64(n)-3) > 1 {
+			t.Errorf("uneven split on homogeneous platform: %v", counts)
+		}
+	}
+}

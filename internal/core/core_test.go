@@ -1,0 +1,273 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/htg"
+	"repro/internal/interp"
+	"repro/internal/minic"
+	"repro/internal/platform"
+)
+
+// buildGraph compiles, profiles and builds the HTG for src.
+func buildGraph(t *testing.T, src string) *htg.Graph {
+	t.Helper()
+	prog, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	in := interp.New(prog)
+	prof, err := in.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	g, err := htg.Build(prog, prof, htg.Config{})
+	if err != nil {
+		t.Fatalf("htg: %v", err)
+	}
+	return g
+}
+
+// hotLoopSrc is a compute-heavy DOALL loop: the canonical chunking case.
+const hotLoopSrc = `
+#define N 512
+float a[N]; float b[N];
+void main(void) {
+    for (int i = 0; i < N; i++) {
+        float x = i * 0.5;
+        a[i] = x * x + sqrt(x + 1.0) * 3.0;
+    }
+    for (int j = 0; j < N; j++) {
+        b[j] = a[j] * 2.0 + sqrt(a[j] + 4.0);
+    }
+}
+`
+
+// independentWorkSrc has four independent heavy loops: task-level
+// parallelism at the root.
+const independentWorkSrc = `
+#define N 256
+float a[N]; float b[N]; float c[N]; float d[N];
+void main(void) {
+    for (int i = 0; i < N; i++) { a[i] = sqrt(i * 1.0 + 1.0) * 2.0; }
+    for (int i = 0; i < N; i++) { b[i] = sqrt(i * 2.0 + 1.0) * 3.0; }
+    for (int i = 0; i < N; i++) { c[i] = sqrt(i * 3.0 + 1.0) * 4.0; }
+    for (int i = 0; i < N; i++) { d[i] = sqrt(i * 4.0 + 1.0) * 5.0; }
+}
+`
+
+func parallelizeOn(t *testing.T, src string, pf *platform.Platform, sc platform.Scenario, ap Approach) (*htg.Graph, *Result) {
+	t.Helper()
+	g := buildGraph(t, src)
+	res, err := Parallelize(g, pf, sc.MainClass(pf), ap, Config{})
+	if err != nil {
+		t.Fatalf("Parallelize: %v", err)
+	}
+	return g, res
+}
+
+func TestHeteroExtractsParallelism(t *testing.T) {
+	pf := platform.ConfigA()
+	g, res := parallelizeOn(t, hotLoopSrc, pf, platform.ScenarioAccelerator, Heterogeneous)
+	if res.Best.TotalProcs() < 2 {
+		t.Fatalf("expected parallel solution, got %s", res.Best)
+	}
+	seq := res.SequentialTimeNs(g)
+	if res.Best.TimeNs >= seq {
+		t.Fatalf("parallel estimate %.0fns not better than sequential %.0fns", res.Best.TimeNs, seq)
+	}
+	sp := res.EstimatedSpeedup(g)
+	if sp < 2 {
+		t.Errorf("estimated speedup %.2f too low for a hot DOALL program", sp)
+	}
+	t.Logf("estimated speedup: %.2fx (limit %.2fx)", sp, pf.TheoreticalSpeedup(res.MainClass))
+}
+
+func TestProcBudgetRespected(t *testing.T) {
+	pf := platform.ConfigA()
+	_, res := parallelizeOn(t, independentWorkSrc, pf, platform.ScenarioAccelerator, Heterogeneous)
+	var check func(s *Solution)
+	check = func(s *Solution) {
+		for c, used := range s.ProcsUsed {
+			if used > pf.Classes[c].Count {
+				t.Errorf("solution %s allocates %d units of class %d (max %d)",
+					s, used, c, pf.Classes[c].Count)
+			}
+		}
+		for _, task := range s.Tasks {
+			for _, it := range task.Items {
+				if it.Sub != nil && it.Sub.Kind != KindSequential {
+					check(it.Sub)
+				}
+			}
+		}
+	}
+	check(res.Best)
+}
+
+func TestMainTaskOnMainClass(t *testing.T) {
+	pf := platform.ConfigA()
+	main := platform.ScenarioAccelerator.MainClass(pf)
+	_, res := parallelizeOn(t, hotLoopSrc, pf, platform.ScenarioAccelerator, Heterogeneous)
+	if res.Best.MainClass != main {
+		t.Errorf("main class = %d, want %d", res.Best.MainClass, main)
+	}
+	if len(res.Best.Tasks) > 0 && res.Best.Tasks[0].Class != main {
+		t.Errorf("task 0 class = %d, want %d", res.Best.Tasks[0].Class, main)
+	}
+}
+
+func TestHomogeneousBaselineUniform(t *testing.T) {
+	pf := platform.ConfigA()
+	g, res := parallelizeOn(t, hotLoopSrc, pf, platform.ScenarioAccelerator, Homogeneous)
+	if len(res.Platform.Classes) != 1 {
+		t.Fatalf("homogeneous run must use a single-class pseudo platform")
+	}
+	if res.Platform.NumCores() != pf.NumCores() {
+		t.Errorf("pseudo platform cores = %d, want %d", res.Platform.NumCores(), pf.NumCores())
+	}
+	if res.Best.TotalProcs() < 2 {
+		t.Fatalf("homogeneous approach should still parallelize: %s", res.Best)
+	}
+	_ = g
+}
+
+func TestHeteroBeatsHomoEstimateOnSkewedPlatform(t *testing.T) {
+	pf := platform.ConfigA()
+	g := buildGraph(t, hotLoopSrc)
+	main := platform.ScenarioAccelerator.MainClass(pf)
+	het, err := Parallelize(g, pf, main, Heterogeneous, Config{})
+	if err != nil {
+		t.Fatalf("hetero: %v", err)
+	}
+	// The hetero estimate uses the real platform: its absolute time must
+	// beat the homogeneous estimate evaluated with honest (real) speeds.
+	// Homogeneous thinks all cores run at 100 MHz, so its plan spreads
+	// work evenly; on the real platform the slow core then dominates.
+	// Here we only check that hetero's estimated time uses the fast cores:
+	// it must beat 1/NumCores-even-split on the main class.
+	seqMain := het.SequentialTimeNs(g)
+	evenSplit := seqMain / float64(pf.NumCores())
+	if het.Best.TimeNs > seqMain {
+		t.Errorf("hetero slower than sequential")
+	}
+	if het.Best.TimeNs > evenSplit*2.0 {
+		t.Errorf("hetero estimate %.0f not clearly better than even split %.0f on slow main", het.Best.TimeNs, evenSplit)
+	}
+}
+
+func TestStatsGrowHeteroVsHomo(t *testing.T) {
+	pf := platform.ConfigA()
+	g := buildGraph(t, independentWorkSrc)
+	main := platform.ScenarioAccelerator.MainClass(pf)
+	het, err := Parallelize(g, pf, main, Heterogeneous, Config{})
+	if err != nil {
+		t.Fatalf("hetero: %v", err)
+	}
+	hom, err := Parallelize(g, pf, main, Homogeneous, Config{})
+	if err != nil {
+		t.Fatalf("homo: %v", err)
+	}
+	if het.Stats.NumILPs <= hom.Stats.NumILPs {
+		t.Errorf("hetero ILPs (%d) should exceed homo (%d) — Table I shape",
+			het.Stats.NumILPs, hom.Stats.NumILPs)
+	}
+	if het.Stats.NumVars <= hom.Stats.NumVars {
+		t.Errorf("hetero vars (%d) should exceed homo (%d)", het.Stats.NumVars, hom.Stats.NumVars)
+	}
+	if het.Stats.NumConstraints <= hom.Stats.NumConstraints {
+		t.Errorf("hetero constraints (%d) should exceed homo (%d)",
+			het.Stats.NumConstraints, hom.Stats.NumConstraints)
+	}
+	t.Logf("ILPs %d vs %d, vars %d vs %d, cons %d vs %d",
+		het.Stats.NumILPs, hom.Stats.NumILPs, het.Stats.NumVars, hom.Stats.NumVars,
+		het.Stats.NumConstraints, hom.Stats.NumConstraints)
+}
+
+func TestCandidateSetsHaveSequentialPerClass(t *testing.T) {
+	pf := platform.ConfigB()
+	_, res := parallelizeOn(t, hotLoopSrc, pf, platform.ScenarioSlowerCores, Heterogeneous)
+	for node, set := range res.Sets {
+		for c := range set.ByClass {
+			if len(set.ByClass[c]) == 0 {
+				t.Errorf("node %s: empty candidate set for class %d (violates Eq. 18 guarantee)",
+					node.Label, c)
+			}
+			hasSeq := false
+			for _, s := range set.ByClass[c] {
+				if s.NumTasks == 1 {
+					hasSeq = true
+				}
+			}
+			if !hasSeq {
+				t.Errorf("node %s class %d: no sequential candidate", node.Label, c)
+			}
+		}
+	}
+}
+
+func TestParetoPruning(t *testing.T) {
+	pf := platform.ConfigA()
+	_, res := parallelizeOn(t, independentWorkSrc, pf, platform.ScenarioAccelerator, Heterogeneous)
+	for node, set := range res.Sets {
+		for c, cands := range set.ByClass {
+			for i := 0; i+1 < len(cands); i++ {
+				if cands[i].TimeNs > cands[i+1].TimeNs {
+					t.Errorf("node %s class %d: candidates not sorted by time", node.Label, c)
+				}
+				if cands[i].TotalProcs() <= cands[i+1].TotalProcs() {
+					t.Errorf("node %s class %d: candidate %d dominated (procs %d <= %d with better time)",
+						node.Label, c, i+1, cands[i].TotalProcs(), cands[i+1].TotalProcs())
+				}
+			}
+		}
+	}
+}
+
+func TestDisableChunkingAblation(t *testing.T) {
+	pf := platform.ConfigA()
+	g := buildGraph(t, hotLoopSrc)
+	main := platform.ScenarioAccelerator.MainClass(pf)
+	with, err := Parallelize(g, pf, main, Heterogeneous, Config{})
+	if err != nil {
+		t.Fatalf("with: %v", err)
+	}
+	without, err := Parallelize(g, pf, main, Heterogeneous, Config{DisableChunking: true})
+	if err != nil {
+		t.Fatalf("without: %v", err)
+	}
+	if with.Best.TimeNs >= without.Best.TimeNs {
+		t.Errorf("chunking should improve the hot-loop program: with=%.0f without=%.0f",
+			with.Best.TimeNs, without.Best.TimeNs)
+	}
+}
+
+func TestSequentialWhenNoParallelism(t *testing.T) {
+	// A tight scalar recurrence has no extractable parallelism worth the
+	// overhead; the tool must fall back to sequential execution.
+	src := `
+float x;
+void main(void) {
+    x = 1.0;
+    for (int i = 0; i < 100; i++) {
+        x = x * 1.01 + 0.5;
+    }
+}
+`
+	pf := platform.ConfigA()
+	g, res := parallelizeOn(t, src, pf, platform.ScenarioAccelerator, Heterogeneous)
+	seq := res.SequentialTimeNs(g)
+	// Whatever the tool picked must not be slower than sequential.
+	if res.Best.TimeNs > seq*1.0001 {
+		t.Errorf("chosen solution (%.0fns) is worse than sequential (%.0fns)", res.Best.TimeNs, seq)
+	}
+}
+
+func TestSolutionDescribe(t *testing.T) {
+	pf := platform.ConfigA()
+	_, res := parallelizeOn(t, hotLoopSrc, pf, platform.ScenarioAccelerator, Heterogeneous)
+	out := res.Best.Describe(res.Platform)
+	if len(out) == 0 {
+		t.Errorf("Describe produced nothing")
+	}
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/htg"
+	"repro/internal/platform"
+)
+
+// Approach selects the parallelization algorithm.
+type Approach int
+
+// Approaches.
+const (
+	// Heterogeneous is the paper's contribution: class-aware cost model and
+	// integrated task-to-processor-class mapping.
+	Heterogeneous Approach = iota
+	// Homogeneous is the baseline of [Cordes et al., CODES+ISSS 2010]: a
+	// single uniform cost model (the main core's), no mapping dimension.
+	// Its tasks are placed round-robin on the physical cores at runtime.
+	Homogeneous
+)
+
+// String names the approach.
+func (a Approach) String() string {
+	if a == Homogeneous {
+		return "homogeneous"
+	}
+	return "heterogeneous"
+}
+
+// Config tunes the parallelizer.
+type Config struct {
+	// MaxItemsPerILP bounds region size via granularity clustering
+	// (default 12).
+	MaxItemsPerILP int
+	// MaxCandsPerClass bounds each node's pruned candidate set (default 5).
+	MaxCandsPerClass int
+	// MaxILPNodes caps branch-and-bound nodes per ILP (default 30000).
+	MaxILPNodes int
+	// ILPTimeout caps wall time per ILP (default 3s).
+	ILPTimeout time.Duration
+	// ILPRelGap accepts incumbents within this relative optimality gap
+	// (default 1%); tightening it trades compile time for solution quality.
+	ILPRelGap float64
+	// DisableChunking turns DOALL iteration splitting off (ablation).
+	DisableChunking bool
+	// EnablePipelining turns on the decoupled-software-pipelining extension
+	// for recurrence loops (the paper's future-work direction; off by
+	// default to reproduce the published tool).
+	EnablePipelining bool
+	// DisableHierarchy runs a single flat ILP over the root region only
+	// (ablation; inner nodes keep sequential candidates only).
+	DisableHierarchy bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxItemsPerILP == 0 {
+		c.MaxItemsPerILP = 12
+	}
+	if c.MaxCandsPerClass == 0 {
+		c.MaxCandsPerClass = 5
+	}
+	if c.MaxILPNodes == 0 {
+		c.MaxILPNodes = 1500
+	}
+	if c.ILPTimeout == 0 {
+		c.ILPTimeout = 400 * time.Millisecond
+	}
+	if c.ILPRelGap == 0 {
+		c.ILPRelGap = 0.01
+	}
+	return c
+}
+
+// Stats reports the solver effort, the quantities of Table I.
+type Stats struct {
+	NumILPs        int
+	NumVars        int
+	NumConstraints int
+	SolveTime      time.Duration
+	BBNodes        int
+}
+
+// Result is the outcome of parallelizing one program.
+type Result struct {
+	// Best is the chosen solution for the root node with the main task on
+	// the scenario's main class (never nil; sequential if no parallelism
+	// is profitable).
+	Best *Solution
+	// Sets holds the full per-node parallel sets for inspection.
+	Sets map[*htg.Node]*SolutionSet
+	// Stats aggregates ILP statistics.
+	Stats Stats
+	// Approach and MainClass echo the request.
+	Approach  Approach
+	MainClass int
+	// Platform is the platform the solution's class indices refer to: the
+	// real platform for Heterogeneous, the uniform pseudo-platform for
+	// Homogeneous.
+	Platform *platform.Platform
+}
+
+// SequentialTimeNs returns the baseline: the whole program run
+// sequentially on the main class.
+func (r *Result) SequentialTimeNs(g *htg.Graph) float64 {
+	return float64(g.Root.TotalCount) * g.Root.CostNanosOn(r.Platform.Classes[r.MainClass])
+}
+
+// EstimatedSpeedup is the cost-model speedup (simulation gives the
+// measured one).
+func (r *Result) EstimatedSpeedup(g *htg.Graph) float64 {
+	if r.Best.TimeNs <= 0 {
+		return 1
+	}
+	return r.SequentialTimeNs(g) / r.Best.TimeNs
+}
+
+// Parallelizer drives Algorithm 1 over one HTG.
+type Parallelizer struct {
+	pf    *platform.Platform
+	cfg   Config
+	stats ilpStats
+}
+
+// Parallelize runs the selected approach on graph g targeting pf with the
+// main task on mainClass (an index into pf.Classes).
+func Parallelize(g *htg.Graph, pf *platform.Platform, mainClass int, approach Approach, cfg Config) (*Result, error) {
+	if err := pf.Validate(); err != nil {
+		return nil, err
+	}
+	if mainClass < 0 || mainClass >= len(pf.Classes) {
+		return nil, fmt.Errorf("core: main class %d out of range", mainClass)
+	}
+	workPF := pf
+	workMain := mainClass
+	if approach == Homogeneous {
+		// The baseline believes every core performs like the main core.
+		workPF = platform.Homogeneous(
+			pf.Name+"-uniform", pf.Classes[mainClass].MHz, pf.NumCores())
+		workPF.BusLatencyNs = pf.BusLatencyNs
+		workPF.BusBytesPerNs = pf.BusBytesPerNs
+		workPF.TaskCreateNs = pf.TaskCreateNs
+		workMain = 0
+	}
+	p := &Parallelizer{pf: workPF, cfg: cfg.withDefaults()}
+	sets := map[*htg.Node]*SolutionSet{}
+	p.parallelizeNode(g.Root, sets)
+	set := sets[g.Root]
+	best := set.Best(workMain)
+	if best == nil {
+		best = sequentialSolution(g.Root, workPF, workMain)
+	}
+	return &Result{
+		Best:      best,
+		Sets:      sets,
+		Approach:  approach,
+		MainClass: workMain,
+		Platform:  workPF,
+		Stats: Stats{
+			NumILPs:        p.stats.numILPs,
+			NumVars:        p.stats.numVars,
+			NumConstraints: p.stats.numConstraints,
+			SolveTime:      p.stats.solveTime,
+			BBNodes:        p.stats.nodes,
+		},
+	}, nil
+}
+
+// parallelizeNode implements the PARALLELIZE function of Algorithm 1:
+// recurse bottom-up, then extract parallelism for this node once all
+// children carry their parallel sets.
+func (p *Parallelizer) parallelizeNode(n *htg.Node, sets map[*htg.Node]*SolutionSet) {
+	set := &SolutionSet{Node: n, ByClass: make([][]*Solution, len(p.pf.Classes))}
+	// Line 7: sequential solutions, one per processor class.
+	for c := range p.pf.Classes {
+		set.ByClass[c] = append(set.ByClass[c], sequentialSolution(n, p.pf, c))
+	}
+	sets[n] = set
+	if !n.IsHierarchical() {
+		return // line 8-9
+	}
+	// Lines 11-12: children first.
+	for _, child := range n.Children {
+		p.parallelizeNode(child, sets)
+	}
+	if p.cfg.DisableHierarchy && n.Kind != htg.KindRoot {
+		// Ablation: no parallelism below the root region.
+		return
+	}
+	if n.TotalCount == 0 {
+		return // never executed: nothing to gain
+	}
+	// Lines 14-21: per main class, sweep the task bound downward.
+	regions := []*regionSpec{p.clusterRegion(p.statementRegion(n, sets), p.cfg.MaxItemsPerILP)}
+	if !p.cfg.DisableChunking && n.Kind == htg.KindLoop && n.Loop != nil && n.Loop.Parallel {
+		regions = append(regions, p.chunkRegion(n))
+	}
+	for _, rs := range regions {
+		for seqPC := range p.pf.Classes {
+			i := p.pf.NumCores()
+			for i > 1 {
+				r := p.regionSolver(rs, seqPC, i)
+				if r == nil {
+					break
+				}
+				set.ByClass[seqPC] = append(set.ByClass[seqPC], r)
+				next := r.NumTasks - 1
+				if next >= i {
+					next = i - 1
+				}
+				i = next
+			}
+		}
+	}
+	// Future-work extension: pipeline the body of recurrence loops whose
+	// carried dependences only flow forward.
+	if p.cfg.EnablePipelining && n.Kind == htg.KindLoop &&
+		(n.Loop == nil || !n.Loop.Parallel) && pipelinable(n) {
+		iters := 0.0
+		for _, c := range n.Children {
+			if c.Count > iters {
+				iters = c.Count
+			}
+		}
+		rs := p.clusterRegion(p.statementRegion(n, sets), p.cfg.MaxItemsPerILP)
+		// Pipelines are created once per loop entry, not per iteration.
+		rs.spawnCount = float64(n.TotalCount)
+		for seqPC := range p.pf.Classes {
+			if r := p.ilpParPipeline(rs, iters, seqPC, p.pf.NumCores()); r != nil {
+				set.ByClass[seqPC] = append(set.ByClass[seqPC], r)
+			}
+		}
+	}
+	set.prune(p.cfg.MaxCandsPerClass)
+}
+
+// DebugILP toggles per-ILP solve tracing (tests only).
+func DebugILP(on bool) { debugILP = on }

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataflow"
+	"repro/internal/htg"
+	"repro/internal/ilp"
+)
+
+// Pipeline parallelism is the extension the paper names as future work
+// ("we intend to extend our heterogeneous parallelization framework to be
+// able to extract other types of parallelism as well, like, e.g., pipeline
+// parallelism"). It targets exactly the benchmarks the evaluation calls
+// out as limited by task-level parallelism (latnrm, spectral): loops whose
+// iterations are serialized by recurrences, but whose bodies decompose
+// into stages that can run on different cores with iteration i's stage s
+// overlapping iteration i+1's stage s-1.
+//
+// The model is a heterogeneous variant of decoupled software pipelining:
+//
+//   - stages are contiguous groups of the loop body's statement nodes
+//     (program order, like Eq. 10's monotone task ids),
+//   - a statement with a self-carried dependence is fine (its stage owns
+//     the state); a loop-carried dependence *backwards* across statements
+//     would require a cross-iteration round trip and disqualifies the loop,
+//   - every stage is pre-mapped to a processor class (Eq. 12-16 style),
+//   - steady-state throughput is set by the slowest stage including its
+//     per-iteration forwarding communication; the objective minimizes
+//     iterations x bottleneck + pipeline fill.
+
+// pipelinable reports whether the loop node's children admit forward-only
+// pipelining, i.e. no loop-carried dependence flows from a later child to
+// an earlier one (checked conservatively via write/read sets).
+func pipelinable(n *htg.Node) bool {
+	if n.Kind != htg.KindLoop {
+		return false
+	}
+	kids := n.Children
+	if len(kids) < 2 {
+		return false
+	}
+	// A backward carried dependence exists when an earlier child reads
+	// what a later child writes (the value then comes from the previous
+	// iteration). Same-child recurrences stay inside one stage.
+	for i := 0; i < len(kids); i++ {
+		for j := i + 1; j < len(kids); j++ {
+			if kids[i].Acc == nil || kids[j].Acc == nil {
+				return false
+			}
+			d := dataflow.DependsOn(kids[j].Acc, kids[i].Acc)
+			if d.Kind.Has(dataflow.DepFlow) {
+				return false // later child feeds an earlier one
+			}
+		}
+	}
+	return true
+}
+
+// ilpParPipeline builds and solves the stage-partitioning ILP for a loop's
+// statement region. Items must be the loop's children in program order
+// (the statementRegion construction guarantees this). Returns nil when
+// pipelining does not beat sequential execution on seqPC.
+func (p *Parallelizer) ilpParPipeline(rs *regionSpec, iters float64, seqPC, maxTasks int) *Solution {
+	nItems := len(rs.items)
+	nClasses := len(p.pf.Classes)
+	T := maxTasks
+	if T > p.pf.NumCores() {
+		T = p.pf.NumCores()
+	}
+	if T < 2 || nItems < 2 || iters < 2 {
+		return nil
+	}
+	// Per-item, per-class cost of ONE iteration (total seq cost divided by
+	// the iteration count).
+	perIter := make([][]float64, nItems)
+	seqTime := 0.0
+	for n, it := range rs.items {
+		perIter[n] = make([]float64, nClasses)
+		for c := 0; c < nClasses; c++ {
+			cand := seqCandOn(it, c)
+			if cand == nil {
+				return nil
+			}
+			perIter[n][c] = cand.TimeNs / iters
+		}
+		seqTime += perIter[n][seqPC] * iters
+	}
+	// Pipelines are created once per loop entry.
+	spawns := rs.spawnCount
+	spawnOverheadNs := spawns * p.pf.TaskCreateNs
+	if spawnOverheadNs >= seqTime {
+		return nil
+	}
+	// Forward communication per iteration between adjacent stages: bytes
+	// of the flow edges that cross the stage boundary. Computed per edge;
+	// the ILP charges an edge's per-iteration cost to the producer's stage
+	// when the edge crosses stages.
+	worstIter := 0.0
+	for n := range rs.items {
+		for c := 0; c < nClasses; c++ {
+			if perIter[n][c] > worstIter {
+				worstIter = perIter[n][c]
+			}
+		}
+	}
+	edgeIterNs := make([]float64, len(rs.edges))
+	bigM := worstIter * float64(nItems)
+	for e, edge := range rs.edges {
+		edgeIterNs[e] = edge.commNs / iters
+		bigM += edgeIterNs[e]
+	}
+	bigM = 2*bigM + 1
+
+	m := ilp.NewModel()
+	// x[n][t]: item n in stage t; monotone in program order.
+	x := make([][]ilp.VarID, nItems)
+	for n := range x {
+		x[n] = make([]ilp.VarID, T)
+		for t := 0; t < T; t++ {
+			x[n][t] = m.AddBinary(fmt.Sprintf("x_n%d_t%d", n, t), 0)
+			m.SetPriority(x[n][t], 3)
+		}
+	}
+	mp := make([][]ilp.VarID, T)
+	used := make([]ilp.VarID, T)
+	w := make([][]ilp.VarID, T)
+	stage := make([]ilp.VarID, T) // per-iteration stage time
+	for t := 0; t < T; t++ {
+		mp[t] = make([]ilp.VarID, nClasses)
+		w[t] = make([]ilp.VarID, nClasses)
+		for c := 0; c < nClasses; c++ {
+			mp[t][c] = m.AddBinary(fmt.Sprintf("map_t%d_c%d", t, c), 0)
+			m.SetPriority(mp[t][c], 3)
+			w[t][c] = m.AddVar(fmt.Sprintf("w_t%d_c%d", t, c), 0, 1, 0)
+		}
+		used[t] = m.AddBinary(fmt.Sprintf("used_t%d", t), 0)
+		m.SetPriority(used[t], 2)
+		stage[t] = m.AddVar(fmt.Sprintf("stage_t%d", t), 0, math.Inf(1), 0)
+	}
+	// bottleneck: the steady-state per-iteration time.
+	bottleneck := m.AddVar("bottleneck", 0, math.Inf(1), iters)
+	// fill: sum of all stage times once (pipeline ramp-up) plus spawn
+	// overhead, constant coefficient 1 in the objective.
+	fill := m.AddVar("fill", 0, math.Inf(1), 1)
+	// Improvement bound.
+	m.AddCons("improve", []ilp.Term{
+		{Var: bottleneck, Coeff: iters},
+		{Var: fill, Coeff: 1},
+	}, ilp.LE, seqTime*0.999)
+
+	// Each item in exactly one stage.
+	for n := 0; n < nItems; n++ {
+		terms := make([]ilp.Term, T)
+		for t := 0; t < T; t++ {
+			terms[t] = ilp.Term{Var: x[n][t], Coeff: 1}
+		}
+		m.AddCons(fmt.Sprintf("assign_n%d", n), terms, ilp.EQ, 1)
+	}
+	// Stage monotonicity (contiguous stages in program order).
+	for n := 0; n+1 < nItems; n++ {
+		var terms []ilp.Term
+		for t := 1; t < T; t++ {
+			terms = append(terms, ilp.Term{Var: x[n+1][t], Coeff: float64(t)})
+			terms = append(terms, ilp.Term{Var: x[n][t], Coeff: -float64(t)})
+		}
+		m.AddCons(fmt.Sprintf("mono_n%d", n), terms, ilp.GE, 0)
+	}
+	// Class assignment, usage flags, budget.
+	for t := 0; t < T; t++ {
+		terms := make([]ilp.Term, nClasses)
+		for c := 0; c < nClasses; c++ {
+			terms[c] = ilp.Term{Var: mp[t][c], Coeff: 1}
+		}
+		m.AddCons(fmt.Sprintf("one_class_t%d", t), terms, ilp.EQ, 1)
+		for n := 0; n < nItems; n++ {
+			m.AddCons(fmt.Sprintf("used_t%d_n%d", t, n),
+				[]ilp.Term{{Var: used[t], Coeff: 1}, {Var: x[n][t], Coeff: -1}}, ilp.GE, 0)
+		}
+		if t+1 < T {
+			m.AddCons(fmt.Sprintf("used_mono_t%d", t),
+				[]ilp.Term{{Var: used[t], Coeff: 1}, {Var: used[t+1], Coeff: -1}}, ilp.GE, 0)
+		}
+		for c := 0; c < nClasses; c++ {
+			m.AddCons(fmt.Sprintf("w_t%d_c%d", t, c),
+				[]ilp.Term{
+					{Var: w[t][c], Coeff: 1},
+					{Var: mp[t][c], Coeff: -1},
+					{Var: used[t], Coeff: -1},
+				}, ilp.GE, -1)
+		}
+	}
+	m.AddCons("main_class", []ilp.Term{{Var: mp[0][seqPC], Coeff: 1}}, ilp.EQ, 1)
+	m.AddCons("main_used", []ilp.Term{{Var: used[0], Coeff: 1}}, ilp.EQ, 1)
+	for c := 0; c < nClasses; c++ {
+		var terms []ilp.Term
+		for t := 0; t < T; t++ {
+			terms = append(terms, ilp.Term{Var: w[t][c], Coeff: 1})
+		}
+		m.AddCons(fmt.Sprintf("budget_c%d", c), terms, ilp.LE, float64(p.pf.Classes[c].Count))
+	}
+	// Stage time: stage[t] >= sum_n perIter[n][c]*x[n][t] - M(1-map[t][c])
+	// plus per-iteration forwarding for edges leaving the stage.
+	cross := make([][]ilp.VarID, len(rs.edges))
+	for e := range rs.edges {
+		if edgeIterNs[e] <= 0 {
+			continue
+		}
+		cross[e] = make([]ilp.VarID, T)
+		for t := 0; t < T; t++ {
+			cross[e][t] = m.AddVar(fmt.Sprintf("cross_e%d_t%d", e, t), 0, 1, 0)
+			m.AddCons(fmt.Sprintf("crossdef_e%d_t%d", e, t),
+				[]ilp.Term{
+					{Var: cross[e][t], Coeff: 1},
+					{Var: x[rs.edges[e].from][t], Coeff: -1},
+					{Var: x[rs.edges[e].to][t], Coeff: 1},
+				}, ilp.GE, 0)
+		}
+	}
+	for t := 0; t < T; t++ {
+		for c := 0; c < nClasses; c++ {
+			terms := []ilp.Term{
+				{Var: stage[t], Coeff: 1},
+				{Var: mp[t][c], Coeff: -bigM},
+			}
+			for n := 0; n < nItems; n++ {
+				terms = append(terms, ilp.Term{Var: x[n][t], Coeff: -perIter[n][c]})
+			}
+			for e := range rs.edges {
+				if cross[e] != nil {
+					terms = append(terms, ilp.Term{Var: cross[e][t], Coeff: -edgeIterNs[e]})
+				}
+			}
+			m.AddCons(fmt.Sprintf("stage_t%d_c%d", t, c), terms, ilp.GE, -bigM)
+		}
+		m.AddCons(fmt.Sprintf("bneck_t%d", t),
+			[]ilp.Term{{Var: bottleneck, Coeff: 1}, {Var: stage[t], Coeff: -1}}, ilp.GE, 0)
+	}
+	// fill >= sum stages + spawn overhead.
+	{
+		terms := []ilp.Term{{Var: fill, Coeff: 1}}
+		for t := 0; t < T; t++ {
+			terms = append(terms, ilp.Term{Var: stage[t], Coeff: -1})
+		}
+		m.AddCons("fill", terms, ilp.GE, spawnOverheadNs)
+	}
+	// Work-conservation cut for the LP bound: T*bottleneck >= total
+	// per-iteration work at the cheapest class... kept class-aware:
+	for c := 0; c < nClasses; c++ {
+		// Count_c * bottleneck >= work placed on class c per iteration is
+		// implied by the stage constraints; a simpler aggregate keeps the
+		// root bound useful:
+		_ = c
+	}
+	{
+		terms := []ilp.Term{{Var: bottleneck, Coeff: float64(T)}}
+		best := 0.0
+		for n := 0; n < nItems; n++ {
+			bi := perIter[n][0]
+			for c := 1; c < nClasses; c++ {
+				if perIter[n][c] < bi {
+					bi = perIter[n][c]
+				}
+			}
+			best += bi
+		}
+		m.AddCons("cut_bneck", terms, ilp.GE, best)
+	}
+
+	res := p.solve(m)
+	if res == nil {
+		return nil
+	}
+	on := func(id ilp.VarID) bool { return res.X[id] > 0.5 }
+	taskOf := make([]int, nItems)
+	classOf := make([]int, T)
+	for t := 0; t < T; t++ {
+		classOf[t] = seqPC
+		for c := 0; c < nClasses; c++ {
+			if on(mp[t][c]) {
+				classOf[t] = c
+			}
+		}
+	}
+	chosen := make([]*Solution, nItems)
+	for n := 0; n < nItems; n++ {
+		taskOf[n] = 0
+		for t := 0; t < T; t++ {
+			if on(x[n][t]) {
+				taskOf[n] = t
+			}
+		}
+		chosen[n] = seqCandOn(rs.items[n], classOf[taskOf[n]])
+	}
+	sol := p.assembleSolution(rs, taskOf, chosen, classOf, seqPC, res.Obj)
+	if sol == nil {
+		return nil
+	}
+	sol.Kind = KindPipelined
+	return sol
+}

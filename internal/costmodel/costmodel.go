@@ -1,0 +1,351 @@
+// Package costmodel assigns architectural cycle costs to mini-C statements
+// and expressions. Combined with a processor class's clock frequency and
+// CPI factor it yields the per-class execution times the Augmented
+// Hierarchical Task Graph is annotated with ("this information is
+// automatically extracted by target platform simulation ... once per
+// processor class").
+//
+// The table models an in-order 32-bit embedded RISC pipeline (ARM9-like):
+// single-cycle ALU ops, multi-cycle multiply/divide, load/store latencies
+// assuming on-chip SRAM/L1 hits, and software math-library costs for the
+// float builtins.
+package costmodel
+
+import (
+	"fmt"
+
+	"repro/internal/minic"
+	"repro/internal/platform"
+)
+
+// Table holds per-operation cycle counts.
+type Table struct {
+	IntALU     float64 // add/sub/bitwise/shift/compare
+	IntMul     float64
+	IntDiv     float64 // also modulo
+	FloatAdd   float64 // add/sub/compare
+	FloatMul   float64
+	FloatDiv   float64
+	Load       float64 // scalar load
+	Store      float64 // scalar store
+	AddrCalc   float64 // per array dimension
+	Branch     float64 // taken-branch / loop back-edge overhead
+	CallFixed  float64 // call/return overhead
+	PerArg     float64 // argument marshalling
+	Convert    float64 // int<->float conversion
+	SqrtCost   float64
+	TrigCost   float64 // sin/cos/tan/atan/atan2
+	ExpLogCost float64
+	PowCost    float64
+	RoundCost  float64 // floor/ceil
+	SimpleMath float64 // fabs/abs/min/max
+}
+
+// Default returns the reference cycle table.
+func Default() *Table {
+	return &Table{
+		IntALU:     1,
+		IntMul:     3,
+		IntDiv:     20,
+		FloatAdd:   4,
+		FloatMul:   5,
+		FloatDiv:   25,
+		Load:       2,
+		Store:      2,
+		AddrCalc:   1,
+		Branch:     2,
+		CallFixed:  10,
+		PerArg:     1,
+		Convert:    2,
+		SqrtCost:   35,
+		TrigCost:   60,
+		ExpLogCost: 55,
+		PowCost:    90,
+		RoundCost:  6,
+		SimpleMath: 2,
+	}
+}
+
+// Model computes statement costs against a table. The model is purely
+// static per statement execution: dynamic counts come from the profiler.
+type Model struct {
+	T *Table
+}
+
+// NewModel builds a model over table t (Default() if nil).
+func NewModel(t *Table) *Model {
+	if t == nil {
+		t = Default()
+	}
+	return &Model{T: t}
+}
+
+// isFloatExpr reports whether e produces (or operates on) float values.
+// It relies on resolved symbols, so the program must be checked.
+func isFloatExpr(e minic.Expr) bool {
+	switch ex := e.(type) {
+	case *minic.IntLit:
+		return false
+	case *minic.FloatLit:
+		return true
+	case *minic.VarRef:
+		return ex.Sym != nil && ex.Sym.Type.Base == minic.Float
+	case *minic.IndexExpr:
+		return ex.Array.Sym != nil && ex.Array.Sym.Type.Base == minic.Float
+	case *minic.UnaryExpr:
+		if ex.Op == minic.TokNot || ex.Op == minic.TokTilde {
+			return false
+		}
+		return isFloatExpr(ex.X)
+	case *minic.BinaryExpr:
+		switch ex.Op {
+		case minic.TokEq, minic.TokNeq, minic.TokLt, minic.TokGt, minic.TokLe,
+			minic.TokGe, minic.TokAndAnd, minic.TokOrOr, minic.TokPercent,
+			minic.TokAmp, minic.TokPipe, minic.TokCaret, minic.TokShl, minic.TokShr:
+			return false
+		}
+		return isFloatExpr(ex.X) || isFloatExpr(ex.Y)
+	case *minic.CondExpr:
+		return isFloatExpr(ex.Then) || isFloatExpr(ex.Else)
+	case *minic.CallExpr:
+		if ex.Fn != nil {
+			return ex.Fn.Result.Base == minic.Float
+		}
+		switch ex.Builtin {
+		case "abs", "min", "max":
+			for _, a := range ex.Args {
+				if isFloatExpr(a) {
+					return true
+				}
+			}
+			return false
+		}
+		return true
+	case *minic.AssignExpr:
+		return isFloatExpr(ex.LHS)
+	case *minic.IncDecExpr:
+		return isFloatExpr(ex.X)
+	case *minic.CastExpr:
+		return ex.To == minic.Float
+	}
+	return false
+}
+
+// ExprCycles returns the cycle cost of evaluating e once. Function call
+// bodies are NOT included: calls to user functions contribute only the
+// call overhead, because the HTG represents the callee hierarchically and
+// accounts its cost through the hierarchy.
+func (m *Model) ExprCycles(e minic.Expr) float64 {
+	t := m.T
+	switch ex := e.(type) {
+	case *minic.IntLit, *minic.FloatLit:
+		return 0 // immediates fold into consuming instructions
+	case *minic.VarRef:
+		return t.Load
+	case *minic.IndexExpr:
+		c := t.Load + float64(len(ex.Indices))*t.AddrCalc
+		for _, ix := range ex.Indices {
+			c += m.ExprCycles(ix)
+		}
+		return c
+	case *minic.UnaryExpr:
+		c := m.ExprCycles(ex.X)
+		if isFloatExpr(ex.X) && ex.Op == minic.TokMinus {
+			return c + t.FloatAdd
+		}
+		return c + t.IntALU
+	case *minic.BinaryExpr:
+		c := m.ExprCycles(ex.X) + m.ExprCycles(ex.Y)
+		return c + m.binOpCycles(ex)
+	case *minic.CondExpr:
+		// Expected cost: condition + branch + average of the two arms.
+		return m.ExprCycles(ex.Cond) + t.Branch +
+			0.5*(m.ExprCycles(ex.Then)+m.ExprCycles(ex.Else))
+	case *minic.CallExpr:
+		c := float64(len(ex.Args)) * t.PerArg
+		for _, a := range ex.Args {
+			switch a.(type) {
+			case *minic.VarRef, *minic.IndexExpr:
+				// Array arguments pass a base pointer: PerArg covers it;
+				// scalar variable loads still cost a load.
+				c += t.Load
+			default:
+				c += m.ExprCycles(a)
+			}
+		}
+		if ex.Builtin != "" {
+			return c + m.builtinCycles(ex.Builtin)
+		}
+		return c + t.CallFixed
+	case *minic.AssignExpr:
+		c := m.ExprCycles(ex.RHS) + m.lvalueCycles(ex.LHS) + t.Store
+		if ex.Op != minic.TokAssign {
+			// Compound assignment re-reads the target and applies an op.
+			c += t.Load + m.binOpCycles(&minic.BinaryExpr{Op: compoundBase(ex.Op), X: ex.LHS, Y: ex.RHS})
+		}
+		return c
+	case *minic.IncDecExpr:
+		return m.lvalueCycles(ex.X) + t.Load + t.IntALU + t.Store
+	case *minic.CastExpr:
+		return m.ExprCycles(ex.X) + t.Convert
+	}
+	return 0
+}
+
+// lvalueCycles is the address-computation cost of an assignment target
+// (the value load is charged separately where needed).
+func (m *Model) lvalueCycles(e minic.Expr) float64 {
+	if ix, ok := e.(*minic.IndexExpr); ok {
+		c := float64(len(ix.Indices)) * m.T.AddrCalc
+		for _, sub := range ix.Indices {
+			c += m.ExprCycles(sub)
+		}
+		return c
+	}
+	return 0
+}
+
+// binOpCycles prices the operation itself (operand evaluation excluded).
+func (m *Model) binOpCycles(ex *minic.BinaryExpr) float64 {
+	t := m.T
+	isF := isFloatExpr(ex.X) || isFloatExpr(ex.Y)
+	switch ex.Op {
+	case minic.TokStar:
+		if isF {
+			return t.FloatMul
+		}
+		return t.IntMul
+	case minic.TokSlash:
+		if isF {
+			return t.FloatDiv
+		}
+		return t.IntDiv
+	case minic.TokPercent:
+		return t.IntDiv
+	case minic.TokPlus, minic.TokMinus:
+		if isF {
+			return t.FloatAdd
+		}
+		return t.IntALU
+	case minic.TokEq, minic.TokNeq, minic.TokLt, minic.TokGt, minic.TokLe, minic.TokGe:
+		if isF {
+			return t.FloatAdd
+		}
+		return t.IntALU
+	case minic.TokAndAnd, minic.TokOrOr:
+		return t.IntALU + t.Branch // short-circuit branch
+	default:
+		return t.IntALU
+	}
+}
+
+func (m *Model) builtinCycles(name string) float64 {
+	t := m.T
+	switch name {
+	case "sqrt":
+		return t.SqrtCost
+	case "sin", "cos", "tan", "atan", "atan2":
+		return t.TrigCost
+	case "exp", "log":
+		return t.ExpLogCost
+	case "pow":
+		return t.PowCost
+	case "floor", "ceil":
+		return t.RoundCost
+	default: // fabs, abs, min, max
+		return t.SimpleMath
+	}
+}
+
+func compoundBase(k minic.TokenKind) minic.TokenKind {
+	switch k {
+	case minic.TokPlusEq:
+		return minic.TokPlus
+	case minic.TokMinusEq:
+		return minic.TokMinus
+	case minic.TokStarEq:
+		return minic.TokStar
+	case minic.TokSlashEq:
+		return minic.TokSlash
+	case minic.TokPercentEq:
+		return minic.TokPercent
+	case minic.TokShlEq:
+		return minic.TokShl
+	case minic.TokShrEq:
+		return minic.TokShr
+	case minic.TokAndEq:
+		return minic.TokAmp
+	case minic.TokOrEq:
+		return minic.TokPipe
+	case minic.TokXorEq:
+		return minic.TokCaret
+	}
+	return k
+}
+
+// StmtSelfCycles returns the cycle cost of one execution of statement s
+// itself, excluding any nested statements (those are separate HTG nodes).
+// For control statements this is the header cost: condition evaluation plus
+// branch overhead; for loops it is charged once per iteration via the
+// profiler's counts on the header node.
+func (m *Model) StmtSelfCycles(s minic.Stmt) float64 {
+	t := m.T
+	switch st := s.(type) {
+	case *minic.DeclStmt:
+		c := 0.0
+		if st.Init != nil {
+			c += m.ExprCycles(st.Init) + t.Store
+		}
+		for _, e := range st.List {
+			c += m.ExprCycles(e) + t.Store
+		}
+		return c
+	case *minic.ExprStmt:
+		return m.ExprCycles(st.X)
+	case *minic.BlockStmt:
+		return 0
+	case *minic.IfStmt:
+		return m.ExprCycles(st.Cond) + t.Branch
+	case *minic.ForStmt:
+		// Per-iteration header cost: condition + post + back-edge.
+		c := t.Branch
+		if st.Cond != nil {
+			c += m.ExprCycles(st.Cond)
+		}
+		if st.Post != nil {
+			c += m.ExprCycles(st.Post)
+		}
+		return c
+	case *minic.WhileStmt:
+		return m.ExprCycles(st.Cond) + t.Branch
+	case *minic.ReturnStmt:
+		c := t.Branch
+		if st.Value != nil {
+			c += m.ExprCycles(st.Value)
+		}
+		return c
+	case *minic.BreakStmt, *minic.ContinueStmt:
+		return t.Branch
+	}
+	return 0
+}
+
+// NanosOn converts a cycle count to nanoseconds on processor class pc.
+func NanosOn(pc platform.ProcClass, cycles float64) float64 {
+	return pc.CyclesToNanos(cycles)
+}
+
+// Validate sanity-checks a table.
+func (t *Table) Validate() error {
+	vals := map[string]float64{
+		"IntALU": t.IntALU, "IntMul": t.IntMul, "IntDiv": t.IntDiv,
+		"FloatAdd": t.FloatAdd, "FloatMul": t.FloatMul, "FloatDiv": t.FloatDiv,
+		"Load": t.Load, "Store": t.Store, "Branch": t.Branch,
+	}
+	for name, v := range vals {
+		if v <= 0 {
+			return fmt.Errorf("cost table: %s must be positive, got %g", name, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package costmodel
+
+import (
+	"testing"
+
+	"repro/internal/minic"
+	"repro/internal/platform"
+)
+
+// stmtOf compiles a one-statement main and returns that statement.
+func stmtOf(t *testing.T, body string) minic.Stmt {
+	t.Helper()
+	src := "float fa[16]; float fb[16]; int ia[16]; float fs; int is;\n" +
+		"void main(void) { " + body + " }"
+	prog, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("compile %q: %v", body, err)
+	}
+	return prog.Func("main").Body.Stmts[0]
+}
+
+func cyclesOf(t *testing.T, body string) float64 {
+	t.Helper()
+	m := NewModel(nil)
+	return m.StmtSelfCycles(stmtOf(t, body))
+}
+
+func TestFloatOpsCostMoreThanInt(t *testing.T) {
+	intMul := cyclesOf(t, "is = ia[1] * ia[2];")
+	floatMul := cyclesOf(t, "fs = fa[1] * fb[2];")
+	if floatMul <= intMul {
+		t.Errorf("float multiply (%g) should cost more than int multiply (%g)", floatMul, intMul)
+	}
+	intDiv := cyclesOf(t, "is = ia[1] / ia[2];")
+	intAdd := cyclesOf(t, "is = ia[1] + ia[2];")
+	if intDiv <= intAdd {
+		t.Errorf("int divide (%g) should cost more than int add (%g)", intDiv, intAdd)
+	}
+}
+
+func TestBuiltinCosts(t *testing.T) {
+	sqrtC := cyclesOf(t, "fs = sqrt(fa[0]);")
+	fabsC := cyclesOf(t, "fs = fabs(fa[0]);")
+	powC := cyclesOf(t, "fs = pow(fa[0], fa[1]);")
+	if sqrtC <= fabsC {
+		t.Errorf("sqrt (%g) should cost more than fabs (%g)", sqrtC, fabsC)
+	}
+	if powC <= sqrtC {
+		t.Errorf("pow (%g) should cost more than sqrt (%g)", powC, sqrtC)
+	}
+}
+
+func TestTwoDimIndexCostsMore(t *testing.T) {
+	src := `float m[4][4]; float v[4]; float s;
+void main(void) { s = m[1][2]; s = v[1]; }`
+	prog, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := NewModel(nil)
+	stmts := prog.Func("main").Body.Stmts
+	two := m.StmtSelfCycles(stmts[0])
+	one := m.StmtSelfCycles(stmts[1])
+	if two <= one {
+		t.Errorf("2-D access (%g) should cost more than 1-D (%g)", two, one)
+	}
+}
+
+func TestCompoundAssignChargesReadModifyWrite(t *testing.T) {
+	compound := cyclesOf(t, "fs += fa[0];")
+	plain := cyclesOf(t, "fs = fa[0];")
+	if compound <= plain {
+		t.Errorf("compound assign (%g) should cost more than plain (%g)", compound, plain)
+	}
+}
+
+func TestLoopHeaderCost(t *testing.T) {
+	s := stmtOf(t, "for (int i = 0; i < 10; i++) { is = 1; }")
+	m := NewModel(nil)
+	c := m.StmtSelfCycles(s)
+	if c <= 0 {
+		t.Errorf("loop header should have positive per-iteration cost, got %g", c)
+	}
+	// The header cost must exclude the body.
+	heavyBody := stmtOf(t, "for (int i = 0; i < 10; i++) { fs = sqrt(fa[0]) + pow(fa[1], fa[2]); }")
+	if m.StmtSelfCycles(heavyBody) != c {
+		t.Errorf("loop header cost should not include the body")
+	}
+}
+
+func TestUserCallChargesOverheadOnly(t *testing.T) {
+	src := `float heavy(float x) { float r = x; for (int i = 0; i < 100; i++) { r = r * 1.001 + sqrt(r); } return r; }
+float s;
+void main(void) { s = heavy(2.0); }`
+	prog, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := NewModel(nil)
+	callCost := m.StmtSelfCycles(prog.Func("main").Body.Stmts[0])
+	if callCost > 50 {
+		t.Errorf("call site should charge only overhead, got %g cycles", callCost)
+	}
+}
+
+func TestClassScaling(t *testing.T) {
+	m := NewModel(nil)
+	s := stmtOf(t, "fs = fa[0] * fb[0] + fa[1];")
+	cycles := m.StmtSelfCycles(s)
+	slow := platform.ProcClass{Name: "slow", MHz: 100, Count: 1, CPIFactor: 1}
+	fast := platform.ProcClass{Name: "fast", MHz: 500, Count: 1, CPIFactor: 1}
+	ns1 := NanosOn(slow, cycles)
+	ns2 := NanosOn(fast, cycles)
+	if ns1/ns2 < 4.9 || ns1/ns2 > 5.1 {
+		t.Errorf("100 vs 500 MHz should be 5x apart, got %g", ns1/ns2)
+	}
+}
+
+func TestTernaryAveragesArms(t *testing.T) {
+	m := NewModel(nil)
+	cheap := m.StmtSelfCycles(stmtOf(t, "fs = is > 0 ? 1.0 : 2.0;"))
+	expensive := m.StmtSelfCycles(stmtOf(t, "fs = is > 0 ? sqrt(fa[0]) : pow(fa[0], fa[1]);"))
+	if expensive <= cheap {
+		t.Errorf("expensive ternary arms should raise cost: %g vs %g", expensive, cheap)
+	}
+}
+
+func TestTableValidate(t *testing.T) {
+	tab := Default()
+	if err := tab.Validate(); err != nil {
+		t.Fatalf("default table invalid: %v", err)
+	}
+	tab.FloatDiv = 0
+	if err := tab.Validate(); err == nil {
+		t.Errorf("zero FloatDiv should be rejected")
+	}
+}
+
+func TestShortCircuitAndBranchCosts(t *testing.T) {
+	and := cyclesOf(t, "is = ia[0] > 0 && ia[1] > 0;")
+	bit := cyclesOf(t, "is = (ia[0] > 0) & (ia[1] > 0);")
+	if and <= bit {
+		t.Errorf("&& (%g) should cost more than & (%g) due to branching", and, bit)
+	}
+}

@@ -1,0 +1,362 @@
+// Package dataflow computes the data-dependence information the Augmented
+// Hierarchical Task Graph is annotated with: per-statement def/use sets
+// (interprocedural, through function effect summaries), flow/anti/output
+// dependences between sibling statements together with the number of bytes
+// communicated, and loop-level analysis (induction variables, privatizable
+// scalars, reductions, loop-carried dependences) that decides whether a
+// loop's iterations may execute concurrently.
+package dataflow
+
+import (
+	"repro/internal/minic"
+)
+
+// SymSet is a set of program symbols.
+type SymSet map[*minic.Symbol]bool
+
+// Add inserts s.
+func (ss SymSet) Add(s *minic.Symbol) { ss[s] = true }
+
+// Has reports membership.
+func (ss SymSet) Has(s *minic.Symbol) bool { return ss[s] }
+
+// Intersect returns the symbols present in both sets.
+func (ss SymSet) Intersect(other SymSet) []*minic.Symbol {
+	var out []*minic.Symbol
+	for s := range ss {
+		if other[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Effects summarizes what a function reads and writes beyond its own
+// locals: per-parameter read/write flags (meaningful for array parameters,
+// which are passed by reference) and accessed globals.
+type Effects struct {
+	ParamRead   []bool
+	ParamWrite  []bool
+	GlobalRead  SymSet
+	GlobalWrite SymSet
+}
+
+// Summaries maps every function to its effect summary.
+type Summaries map[*minic.FuncDecl]*Effects
+
+// Summarize computes effect summaries for all functions via a fixpoint over
+// the call graph (handles mutual recursion).
+func Summarize(prog *minic.Program) Summaries {
+	sums := make(Summaries, len(prog.Funcs))
+	for _, f := range prog.Funcs {
+		sums[f] = &Effects{
+			ParamRead:   make([]bool, len(f.Params)),
+			ParamWrite:  make([]bool, len(f.Params)),
+			GlobalRead:  SymSet{},
+			GlobalWrite: SymSet{},
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, f := range prog.Funcs {
+			if updateSummary(f, sums) {
+				changed = true
+			}
+		}
+	}
+	return sums
+}
+
+// updateSummary recomputes f's summary; returns whether it grew.
+func updateSummary(f *minic.FuncDecl, sums Summaries) bool {
+	eff := sums[f]
+	paramIdx := map[*minic.Symbol]int{}
+	for i := range f.Params {
+		paramIdx[f.Params[i].Sym] = i
+	}
+	acc := NewAccesses()
+	collectStmt(f.Body, acc, sums)
+	grew := false
+	record := func(set SymSet, isWrite bool) {
+		for sym := range set {
+			if i, ok := paramIdx[sym]; ok {
+				if isWrite && !eff.ParamWrite[i] {
+					eff.ParamWrite[i] = true
+					grew = true
+				}
+				if !isWrite && !eff.ParamRead[i] {
+					eff.ParamRead[i] = true
+					grew = true
+				}
+				continue
+			}
+			if sym.Kind == minic.SymGlobal {
+				target := eff.GlobalRead
+				if isWrite {
+					target = eff.GlobalWrite
+				}
+				if !target[sym] {
+					target.Add(sym)
+					grew = true
+				}
+			}
+		}
+	}
+	record(acc.Reads, false)
+	record(acc.Writes, true)
+	return grew
+}
+
+// ArrayAccess is one array element access with its index expressions,
+// used by the loop-carried dependence test.
+type ArrayAccess struct {
+	Sym     *minic.Symbol
+	Indices []minic.Expr
+	Write   bool
+}
+
+// Accesses aggregates the reads and writes performed by a statement
+// (including everything nested inside it and inside called functions).
+type Accesses struct {
+	Reads  SymSet
+	Writes SymSet
+	// Arrays lists element-granular accesses local to the analyzed subtree
+	// (calls contribute whole-array effects in Reads/Writes but no index
+	// detail, so callers treat called-through arrays conservatively).
+	Arrays []ArrayAccess
+	// HasCall reports whether the subtree calls a user function.
+	HasCall bool
+	// WholeArrays contains arrays whose access detail is unknown (passed to
+	// functions, so element-level reasoning must be conservative).
+	WholeArrays SymSet
+}
+
+// NewAccesses returns an empty access aggregate.
+func NewAccesses() *Accesses {
+	return &Accesses{Reads: SymSet{}, Writes: SymSet{}, WholeArrays: SymSet{}}
+}
+
+// StmtAccesses computes the access aggregate of statement s.
+func StmtAccesses(s minic.Stmt, sums Summaries) *Accesses {
+	acc := NewAccesses()
+	collectStmt(s, acc, sums)
+	return acc
+}
+
+// ExprAccesses computes the access aggregate of expression e.
+func ExprAccesses(e minic.Expr, sums Summaries) *Accesses {
+	acc := NewAccesses()
+	collectExpr(e, acc, sums)
+	return acc
+}
+
+func collectStmt(s minic.Stmt, acc *Accesses, sums Summaries) {
+	switch st := s.(type) {
+	case *minic.DeclStmt:
+		if st.Init != nil {
+			collectExpr(st.Init, acc, sums)
+		}
+		for _, e := range st.List {
+			collectExpr(e, acc, sums)
+		}
+		if st.Sym != nil {
+			acc.Writes.Add(st.Sym)
+		}
+	case *minic.ExprStmt:
+		collectExpr(st.X, acc, sums)
+	case *minic.BlockStmt:
+		for _, inner := range st.Stmts {
+			collectStmt(inner, acc, sums)
+		}
+	case *minic.IfStmt:
+		collectExpr(st.Cond, acc, sums)
+		collectStmt(st.Then, acc, sums)
+		if st.Else != nil {
+			collectStmt(st.Else, acc, sums)
+		}
+	case *minic.ForStmt:
+		if st.Init != nil {
+			collectStmt(st.Init, acc, sums)
+		}
+		if st.Cond != nil {
+			collectExpr(st.Cond, acc, sums)
+		}
+		if st.Post != nil {
+			collectExpr(st.Post, acc, sums)
+		}
+		collectStmt(st.Body, acc, sums)
+	case *minic.WhileStmt:
+		collectExpr(st.Cond, acc, sums)
+		collectStmt(st.Body, acc, sums)
+	case *minic.ReturnStmt:
+		if st.Value != nil {
+			collectExpr(st.Value, acc, sums)
+		}
+	case *minic.BreakStmt, *minic.ContinueStmt:
+	}
+}
+
+func collectExpr(e minic.Expr, acc *Accesses, sums Summaries) {
+	switch ex := e.(type) {
+	case *minic.IntLit, *minic.FloatLit:
+	case *minic.VarRef:
+		acc.Reads.Add(ex.Sym)
+	case *minic.IndexExpr:
+		acc.Reads.Add(ex.Array.Sym)
+		acc.Arrays = append(acc.Arrays, ArrayAccess{Sym: ex.Array.Sym, Indices: ex.Indices})
+		for _, ix := range ex.Indices {
+			collectExpr(ix, acc, sums)
+		}
+	case *minic.UnaryExpr:
+		collectExpr(ex.X, acc, sums)
+	case *minic.BinaryExpr:
+		collectExpr(ex.X, acc, sums)
+		collectExpr(ex.Y, acc, sums)
+	case *minic.CondExpr:
+		collectExpr(ex.Cond, acc, sums)
+		collectExpr(ex.Then, acc, sums)
+		collectExpr(ex.Else, acc, sums)
+	case *minic.CallExpr:
+		collectCall(ex, acc, sums)
+	case *minic.AssignExpr:
+		// RHS first, then the target.
+		collectExpr(ex.RHS, acc, sums)
+		collectLValue(ex.LHS, acc, sums, ex.Op != minic.TokAssign)
+	case *minic.IncDecExpr:
+		collectLValue(ex.X, acc, sums, true)
+	case *minic.CastExpr:
+		collectExpr(ex.X, acc, sums)
+	}
+}
+
+// collectLValue records a write to the assignment target; alsoRead marks
+// read-modify-write forms (compound assignment, ++/--).
+func collectLValue(e minic.Expr, acc *Accesses, sums Summaries, alsoRead bool) {
+	switch lv := e.(type) {
+	case *minic.VarRef:
+		acc.Writes.Add(lv.Sym)
+		if alsoRead {
+			acc.Reads.Add(lv.Sym)
+		}
+	case *minic.IndexExpr:
+		acc.Writes.Add(lv.Array.Sym)
+		acc.Arrays = append(acc.Arrays, ArrayAccess{Sym: lv.Array.Sym, Indices: lv.Indices, Write: true})
+		if alsoRead {
+			acc.Reads.Add(lv.Array.Sym)
+			acc.Arrays = append(acc.Arrays, ArrayAccess{Sym: lv.Array.Sym, Indices: lv.Indices})
+		}
+		for _, ix := range lv.Indices {
+			collectExpr(ix, acc, sums)
+		}
+	}
+}
+
+func collectCall(ex *minic.CallExpr, acc *Accesses, sums Summaries) {
+	if ex.Builtin != "" {
+		for _, a := range ex.Args {
+			collectExpr(a, acc, sums)
+		}
+		return
+	}
+	acc.HasCall = true
+	eff := sums[ex.Fn]
+	for i, a := range ex.Args {
+		if !ex.Fn.Params[i].Type.IsArray() {
+			collectExpr(a, acc, sums)
+			continue
+		}
+		// Array argument: apply the callee's parameter effects to the
+		// argument array. Index expressions of row views are still reads.
+		var sym *minic.Symbol
+		switch arg := a.(type) {
+		case *minic.VarRef:
+			sym = arg.Sym
+		case *minic.IndexExpr:
+			sym = arg.Array.Sym
+			for _, ix := range arg.Indices {
+				collectExpr(ix, acc, sums)
+			}
+		}
+		if sym == nil {
+			continue
+		}
+		acc.WholeArrays.Add(sym)
+		if eff == nil || eff.ParamRead[i] {
+			acc.Reads.Add(sym)
+		}
+		if eff == nil || eff.ParamWrite[i] {
+			acc.Writes.Add(sym)
+		}
+	}
+	if eff != nil {
+		for g := range eff.GlobalRead {
+			acc.Reads.Add(g)
+		}
+		for g := range eff.GlobalWrite {
+			acc.Writes.Add(g)
+		}
+	}
+}
+
+// DepKind is a bit set of dependence kinds between two statements.
+type DepKind uint8
+
+// Dependence kinds.
+const (
+	DepFlow   DepKind = 1 << iota // a writes, b reads (true dependence)
+	DepAnti                       // a reads, b writes
+	DepOutput                     // both write
+)
+
+// Has reports whether k contains kind.
+func (k DepKind) Has(kind DepKind) bool { return k&kind != 0 }
+
+// String renders the kind set.
+func (k DepKind) String() string {
+	s := ""
+	if k.Has(DepFlow) {
+		s += "F"
+	}
+	if k.Has(DepAnti) {
+		s += "A"
+	}
+	if k.Has(DepOutput) {
+		s += "O"
+	}
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// Dep describes the dependence of a later statement on an earlier one.
+type Dep struct {
+	Kind DepKind
+	// FlowBytes is the number of bytes of data flowing along the true
+	// dependence (0 for pure anti/output ordering constraints).
+	FlowBytes int
+	// FlowSyms lists the symbols carrying the flow dependence.
+	FlowSyms []*minic.Symbol
+}
+
+// Exists reports whether there is any dependence at all.
+func (d Dep) Exists() bool { return d.Kind != 0 }
+
+// DependsOn computes the dependence of statement b on an earlier sibling a
+// given their precomputed access aggregates.
+func DependsOn(a, b *Accesses) Dep {
+	var d Dep
+	for _, sym := range a.Writes.Intersect(b.Reads) {
+		d.Kind |= DepFlow
+		d.FlowSyms = append(d.FlowSyms, sym)
+		d.FlowBytes += sym.Type.SizeBytes()
+	}
+	if len(a.Reads.Intersect(b.Writes)) > 0 {
+		d.Kind |= DepAnti
+	}
+	if len(a.Writes.Intersect(b.Writes)) > 0 {
+		d.Kind |= DepOutput
+	}
+	return d
+}

@@ -1,0 +1,423 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/minic"
+)
+
+func compile(t *testing.T, src string) (*minic.Program, Summaries) {
+	t.Helper()
+	prog, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog, Summarize(prog)
+}
+
+func symByName(t *testing.T, set SymSet, name string) *minic.Symbol {
+	t.Helper()
+	for s := range set {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+func TestStmtAccessesScalar(t *testing.T) {
+	prog, sums := compile(t, `
+int a; int b; int c;
+void main(void) { c = a + b; }
+`)
+	s := prog.Func("main").Body.Stmts[0]
+	acc := StmtAccesses(s, sums)
+	if symByName(t, acc.Reads, "a") == nil || symByName(t, acc.Reads, "b") == nil {
+		t.Errorf("reads missing: %v", acc.Reads)
+	}
+	if symByName(t, acc.Writes, "c") == nil {
+		t.Errorf("writes missing c")
+	}
+	if symByName(t, acc.Writes, "a") != nil {
+		t.Errorf("a should not be written")
+	}
+}
+
+func TestCompoundAssignReadsTarget(t *testing.T) {
+	prog, sums := compile(t, `int a; int b; void main(void) { a += b; }`)
+	acc := StmtAccesses(prog.Func("main").Body.Stmts[0], sums)
+	if symByName(t, acc.Reads, "a") == nil {
+		t.Errorf("compound assignment must read its target")
+	}
+}
+
+func TestInterproceduralEffects(t *testing.T) {
+	prog, sums := compile(t, `
+int g1; int g2;
+void writer(int v[4]) { v[0] = g1; }
+int reader(int v[4]) { return v[1] + g2; }
+void main(void) {
+    int a[4]; int b[4];
+    writer(a);
+    int x = reader(b);
+}
+`)
+	writer := prog.Func("writer")
+	eff := sums[writer]
+	if !eff.ParamWrite[0] || eff.ParamRead[0] {
+		t.Errorf("writer param effects wrong: %+v", eff)
+	}
+	if symByName(t, eff.GlobalRead, "g1") == nil {
+		t.Errorf("writer should read g1")
+	}
+	main := prog.Func("main")
+	// writer(a) writes a; reader(b) reads b and g2.
+	callW := StmtAccesses(main.Body.Stmts[2], sums)
+	if symByName(t, callW.Writes, "a") == nil {
+		t.Errorf("call to writer should write a: %v", callW.Writes)
+	}
+	if symByName(t, callW.Reads, "a") != nil {
+		t.Errorf("call to writer should not read a")
+	}
+	callR := StmtAccesses(main.Body.Stmts[3], sums)
+	if symByName(t, callR.Reads, "b") == nil || symByName(t, callR.Reads, "g2") == nil {
+		t.Errorf("call to reader should read b and g2: %v", callR.Reads)
+	}
+	if symByName(t, callR.Writes, "b") != nil {
+		t.Errorf("reader should not write b")
+	}
+}
+
+func TestRecursiveSummaryTerminates(t *testing.T) {
+	prog, sums := compile(t, `
+int g;
+int odd(int n) { if (n == 0) { return 0; } g = g + 1; return even(n - 1); }
+int even(int n) { if (n == 0) { return 1; } return odd(n - 1); }
+void main(void) { int r = odd(5); }
+`)
+	_ = prog
+	// Just reaching here proves termination; odd/even both touch g
+	// transitively.
+	odd := prog.Func("odd")
+	if symByName(t, sums[odd].GlobalWrite, "g") == nil {
+		t.Errorf("odd should write g")
+	}
+	even := prog.Func("even")
+	if symByName(t, sums[even].GlobalWrite, "g") == nil {
+		t.Errorf("even should transitively write g")
+	}
+}
+
+func TestDependsOnKinds(t *testing.T) {
+	prog, sums := compile(t, `
+int a; int b; int c;
+void main(void) {
+    a = 1;      // s0
+    b = a + 1;  // s1: flow on a
+    a = 2;      // s2: anti on a (vs s1), output vs s0
+    c = c + 1;  // s3: independent of s0..s2
+}
+`)
+	stmts := prog.Func("main").Body.Stmts
+	accs := make([]*Accesses, len(stmts))
+	for i, s := range stmts {
+		accs[i] = StmtAccesses(s, sums)
+	}
+	d01 := DependsOn(accs[0], accs[1])
+	if !d01.Kind.Has(DepFlow) || d01.FlowBytes != 4 {
+		t.Errorf("s0->s1 should be a 4-byte flow dep, got %v %d", d01.Kind, d01.FlowBytes)
+	}
+	d12 := DependsOn(accs[1], accs[2])
+	if !d12.Kind.Has(DepAnti) || d12.Kind.Has(DepFlow) {
+		t.Errorf("s1->s2 should be anti-only, got %v", d12.Kind)
+	}
+	d02 := DependsOn(accs[0], accs[2])
+	if !d02.Kind.Has(DepOutput) {
+		t.Errorf("s0->s2 should be output dep, got %v", d02.Kind)
+	}
+	d03 := DependsOn(accs[0], accs[3])
+	if d03.Exists() {
+		t.Errorf("s0->s3 should be independent, got %v", d03.Kind)
+	}
+}
+
+func TestFlowBytesForArrays(t *testing.T) {
+	prog, sums := compile(t, `
+float m[8][8]; float s;
+void fill(float x[8][8]) { x[0][0] = 1.0; }
+float use(float x[8][8]) { return x[0][0]; }
+void main(void) {
+    fill(m);
+    s = use(m);
+}
+`)
+	stmts := prog.Func("main").Body.Stmts
+	a := StmtAccesses(stmts[0], sums)
+	b := StmtAccesses(stmts[1], sums)
+	d := DependsOn(a, b)
+	if !d.Kind.Has(DepFlow) {
+		t.Fatalf("expected flow dep through m")
+	}
+	if d.FlowBytes != 8*8*4 {
+		t.Errorf("flow bytes = %d, want %d", d.FlowBytes, 8*8*4)
+	}
+}
+
+func loopOf(t *testing.T, src string) (*minic.ForStmt, Summaries) {
+	t.Helper()
+	prog, sums := compile(t, src)
+	for _, s := range prog.Func("main").Body.Stmts {
+		if fs, ok := s.(*minic.ForStmt); ok {
+			return fs, sums
+		}
+	}
+	t.Fatalf("no for loop in main")
+	return nil, nil
+}
+
+func TestDoallSimple(t *testing.T) {
+	fs, sums := loopOf(t, `
+float a[64]; float b[64];
+void main(void) {
+    for (int i = 0; i < 64; i++) {
+        a[i] = b[i] * 2.0;
+    }
+}
+`)
+	info := AnalyzeLoop(fs, sums)
+	if !info.Parallel {
+		t.Fatalf("loop should be parallel: %s", info.Reason)
+	}
+	if info.IndVar == nil || info.IndVar.Name != "i" || info.Step != 1 {
+		t.Errorf("induction variable not recognized: %+v", info)
+	}
+}
+
+func TestDoallWithPrivateTemp(t *testing.T) {
+	fs, sums := loopOf(t, `
+float a[64]; float b[64];
+void main(void) {
+    for (int i = 0; i < 64; i++) {
+        float t = b[i] * 2.0;
+        a[i] = t + 1.0;
+    }
+}
+`)
+	info := AnalyzeLoop(fs, sums)
+	if !info.Parallel {
+		t.Fatalf("loop with private temp should be parallel: %s", info.Reason)
+	}
+	if len(info.Private) != 1 || info.Private[0].Name != "t" {
+		t.Errorf("private scalars: %v", info.Private)
+	}
+}
+
+func TestReductionRecognized(t *testing.T) {
+	fs, sums := loopOf(t, `
+float a[64]; float s;
+void main(void) {
+    for (int i = 0; i < 64; i++) {
+        s += a[i];
+    }
+}
+`)
+	info := AnalyzeLoop(fs, sums)
+	if !info.Parallel {
+		t.Fatalf("reduction loop should be parallel: %s", info.Reason)
+	}
+	if len(info.Reductions) != 1 || info.Reductions[0].Op != ReduceAdd {
+		t.Errorf("reductions: %+v", info.Reductions)
+	}
+}
+
+func TestReductionForms(t *testing.T) {
+	cases := []struct {
+		body string
+		op   ReductionOp
+	}{
+		{"s = s + a[i];", ReduceAdd},
+		{"s = a[i] + s;", ReduceAdd},
+		{"s *= a[i];", ReduceMul},
+		{"s = min(s, a[i]);", ReduceMin},
+		{"s = max(a[i], s);", ReduceMax},
+	}
+	for _, tc := range cases {
+		fs, sums := loopOf(t, `
+float a[64]; float s;
+void main(void) { for (int i = 0; i < 64; i++) { `+tc.body+` } }
+`)
+		info := AnalyzeLoop(fs, sums)
+		if !info.Parallel {
+			t.Errorf("%s: should be parallel: %s", tc.body, info.Reason)
+			continue
+		}
+		if len(info.Reductions) != 1 || info.Reductions[0].Op != tc.op {
+			t.Errorf("%s: reductions %+v, want op %v", tc.body, info.Reductions, tc.op)
+		}
+	}
+}
+
+func TestLoopCarriedArray(t *testing.T) {
+	fs, sums := loopOf(t, `
+float a[64];
+void main(void) {
+    for (int i = 1; i < 64; i++) {
+        a[i] = a[i - 1] * 0.5;
+    }
+}
+`)
+	info := AnalyzeLoop(fs, sums)
+	if info.Parallel {
+		t.Fatalf("recurrence must not be parallel")
+	}
+	if !strings.Contains(info.Reason, "shifted indices") {
+		t.Errorf("reason: %s", info.Reason)
+	}
+}
+
+func TestLoopCarriedScalar(t *testing.T) {
+	fs, sums := loopOf(t, `
+float a[64]; float prev;
+void main(void) {
+    for (int i = 0; i < 64; i++) {
+        a[i] = prev;
+        prev = a[i] + 1.0;
+    }
+}
+`)
+	info := AnalyzeLoop(fs, sums)
+	if info.Parallel {
+		t.Fatalf("scalar recurrence must not be parallel")
+	}
+}
+
+func TestLoopWithBreakNotParallel(t *testing.T) {
+	fs, sums := loopOf(t, `
+float a[64];
+void main(void) {
+    for (int i = 0; i < 64; i++) {
+        if (a[i] > 10.0) { break; }
+        a[i] = 1.0;
+    }
+}
+`)
+	info := AnalyzeLoop(fs, sums)
+	if info.Parallel {
+		t.Fatalf("loop with break must not be parallel")
+	}
+}
+
+func TestLoopWriteThroughCallNotParallel(t *testing.T) {
+	fs, sums := loopOf(t, `
+float a[64];
+void touch(float v[64], int i) { v[i] = 1.0; }
+void main(void) {
+    for (int i = 0; i < 64; i++) {
+        touch(a, i);
+    }
+}
+`)
+	info := AnalyzeLoop(fs, sums)
+	if info.Parallel {
+		t.Fatalf("write through call must be conservative")
+	}
+	if !strings.Contains(info.Reason, "through a call") {
+		t.Errorf("reason: %s", info.Reason)
+	}
+}
+
+func TestLoopIndexIndependentOfInduction(t *testing.T) {
+	fs, sums := loopOf(t, `
+float a[64]; int k;
+void main(void) {
+    for (int i = 0; i < 64; i++) {
+        a[k] = 1.0;
+    }
+}
+`)
+	info := AnalyzeLoop(fs, sums)
+	if info.Parallel {
+		t.Fatalf("induction-independent write index must not be parallel")
+	}
+}
+
+func TestNestedLoopBodyStillParallel(t *testing.T) {
+	// Outer loop over rows with an inner sequential loop is a classic DOALL.
+	fs, sums := loopOf(t, `
+float m[8][8]; float v[8]; float r[8];
+void main(void) {
+    for (int i = 0; i < 8; i++) {
+        float acc = 0.0;
+        for (int j = 0; j < 8; j++) {
+            acc = acc + m[i][j] * v[j];
+        }
+        r[i] = acc;
+    }
+}
+`)
+	info := AnalyzeLoop(fs, sums)
+	if !info.Parallel {
+		t.Fatalf("matrix-vector outer loop should be parallel: %s", info.Reason)
+	}
+}
+
+func TestAffine(t *testing.T) {
+	prog, _ := compile(t, `
+void main(void) {
+    int i = 1; int j = 2;
+    int a = 2 * i + j - 3;
+    int b = i * j;
+}
+`)
+	stmts := prog.Func("main").Body.Stmts
+	aDecl := stmts[2].(*minic.DeclStmt)
+	af := ToAffine(aDecl.Init)
+	if !af.OK || af.Const != -3 {
+		t.Fatalf("affine: %+v", af)
+	}
+	iSym := stmts[0].(*minic.DeclStmt).Sym
+	jSym := stmts[1].(*minic.DeclStmt).Sym
+	if af.CoeffOf(iSym) != 2 || af.CoeffOf(jSym) != 1 {
+		t.Errorf("coeffs: i=%d j=%d", af.CoeffOf(iSym), af.CoeffOf(jSym))
+	}
+	bDecl := stmts[3].(*minic.DeclStmt)
+	if bf := ToAffine(bDecl.Init); bf.OK {
+		t.Errorf("i*j should not be affine")
+	}
+}
+
+func TestInductionVariants(t *testing.T) {
+	cases := []struct {
+		hdr  string
+		step int64
+	}{
+		{"for (int i = 0; i < 10; i++)", 1},
+		{"for (int i = 10; i > 0; i--)", -1},
+		{"for (int i = 0; i < 10; i += 2)", 2},
+		{"for (int i = 0; i < 10; i = i + 3)", 3},
+	}
+	for _, tc := range cases {
+		fs, sums := loopOf(t, `
+float a[64];
+void main(void) { `+tc.hdr+` { a[0] = 1.0; } }
+`)
+		info := AnalyzeLoop(fs, sums)
+		if info.IndVar == nil {
+			t.Errorf("%s: induction variable not found", tc.hdr)
+			continue
+		}
+		if info.Step != tc.step {
+			t.Errorf("%s: step = %d, want %d", tc.hdr, info.Step, tc.step)
+		}
+	}
+}
+
+func TestDepKindString(t *testing.T) {
+	if (DepFlow | DepAnti).String() != "FA" {
+		t.Errorf("String: %s", (DepFlow | DepAnti).String())
+	}
+	if DepKind(0).String() != "-" {
+		t.Errorf("empty kind should be -")
+	}
+}

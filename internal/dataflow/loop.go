@@ -1,0 +1,589 @@
+package dataflow
+
+import (
+	"repro/internal/minic"
+)
+
+// Affine is a linear form over program symbols: Const + sum Coeff[s]*s.
+// It is the index representation used by the loop-carried dependence test.
+type Affine struct {
+	Const  int64
+	Coeffs map[*minic.Symbol]int64
+	// OK reports whether the expression was representable.
+	OK bool
+}
+
+// CoeffOf returns the coefficient of sym (0 if absent).
+func (a Affine) CoeffOf(sym *minic.Symbol) int64 { return a.Coeffs[sym] }
+
+// EqualModulo reports whether two affine forms are identical.
+func (a Affine) EqualModulo(b Affine) bool {
+	if !a.OK || !b.OK || a.Const != b.Const {
+		return false
+	}
+	for s, c := range a.Coeffs {
+		if c != 0 && b.Coeffs[s] != c {
+			return false
+		}
+	}
+	for s, c := range b.Coeffs {
+		if c != 0 && a.Coeffs[s] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// ToAffine converts an index expression to affine form if possible.
+func ToAffine(e minic.Expr) Affine {
+	a := Affine{Coeffs: map[*minic.Symbol]int64{}, OK: true}
+	if !affineInto(e, 1, &a) {
+		return Affine{OK: false}
+	}
+	return a
+}
+
+func affineInto(e minic.Expr, scale int64, a *Affine) bool {
+	switch ex := e.(type) {
+	case *minic.IntLit:
+		a.Const += scale * ex.Value
+		return true
+	case *minic.VarRef:
+		if ex.Sym == nil || !ex.Sym.Type.IsScalar() || ex.Sym.Type.Base != minic.Int {
+			return false
+		}
+		a.Coeffs[ex.Sym] += scale
+		return true
+	case *minic.UnaryExpr:
+		if ex.Op == minic.TokMinus {
+			return affineInto(ex.X, -scale, a)
+		}
+		return false
+	case *minic.BinaryExpr:
+		switch ex.Op {
+		case minic.TokPlus:
+			return affineInto(ex.X, scale, a) && affineInto(ex.Y, scale, a)
+		case minic.TokMinus:
+			return affineInto(ex.X, scale, a) && affineInto(ex.Y, -scale, a)
+		case minic.TokStar:
+			if c, ok := constOf(ex.X); ok {
+				return affineInto(ex.Y, scale*c, a)
+			}
+			if c, ok := constOf(ex.Y); ok {
+				return affineInto(ex.X, scale*c, a)
+			}
+			return false
+		}
+		return false
+	}
+	return false
+}
+
+func constOf(e minic.Expr) (int64, bool) {
+	switch ex := e.(type) {
+	case *minic.IntLit:
+		return ex.Value, true
+	case *minic.UnaryExpr:
+		if ex.Op == minic.TokMinus {
+			if v, ok := constOf(ex.X); ok {
+				return -v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// ReductionOp classifies a recognized reduction.
+type ReductionOp int
+
+// Supported reduction operators.
+const (
+	ReduceAdd ReductionOp = iota
+	ReduceMul
+	ReduceMin
+	ReduceMax
+)
+
+// Reduction is a scalar reduction recognized in a loop body: every access
+// to Sym inside the body is of the form Sym = Sym op expr (or Sym op= expr)
+// where expr does not read Sym.
+type Reduction struct {
+	Sym *minic.Symbol
+	Op  ReductionOp
+}
+
+// LoopInfo is the result of analyzing a for loop for iteration-level
+// parallelism.
+type LoopInfo struct {
+	Loop *minic.ForStmt
+	// IndVar is the recognized induction variable (nil if none).
+	IndVar *minic.Symbol
+	// Step is the induction increment per iteration (usually 1).
+	Step int64
+	// Parallel reports that iterations are independent after privatizing
+	// Private scalars and splitting Reductions.
+	Parallel bool
+	// Reason explains why the loop is not parallel (diagnostic).
+	Reason string
+	// Private lists variables (scalars and body-declared arrays) that are
+	// private to each iteration.
+	Private []*minic.Symbol
+	// Reductions lists recognized scalar reductions.
+	Reductions []Reduction
+}
+
+// AnalyzeLoop decides whether fs is a DOALL loop (conservatively). A loop
+// qualifies when:
+//   - it has a recognizable induction variable i with constant step,
+//   - the body contains no break/continue/return and no while loops whose
+//     trip counts could differ per iteration in uncontrolled ways (nested
+//     for loops are fine),
+//   - every scalar written in the body is the induction variable, a
+//     privatizable local, or a recognized reduction,
+//   - every array written in the body is written only at indices whose
+//     affine form in i has a nonzero i coefficient, and every read of such
+//     an array inside the body has an identical affine index (so iteration
+//     k touches only "its" elements), and the array is not passed whole to
+//     a callee inside the body.
+func AnalyzeLoop(fs *minic.ForStmt, sums Summaries) *LoopInfo {
+	info := &LoopInfo{Loop: fs, Parallel: false}
+	ind, step := inductionVar(fs)
+	if ind == nil {
+		info.Reason = "no recognizable induction variable"
+		return info
+	}
+	info.IndVar = ind
+	info.Step = step
+
+	if hasLoopExit(fs.Body) {
+		info.Reason = "body contains break/continue/return"
+		return info
+	}
+
+	acc := StmtAccesses(fs.Body, sums)
+
+	// Classify written scalars.
+	declared := declaredVars(fs.Body)
+	reductions, redSyms, nonRed := findReductions(fs.Body, sums)
+	for sym := range acc.Writes {
+		if !sym.Type.IsScalar() {
+			continue
+		}
+		if sym == ind {
+			continue
+		}
+		if declared[sym] {
+			info.Private = append(info.Private, sym)
+			continue
+		}
+		if redSyms[sym] && !nonRed[sym] {
+			continue
+		}
+		if privatizable(fs.Body, sym, sums) {
+			info.Private = append(info.Private, sym)
+			continue
+		}
+		info.Reason = "scalar " + sym.Name + " carries a dependence across iterations"
+		return info
+	}
+	for _, r := range reductions {
+		if !nonRed[r.Sym] {
+			info.Reductions = append(info.Reductions, r)
+		}
+	}
+
+	// Classify arrays. Arrays declared inside the body are private to the
+	// iteration (fresh storage per entry, by C scoping), so only writes to
+	// arrays living outside the loop can carry dependences.
+	written := SymSet{}
+	for _, aa := range acc.Arrays {
+		if aa.Write && !declared.Has(aa.Sym) {
+			written.Add(aa.Sym)
+		}
+	}
+	for sym := range declared {
+		if sym.Type.IsArray() {
+			info.Private = append(info.Private, sym)
+		}
+	}
+	for sym := range acc.Writes {
+		if sym.Type.IsScalar() || declared.Has(sym) {
+			continue
+		}
+		if acc.WholeArrays.Has(sym) && written[sym] {
+			// Written both through calls and via indices: ambiguous.
+			info.Reason = "array " + sym.Name + " is written through a call"
+			return info
+		}
+		if acc.WholeArrays.Has(sym) {
+			// Written only inside callees: we cannot see indices.
+			info.Reason = "array " + sym.Name + " is written through a call"
+			return info
+		}
+	}
+	// Per written array: all writes and all reads must share one affine
+	// index form with a nonzero induction coefficient (first dimension).
+	for sym := range written {
+		var ref Affine
+		haveRef := false
+		for _, aa := range acc.Arrays {
+			if aa.Sym != sym {
+				continue
+			}
+			af := ToAffine(aa.Indices[0])
+			if !af.OK {
+				info.Reason = "array " + sym.Name + " has a non-affine index"
+				return info
+			}
+			if af.CoeffOf(ind) == 0 {
+				info.Reason = "array " + sym.Name + " is accessed at an index independent of the induction variable"
+				return info
+			}
+			if !haveRef {
+				ref, haveRef = af, true
+				continue
+			}
+			if !af.EqualModulo(ref) {
+				info.Reason = "array " + sym.Name + " is accessed at shifted indices across iterations"
+				return info
+			}
+		}
+	}
+	info.Parallel = true
+	return info
+}
+
+// inductionVar recognizes "for (int i = e0; i < e1; i++)" patterns and
+// returns the induction symbol and step.
+func inductionVar(fs *minic.ForStmt) (*minic.Symbol, int64) {
+	var sym *minic.Symbol
+	switch init := fs.Init.(type) {
+	case *minic.DeclStmt:
+		sym = init.Sym
+	case *minic.ExprStmt:
+		if asn, ok := init.X.(*minic.AssignExpr); ok && asn.Op == minic.TokAssign {
+			if vr, ok := asn.LHS.(*minic.VarRef); ok {
+				sym = vr.Sym
+			}
+		}
+	}
+	if sym == nil || !sym.Type.IsScalar() || sym.Type.Base != minic.Int {
+		return nil, 0
+	}
+	// Condition must compare the induction variable.
+	cond, ok := fs.Cond.(*minic.BinaryExpr)
+	if !ok {
+		return nil, 0
+	}
+	condVar, okc := cond.X.(*minic.VarRef)
+	if !okc || condVar.Sym != sym {
+		return nil, 0
+	}
+	switch cond.Op {
+	case minic.TokLt, minic.TokLe, minic.TokGt, minic.TokGe, minic.TokNeq:
+	default:
+		return nil, 0
+	}
+	// Post must be i++, i--, i += c, i -= c, or i = i + c.
+	switch post := fs.Post.(type) {
+	case *minic.IncDecExpr:
+		if vr, ok := post.X.(*minic.VarRef); ok && vr.Sym == sym {
+			if post.Op == minic.TokInc {
+				return sym, 1
+			}
+			return sym, -1
+		}
+	case *minic.AssignExpr:
+		vr, ok := post.LHS.(*minic.VarRef)
+		if !ok || vr.Sym != sym {
+			return nil, 0
+		}
+		switch post.Op {
+		case minic.TokPlusEq:
+			if c, ok := constOf(post.RHS); ok && c != 0 {
+				return sym, c
+			}
+		case minic.TokMinusEq:
+			if c, ok := constOf(post.RHS); ok && c != 0 {
+				return sym, -c
+			}
+		case minic.TokAssign:
+			af := ToAffine(post.RHS)
+			if af.OK && af.CoeffOf(sym) == 1 && af.Const != 0 && len(af.Coeffs) == 1 {
+				return sym, af.Const
+			}
+		}
+	}
+	return nil, 0
+}
+
+// hasLoopExit reports whether the block contains a break/continue/return
+// at the level of this loop (nested loops encapsulate their own exits).
+func hasLoopExit(b *minic.BlockStmt) bool {
+	for _, s := range b.Stmts {
+		switch st := s.(type) {
+		case *minic.BreakStmt, *minic.ContinueStmt, *minic.ReturnStmt:
+			return true
+		case *minic.BlockStmt:
+			if hasLoopExit(st) {
+				return true
+			}
+		case *minic.IfStmt:
+			if hasLoopExit(st.Then) {
+				return true
+			}
+			if st.Else != nil {
+				if eb, ok := st.Else.(*minic.BlockStmt); ok && hasLoopExit(eb) {
+					return true
+				}
+				if ei, ok := st.Else.(*minic.IfStmt); ok {
+					tmp := &minic.BlockStmt{Stmts: []minic.Stmt{ei}}
+					if hasLoopExit(tmp) {
+						return true
+					}
+				}
+			}
+		case *minic.ForStmt:
+			// return inside a nested for still exits the enclosing function.
+			if hasReturn(st.Body) {
+				return true
+			}
+		case *minic.WhileStmt:
+			if hasReturn(st.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func hasReturn(b *minic.BlockStmt) bool {
+	for _, s := range b.Stmts {
+		switch st := s.(type) {
+		case *minic.ReturnStmt:
+			return true
+		case *minic.BlockStmt:
+			if hasReturn(st) {
+				return true
+			}
+		case *minic.IfStmt:
+			if hasReturn(st.Then) {
+				return true
+			}
+			if eb, ok := st.Else.(*minic.BlockStmt); ok && hasReturn(eb) {
+				return true
+			}
+			if ei, ok := st.Else.(*minic.IfStmt); ok && hasReturn(&minic.BlockStmt{Stmts: []minic.Stmt{ei}}) {
+				return true
+			}
+		case *minic.ForStmt:
+			if hasReturn(st.Body) {
+				return true
+			}
+		case *minic.WhileStmt:
+			if hasReturn(st.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// declaredVars collects variables (scalars and arrays) declared anywhere
+// inside the block; they are iteration-private by construction.
+func declaredVars(b *minic.BlockStmt) SymSet {
+	out := SymSet{}
+	var walk func(s minic.Stmt)
+	walk = func(s minic.Stmt) {
+		switch st := s.(type) {
+		case *minic.DeclStmt:
+			if st.Sym != nil {
+				out.Add(st.Sym)
+			}
+		case *minic.BlockStmt:
+			for _, inner := range st.Stmts {
+				walk(inner)
+			}
+		case *minic.IfStmt:
+			walk(st.Then)
+			if st.Else != nil {
+				walk(st.Else)
+			}
+		case *minic.ForStmt:
+			if st.Init != nil {
+				walk(st.Init)
+			}
+			walk(st.Body)
+		case *minic.WhileStmt:
+			walk(st.Body)
+		}
+	}
+	walk(b)
+	return out
+}
+
+// privatizable reports whether every use of sym in the body is preceded (at
+// the top statement level, unconditionally) by a def of sym in the same
+// iteration, i.e. no value flows in from the previous iteration.
+func privatizable(b *minic.BlockStmt, sym *minic.Symbol, sums Summaries) bool {
+	defined := false
+	for _, s := range b.Stmts {
+		acc := StmtAccesses(s, sums)
+		if acc.Reads.Has(sym) && !defined {
+			return false
+		}
+		if acc.Writes.Has(sym) {
+			// Only unconditional top-level writes count as dominating defs.
+			switch st := s.(type) {
+			case *minic.ExprStmt:
+				if asn, ok := st.X.(*minic.AssignExpr); ok && asn.Op == minic.TokAssign {
+					if vr, ok := asn.LHS.(*minic.VarRef); ok && vr.Sym == sym {
+						defined = true
+					}
+				}
+			case *minic.DeclStmt:
+				if st.Sym == sym {
+					defined = true
+				}
+			}
+		}
+	}
+	return defined
+}
+
+// findReductions scans the top level of a loop body for reduction
+// statements. It returns the recognized reductions, the set of reduction
+// symbols, and the set of symbols that are additionally accessed in
+// non-reduction positions (which disqualifies them).
+func findReductions(b *minic.BlockStmt, sums Summaries) ([]Reduction, SymSet, SymSet) {
+	var reds []Reduction
+	redSyms := SymSet{}
+	nonRed := SymSet{}
+	var visit func(s minic.Stmt)
+	visit = func(s minic.Stmt) {
+		es, ok := s.(*minic.ExprStmt)
+		if !ok {
+			// Only this loop level is scanned: reductions inside nested
+			// loops belong to the nested loop's own analysis (their
+			// accumulators are typically privates of this level). Bare
+			// blocks are flattened since they share the level.
+			if st, isBlock := s.(*minic.BlockStmt); isBlock {
+				for _, inner := range st.Stmts {
+					visit(inner)
+				}
+			}
+			return
+		}
+		asn, ok := es.X.(*minic.AssignExpr)
+		if !ok {
+			return
+		}
+		vr, ok := asn.LHS.(*minic.VarRef)
+		if !ok || !vr.Sym.Type.IsScalar() {
+			return
+		}
+		sym := vr.Sym
+		rhsAcc := ExprAccesses(asn.RHS, sums)
+		switch asn.Op {
+		case minic.TokPlusEq:
+			if !rhsAcc.Reads.Has(sym) {
+				reds = append(reds, Reduction{Sym: sym, Op: ReduceAdd})
+				redSyms.Add(sym)
+				return
+			}
+		case minic.TokStarEq:
+			if !rhsAcc.Reads.Has(sym) {
+				reds = append(reds, Reduction{Sym: sym, Op: ReduceMul})
+				redSyms.Add(sym)
+				return
+			}
+		case minic.TokAssign:
+			if bin, ok := asn.RHS.(*minic.BinaryExpr); ok {
+				op := ReduceAdd
+				recognized := false
+				switch bin.Op {
+				case minic.TokPlus:
+					op, recognized = ReduceAdd, true
+				case minic.TokStar:
+					op, recognized = ReduceMul, true
+				}
+				if recognized {
+					// s = s + e or s = e + s with e not reading s.
+					if lv, ok := bin.X.(*minic.VarRef); ok && lv.Sym == sym {
+						if !ExprAccesses(bin.Y, sums).Reads.Has(sym) {
+							reds = append(reds, Reduction{Sym: sym, Op: op})
+							redSyms.Add(sym)
+							return
+						}
+					}
+					if rv, ok := bin.Y.(*minic.VarRef); ok && rv.Sym == sym {
+						if !ExprAccesses(bin.X, sums).Reads.Has(sym) {
+							reds = append(reds, Reduction{Sym: sym, Op: op})
+							redSyms.Add(sym)
+							return
+						}
+					}
+				}
+			}
+			// min/max reduction: s = min(s, e).
+			if call, ok := asn.RHS.(*minic.CallExpr); ok && (call.Builtin == "min" || call.Builtin == "max") {
+				for i, a := range call.Args {
+					if av, ok := a.(*minic.VarRef); ok && av.Sym == sym {
+						other := call.Args[1-i]
+						if !ExprAccesses(other, sums).Reads.Has(sym) {
+							op := ReduceMin
+							if call.Builtin == "max" {
+								op = ReduceMax
+							}
+							reds = append(reds, Reduction{Sym: sym, Op: op})
+							redSyms.Add(sym)
+							return
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, s := range b.Stmts {
+		visit(s)
+	}
+	// Disqualify reduction symbols that also appear in non-reduction
+	// statements: recompute accesses per statement and flag extras.
+	for _, s := range b.Stmts {
+		if isReductionStmt(s, redSyms, sums) {
+			continue
+		}
+		acc := StmtAccesses(s, sums)
+		for sym := range redSyms {
+			if acc.Reads.Has(sym) || acc.Writes.Has(sym) {
+				nonRed.Add(sym)
+			}
+		}
+	}
+	return reds, redSyms, nonRed
+}
+
+// isReductionStmt reports whether s is exactly one recognized reduction
+// statement over a symbol in redSyms.
+func isReductionStmt(s minic.Stmt, redSyms SymSet, sums Summaries) bool {
+	es, ok := s.(*minic.ExprStmt)
+	if !ok {
+		return false
+	}
+	asn, ok := es.X.(*minic.AssignExpr)
+	if !ok {
+		return false
+	}
+	vr, ok := asn.LHS.(*minic.VarRef)
+	if !ok || !redSyms.Has(vr.Sym) {
+		return false
+	}
+	// The RHS must not touch other reduction symbols.
+	rhsAcc := ExprAccesses(asn.RHS, sums)
+	for sym := range redSyms {
+		if sym != vr.Sym && (rhsAcc.Reads.Has(sym) || rhsAcc.Writes.Has(sym)) {
+			return false
+		}
+	}
+	return true
+}

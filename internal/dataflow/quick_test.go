@@ -1,0 +1,142 @@
+package dataflow
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/minic"
+)
+
+// TestQuickAffineLinearity: ToAffine of a randomly built linear expression
+// recovers exactly the coefficients it was built from.
+func TestQuickAffineLinearity(t *testing.T) {
+	prog, err := minic.Compile(`void main(void) { int i = 0; int j = 0; int k = 0; i = i; j = j; k = k; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := prog.Func("main").Body.Stmts
+	syms := []*minic.Symbol{
+		stmts[0].(*minic.DeclStmt).Sym,
+		stmts[1].(*minic.DeclStmt).Sym,
+		stmts[2].(*minic.DeclStmt).Sym,
+	}
+	mkRef := func(s *minic.Symbol) minic.Expr {
+		return &minic.VarRef{Name: s.Name, Sym: s}
+	}
+	f := func(c0, c1, c2, k int8) bool {
+		// Build c0*i + c1*j + c2*k + k0 syntactically.
+		var e minic.Expr = &minic.IntLit{Value: int64(k)}
+		coeffs := []int8{c0, c1, c2}
+		for idx, c := range coeffs {
+			term := &minic.BinaryExpr{
+				Op: minic.TokStar,
+				X:  &minic.IntLit{Value: int64(c)},
+				Y:  mkRef(syms[idx]),
+			}
+			e = &minic.BinaryExpr{Op: minic.TokPlus, X: e, Y: term}
+		}
+		af := ToAffine(e)
+		if !af.OK {
+			return false
+		}
+		if af.Const != int64(k) {
+			return false
+		}
+		for idx, c := range coeffs {
+			if af.CoeffOf(syms[idx]) != int64(c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDependenceSoundness: for randomly generated straight-line
+// programs, every dynamic flow dependence (observed by interpreting
+// def/use traces) is covered by a static DependsOn edge.
+func TestQuickDependenceSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	names := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 150; trial++ {
+		// Random sequence of scalar assignments x = y + z.
+		n := 2 + rng.Intn(6)
+		src := "int a; int b; int c; int d;\nvoid main(void) {\n"
+		type asn struct{ def, u1, u2 int }
+		var asns []asn
+		for i := 0; i < n; i++ {
+			a := asn{rng.Intn(4), rng.Intn(4), rng.Intn(4)}
+			asns = append(asns, a)
+			src += fmt.Sprintf("    %s = %s + %s;\n", names[a.def], names[a.u1], names[a.u2])
+		}
+		src += "}\n"
+		prog, err := minic.Compile(src)
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\n%s", trial, err, src)
+		}
+		sums := Summarize(prog)
+		stmts := prog.Func("main").Body.Stmts
+		accs := make([]*Accesses, len(stmts))
+		for i, s := range stmts {
+			accs[i] = StmtAccesses(s, sums)
+		}
+		// Dynamic truth: statement j reads what i last defined.
+		lastDef := map[int]int{} // var index -> statement index
+		for j, a := range asns {
+			for _, use := range []int{a.u1, a.u2} {
+				if i, ok := lastDef[use]; ok && i < j {
+					d := DependsOn(accs[i], accs[j])
+					if !d.Kind.Has(DepFlow) {
+						t.Fatalf("trial %d: missing flow dep %d->%d through %s\n%s",
+							trial, i, j, names[use], src)
+					}
+				}
+			}
+			lastDef[a.def] = j
+		}
+	}
+}
+
+// TestQuickSymSetIntersect: |A ∩ B| properties via quick.
+func TestQuickSymSetIntersect(t *testing.T) {
+	f := func(x, y uint8) bool {
+		// Build both sets over one shared symbol universe.
+		all := make([]*minic.Symbol, 8)
+		for i := range all {
+			all[i] = &minic.Symbol{Name: fmt.Sprintf("v%d", i), ID: i, Type: minic.ScalarType(minic.Int)}
+		}
+		sa, sb := SymSet{}, SymSet{}
+		for i := 0; i < 8; i++ {
+			if x&(1<<i) != 0 {
+				sa.Add(all[i])
+			}
+			if y&(1<<i) != 0 {
+				sb.Add(all[i])
+			}
+		}
+		inter := sa.Intersect(sb)
+		// Cardinality matches the popcount of x&y; every member in both.
+		want := 0
+		for i := 0; i < 8; i++ {
+			if x&y&(1<<i) != 0 {
+				want++
+			}
+		}
+		if len(inter) != want {
+			return false
+		}
+		for _, s := range inter {
+			if !sa.Has(s) || !sb.Has(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// The tests here exercise the harness on small benchmark subsets; the full
+// ten-benchmark sweeps live in cmd/paperrepro and the root benchmarks.
+
+func TestPrepareAllBenchmarks(t *testing.T) {
+	for _, b := range bench.All() {
+		p, err := Prepare(b)
+		if err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+			continue
+		}
+		if p.Graph.Root.SubtreeCycles <= 0 {
+			t.Errorf("%s: empty cost annotation", b.Name)
+		}
+	}
+}
+
+func TestFigureUnknownID(t *testing.T) {
+	if _, err := RunFigure("9z", nil, core.Config{}); err == nil {
+		t.Fatalf("unknown figure must error")
+	}
+}
+
+func TestFigureIDsShipped(t *testing.T) {
+	want := []string{"7a", "7b", "8a", "8b"}
+	got := FigureIDs()
+	if len(got) != len(want) {
+		t.Fatalf("FigureIDs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("FigureIDs[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFig7aShapeSubset verifies the headline result on a fast subset:
+// hetero beats homo clearly in the accelerator scenario, and neither
+// exceeds the theoretical limit.
+func TestFig7aShapeSubset(t *testing.T) {
+	fig, err := RunFigure("7a", []string{"mult_10", "fir_256"}, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Limit != 13.5 {
+		t.Errorf("limit = %g, want 13.5", fig.Limit)
+	}
+	for _, r := range fig.Rows {
+		if r.Hetero <= r.Homo {
+			t.Errorf("%s: hetero %.2f should beat homo %.2f", r.Benchmark, r.Hetero, r.Homo)
+		}
+		if r.Hetero > fig.Limit || r.Homo > fig.Limit {
+			t.Errorf("%s: speedup above theoretical limit", r.Benchmark)
+		}
+		if r.Hetero < 2*r.Homo {
+			t.Errorf("%s: hetero %.2f not clearly ahead of homo %.2f on the skewed platform",
+				r.Benchmark, r.Hetero, r.Homo)
+		}
+	}
+	out := fig.Render()
+	for _, want := range []string{"Figure 7a", "mult_10", "average:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+// TestFig7bShapeSubset verifies the slower-cores scenario shape: the
+// homogeneous baseline falls to (or below) 1x while the heterogeneous
+// approach stays above 1x (results 3 and 4 of the paper's summary).
+func TestFig7bShapeSubset(t *testing.T) {
+	fig, err := RunFigure("7b", []string{"mult_10", "fir_256"}, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Limit != 2.7 {
+		t.Errorf("limit = %g, want 2.7", fig.Limit)
+	}
+	for _, r := range fig.Rows {
+		if r.Homo > 1.15 {
+			t.Errorf("%s: homogeneous speedup %.2f should collapse toward <=1x with a fast main core", r.Benchmark, r.Homo)
+		}
+		if r.Hetero < 1.0 {
+			t.Errorf("%s: heterogeneous speedup %.2f fell below 1x", r.Benchmark, r.Hetero)
+		}
+		if r.Hetero > fig.Limit {
+			t.Errorf("%s: hetero %.2f above the 2.7x limit", r.Benchmark, r.Hetero)
+		}
+	}
+}
+
+// TestFig8bShapeSubset: configuration B, slower-cores scenario.
+func TestFig8bShapeSubset(t *testing.T) {
+	fig, err := RunFigure("8b", []string{"fir_256"}, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Limit != 2.8 {
+		t.Errorf("limit = %g, want 2.8", fig.Limit)
+	}
+	r := fig.Rows[0]
+	if r.Hetero < 1.0 || r.Hetero > 2.8 {
+		t.Errorf("hetero %.2f outside (1, 2.8]", r.Hetero)
+	}
+	if r.Hetero <= r.Homo {
+		t.Errorf("hetero %.2f should beat homo %.2f", r.Hetero, r.Homo)
+	}
+}
+
+// TestTableIShapeSubset verifies the statistics growth factors: the
+// heterogeneous formulation must create more ILPs, variables and
+// constraints than the homogeneous one (Table I's third block).
+func TestTableIShapeSubset(t *testing.T) {
+	tbl, err := RunTableI([]string{"mult_10", "fir_256"}, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tbl.Rows {
+		_, fi, fv, fc := r.Factors()
+		if fi <= 1 {
+			t.Errorf("%s: ILP factor %.1f should exceed 1", r.Benchmark, fi)
+		}
+		if fv <= 1.5 {
+			t.Errorf("%s: variable factor %.1f should exceed 1.5", r.Benchmark, fv)
+		}
+		if fc <= 1.5 {
+			t.Errorf("%s: constraint factor %.1f should exceed 1.5", r.Benchmark, fc)
+		}
+	}
+	out := tbl.Render()
+	for _, want := range []string{"Table I", "average", "#ILPs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestEvaluateHonorsScenario(t *testing.T) {
+	p, err := Prepare(bench.ByName("fir_256"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := platform.ConfigA()
+	acc, err := Evaluate(p, pf, platform.ScenarioAccelerator, core.Heterogeneous, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Evaluate(p, pf, platform.ScenarioSlowerCores, core.Heterogeneous, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accelerator speedups are measured against a much slower baseline, so
+	// they must be larger.
+	if acc.Speedup <= slow.Speedup {
+		t.Errorf("accelerator %.2f should exceed slower-cores %.2f", acc.Speedup, slow.Speedup)
+	}
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// TestTimingPerBenchmark runs the heterogeneous tool over every benchmark
+// (config A, accelerator) and logs speedup and tool time - the repo's
+// broadest integration test. Skipped under -short.
+func TestTimingPerBenchmark(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite integration run")
+	}
+	pf := platform.ConfigA()
+	for _, name := range []string{"compress", "adpcm_enc", "edge_detect", "spectral", "latnrm_32", "iir_4", "filterbank", "bound_value", "mult_10", "fir_256"} {
+		p, err := Prepare(bench.ByName(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		het, err := Evaluate(p, pf, platform.ScenarioAccelerator, core.Heterogeneous, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-12s hetero %6.2fx in %8v (ILPs %d, nodes %d)", name, het.Speedup,
+			time.Since(start).Round(time.Millisecond), het.Stats.NumILPs, het.Stats.BBNodes)
+	}
+}

@@ -1,0 +1,518 @@
+// Package htg builds the Augmented Hierarchical Task Graph of Section III:
+// a tree whose hierarchy mirrors the source program's control structure.
+// Simple nodes represent atomic statements; hierarchical nodes (loops,
+// calls, whole function bodies) contain child nodes one level deeper and a
+// pair of communication in/out nodes that encapsulate data flowing across
+// the region boundary. Every node is annotated with profiled execution
+// counts, cost-model cycles (convertible to per-processor-class execution
+// times) and data-flow edges to its siblings carrying communicated bytes.
+package htg
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/costmodel"
+	"repro/internal/dataflow"
+	"repro/internal/interp"
+	"repro/internal/minic"
+	"repro/internal/platform"
+)
+
+// NodeKind classifies HTG nodes.
+type NodeKind int
+
+// Node kinds.
+const (
+	// KindSimple is an atomic statement (assignment, conditional treated as
+	// a unit, recursive call, ...).
+	KindSimple NodeKind = iota
+	// KindLoop is a for/while statement whose children are the loop body's
+	// statement nodes.
+	KindLoop
+	// KindCall is a call statement whose children mirror the callee's body
+	// (the function granularity level of Figure 1).
+	KindCall
+	// KindRoot is a function body region (the SEQ node of Figure 1).
+	KindRoot
+)
+
+// String names the kind.
+func (k NodeKind) String() string {
+	switch k {
+	case KindSimple:
+		return "simple"
+	case KindLoop:
+		return "loop"
+	case KindCall:
+		return "call"
+	case KindRoot:
+		return "root"
+	}
+	return fmt.Sprintf("NodeKind(%d)", int(k))
+}
+
+// Edge is a data-flow edge between sibling nodes (or between a region's
+// communication boundary and a child, when From/To is nil).
+type Edge struct {
+	From, To *Node
+	Kind     dataflow.DepKind
+	// Bytes is the flow-dependence volume communicated when From and To
+	// execute in different tasks.
+	Bytes int
+}
+
+// Node is one HTG node.
+type Node struct {
+	ID    int
+	Kind  NodeKind
+	Stmt  minic.Stmt // underlying statement; nil only for the root region
+	Label string
+
+	Parent   *Node
+	Children []*Node
+
+	// Count is the number of executions of this node per single execution
+	// of its parent (profiled average; 0 when the node never ran).
+	Count float64
+	// TotalCount is the absolute profiled execution count.
+	TotalCount int64
+	// SelfCycles is the cost-model cycle count of one execution of the
+	// node's own statement (headers only for hierarchical nodes).
+	SelfCycles float64
+	// SubtreeCycles is the cycle count of one full execution of the node
+	// including all nested children (SelfCycles + sum over children of
+	// child.Count * child.SubtreeCycles).
+	SubtreeCycles float64
+
+	// Acc aggregates the reads/writes of the whole subtree.
+	Acc *dataflow.Accesses
+
+	// Edges lists dependences from this node to later siblings.
+	Edges []*Edge
+
+	// InBytes is the volume of data flowing into this node from outside
+	// its parent region (upward-exposed uses); OutBytes the volume flowing
+	// out (defs that are live after the region).
+	InBytes  int
+	OutBytes int
+
+	// Loop holds iteration-parallelism facts for KindLoop nodes.
+	Loop *dataflow.LoopInfo
+}
+
+// IsHierarchical reports whether the node has children to parallelize.
+func (n *Node) IsHierarchical() bool { return len(n.Children) > 0 }
+
+// CostNanosOn returns the execution time of one full execution of the node
+// on the given processor class.
+func (n *Node) CostNanosOn(pc platform.ProcClass) float64 {
+	return pc.CyclesToNanos(n.SubtreeCycles)
+}
+
+// Graph is a complete HTG for one program.
+type Graph struct {
+	Program *minic.Program
+	Root    *Node
+	// Sums holds the interprocedural effect summaries used during
+	// construction (needed again by the parallelizer).
+	Sums dataflow.Summaries
+	// Model is the cost model used for annotation.
+	Model *costmodel.Model
+	nodes []*Node
+}
+
+// Nodes returns all nodes in construction order.
+func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// Builder configuration.
+type Config struct {
+	// Model is the cost model (Default when nil).
+	Model *costmodel.Model
+	// MaxCallDepth bounds call inlining in the hierarchy (default 6).
+	MaxCallDepth int
+}
+
+// Build extracts the HTG of prog's main function, annotated with prof's
+// execution counts.
+func Build(prog *minic.Program, prof *interp.Profile, cfg Config) (*Graph, error) {
+	main := prog.Func("main")
+	if main == nil {
+		return nil, fmt.Errorf("htg: program has no main function")
+	}
+	if cfg.Model == nil {
+		cfg.Model = costmodel.NewModel(nil)
+	}
+	if cfg.MaxCallDepth == 0 {
+		cfg.MaxCallDepth = 6
+	}
+	g := &Graph{
+		Program: prog,
+		Sums:    dataflow.Summarize(prog),
+		Model:   cfg.Model,
+	}
+	b := &builder{g: g, prof: prof, cfg: cfg}
+	root := b.newNode(KindRoot, nil, "main")
+	root.TotalCount = 1
+	root.Count = 1
+	b.buildRegion(root, main.Body.Stmts, 1, map[*minic.FuncDecl]bool{main: true})
+	b.annotateCosts(root)
+	g.Root = root
+	return g, nil
+}
+
+type builder struct {
+	g    *Graph
+	prof *interp.Profile
+	cfg  Config
+}
+
+func (b *builder) newNode(kind NodeKind, stmt minic.Stmt, label string) *Node {
+	n := &Node{ID: len(b.g.nodes), Kind: kind, Stmt: stmt, Label: label}
+	b.g.nodes = append(b.g.nodes, n)
+	return n
+}
+
+func (b *builder) count(s minic.Stmt) int64 {
+	if b.prof == nil {
+		return 1
+	}
+	return b.prof.Count(s)
+}
+
+// buildRegion creates child nodes for the statements of a region owned by
+// parent, whose own total execution count is parentCount.
+func (b *builder) buildRegion(parent *Node, stmts []minic.Stmt, parentCount int64, inStack map[*minic.FuncDecl]bool) {
+	for _, s := range stmts {
+		b.buildStmt(parent, s, parentCount, inStack)
+	}
+	b.linkSiblings(parent)
+}
+
+// buildStmt appends the node(s) for statement s to parent.
+func (b *builder) buildStmt(parent *Node, s minic.Stmt, parentCount int64, inStack map[*minic.FuncDecl]bool) {
+	total := b.count(s)
+	switch st := s.(type) {
+	case *minic.BlockStmt:
+		// Flatten nested bare blocks into the parent region.
+		for _, inner := range st.Stmts {
+			b.buildStmt(parent, inner, parentCount, inStack)
+		}
+		return
+	case *minic.ForStmt:
+		n := b.newNode(KindLoop, s, loopLabel(st))
+		b.attach(parent, n, total, parentCount)
+		if st.Init != nil {
+			// The init statement runs once per loop execution.
+			b.buildStmt(n, st.Init, total, inStack)
+		}
+		b.buildRegionInto(n, st.Body.Stmts, total, inStack)
+		b.linkSiblings(n)
+		n.Loop = dataflow.AnalyzeLoop(st, b.g.Sums)
+		return
+	case *minic.WhileStmt:
+		n := b.newNode(KindLoop, s, "while")
+		b.attach(parent, n, total, parentCount)
+		b.buildRegionInto(n, st.Body.Stmts, total, inStack)
+		b.linkSiblings(n)
+		return
+	case *minic.ExprStmt:
+		if call := directCall(st.X); call != nil && call.Fn != nil &&
+			!inStack[call.Fn] && len(inStack) < b.cfg.MaxCallDepth {
+			n := b.newNode(KindCall, s, "call "+call.Name)
+			b.attach(parent, n, total, parentCount)
+			calleeCount := int64(1)
+			if b.prof != nil {
+				calleeCount = b.prof.FuncCount[call.Fn]
+			}
+			if calleeCount == 0 {
+				calleeCount = 1
+			}
+			inStack[call.Fn] = true
+			b.buildRegionInto(n, call.Fn.Body.Stmts, calleeCount, inStack)
+			delete(inStack, call.Fn)
+			b.linkSiblings(n)
+			return
+		}
+	}
+	// Everything else (assignments, conditionals, declarations, returns,
+	// calls in complex expressions, recursive calls) is a simple node.
+	n := b.newNode(KindSimple, s, stmtLabel(s))
+	b.attach(parent, n, total, parentCount)
+}
+
+// buildRegionInto is buildRegion without the sibling linking (callers link
+// after appending extra children).
+func (b *builder) buildRegionInto(parent *Node, stmts []minic.Stmt, parentCount int64, inStack map[*minic.FuncDecl]bool) {
+	for _, s := range stmts {
+		b.buildStmt(parent, s, parentCount, inStack)
+	}
+}
+
+func (b *builder) attach(parent *Node, n *Node, total, parentCount int64) {
+	n.Parent = parent
+	n.TotalCount = total
+	if parentCount > 0 {
+		n.Count = float64(total) / float64(parentCount)
+	}
+	parent.Children = append(parent.Children, n)
+}
+
+// directCall unwraps "f(...)" or "x = f(...)" expression statements.
+func directCall(e minic.Expr) *minic.CallExpr {
+	switch ex := e.(type) {
+	case *minic.CallExpr:
+		return ex
+	case *minic.AssignExpr:
+		if ex.Op == minic.TokAssign {
+			if c, ok := ex.RHS.(*minic.CallExpr); ok {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+// linkSiblings computes access aggregates and dependence edges among the
+// children of parent, plus region-boundary communication volumes.
+func (b *builder) linkSiblings(parent *Node) {
+	kids := parent.Children
+	for _, k := range kids {
+		if k.Acc == nil {
+			k.Acc = dataflow.StmtAccesses(k.Stmt, b.g.Sums)
+		}
+	}
+	for i := 0; i < len(kids); i++ {
+		for j := i + 1; j < len(kids); j++ {
+			d := dataflow.DependsOn(kids[i].Acc, kids[j].Acc)
+			if d.Exists() {
+				kids[i].Edges = append(kids[i].Edges, &Edge{
+					From: kids[i], To: kids[j], Kind: d.Kind, Bytes: d.FlowBytes,
+				})
+			}
+		}
+	}
+	// Region boundary volumes: a child's upward-exposed uses come from
+	// outside (or from the region entry), its defs of externally visible
+	// symbols flow out. "External" means not declared by a sibling.
+	declared := dataflow.SymSet{}
+	for _, k := range kids {
+		if d, ok := k.Stmt.(*minic.DeclStmt); ok && d.Sym != nil {
+			declared.Add(d.Sym)
+		}
+	}
+	definedBefore := dataflow.SymSet{}
+	for _, k := range kids {
+		in := 0
+		for sym := range k.Acc.Reads {
+			if !definedBefore.Has(sym) && !declared.Has(sym) {
+				in += sym.Type.SizeBytes()
+			}
+		}
+		k.InBytes = in
+		out := 0
+		for sym := range k.Acc.Writes {
+			if !declared.Has(sym) {
+				out += sym.Type.SizeBytes()
+			}
+		}
+		k.OutBytes = out
+		for sym := range k.Acc.Writes {
+			definedBefore.Add(sym)
+		}
+	}
+}
+
+// annotateCosts fills SelfCycles and SubtreeCycles bottom-up.
+func (b *builder) annotateCosts(n *Node) {
+	if n.Stmt != nil {
+		n.SelfCycles = b.g.Model.StmtSelfCycles(n.Stmt)
+	}
+	// Hierarchical nodes: the self cost covers only the header; nested
+	// statement costs come from the children. Simple nodes that hide
+	// nested statements (conditionals) need their full subtree priced.
+	if n.Kind == KindSimple {
+		n.SubtreeCycles = b.simpleSubtreeCycles(n.Stmt, n.TotalCount)
+		return
+	}
+	sum := n.SelfCycles
+	if n.Kind == KindLoop {
+		// Header executes once per iteration (plus once for the final
+		// failing test); approximate with the body count.
+		iters := 0.0
+		for _, c := range n.Children {
+			if c.Count > iters {
+				iters = c.Count
+			}
+		}
+		if iters < 1 {
+			iters = 1
+		}
+		sum = n.SelfCycles * iters
+	}
+	for _, c := range n.Children {
+		b.annotateCosts(c)
+		sum += c.Count * c.SubtreeCycles
+	}
+	n.SubtreeCycles = sum
+}
+
+// simpleSubtreeCycles prices an atomic node including everything nested in
+// it (conditional branches weighted by profile, nested loops by counts,
+// called functions by their bodies).
+func (b *builder) simpleSubtreeCycles(s minic.Stmt, ownCount int64) float64 {
+	self := b.g.Model.StmtSelfCycles(s)
+	total := self * relWeight(s, ownCount, b)
+	switch st := s.(type) {
+	case *minic.IfStmt:
+		for _, inner := range st.Then.Stmts {
+			total += b.simpleSubtreeCycles(inner, ownCount)
+		}
+		if st.Else != nil {
+			total += b.simpleSubtreeCycles(st.Else, ownCount)
+		}
+	case *minic.BlockStmt:
+		for _, inner := range st.Stmts {
+			total += b.simpleSubtreeCycles(inner, ownCount)
+		}
+	case *minic.ForStmt:
+		if st.Init != nil {
+			total += b.simpleSubtreeCycles(st.Init, ownCount)
+		}
+		for _, inner := range st.Body.Stmts {
+			total += b.simpleSubtreeCycles(inner, ownCount)
+		}
+	case *minic.WhileStmt:
+		for _, inner := range st.Body.Stmts {
+			total += b.simpleSubtreeCycles(inner, ownCount)
+		}
+	case *minic.ExprStmt:
+		if call := directCall(st.X); call != nil && call.Fn != nil {
+			total += b.calleeCycles(call.Fn, ownCount, map[*minic.FuncDecl]bool{})
+		}
+	}
+	return total
+}
+
+// relWeight converts absolute profile counts into executions per single
+// execution of the atomic node that owns this subtree.
+func relWeight(s minic.Stmt, ownCount int64, b *builder) float64 {
+	if ownCount <= 0 {
+		return 0
+	}
+	c := b.count(s)
+	if c == 0 {
+		return 0
+	}
+	return float64(c) / float64(ownCount)
+}
+
+// calleeCycles prices one average invocation of fn (guarding recursion).
+func (b *builder) calleeCycles(fn *minic.FuncDecl, siteCount int64, seen map[*minic.FuncDecl]bool) float64 {
+	if seen[fn] {
+		return 0
+	}
+	seen[fn] = true
+	defer delete(seen, fn)
+	calls := int64(1)
+	if b.prof != nil && b.prof.FuncCount[fn] > 0 {
+		calls = b.prof.FuncCount[fn]
+	}
+	total := 0.0
+	var walk func(s minic.Stmt)
+	walk = func(s minic.Stmt) {
+		total += b.g.Model.StmtSelfCycles(s) * float64(b.count(s))
+		switch st := s.(type) {
+		case *minic.BlockStmt:
+			for _, inner := range st.Stmts {
+				walk(inner)
+			}
+		case *minic.IfStmt:
+			for _, inner := range st.Then.Stmts {
+				walk(inner)
+			}
+			if st.Else != nil {
+				walk(st.Else)
+			}
+		case *minic.ForStmt:
+			if st.Init != nil {
+				walk(st.Init)
+			}
+			for _, inner := range st.Body.Stmts {
+				walk(inner)
+			}
+		case *minic.WhileStmt:
+			for _, inner := range st.Body.Stmts {
+				walk(inner)
+			}
+		case *minic.ExprStmt:
+			if call := directCall(st.X); call != nil && call.Fn != nil {
+				total += b.calleeCycles(call.Fn, b.count(s), seen) * float64(b.count(s))
+			}
+		}
+	}
+	for _, s := range fn.Body.Stmts {
+		walk(s)
+	}
+	return total / float64(calls)
+}
+
+func loopLabel(fs *minic.ForStmt) string {
+	if fs.Init != nil {
+		if d, ok := fs.Init.(*minic.DeclStmt); ok {
+			return "for " + d.Name
+		}
+	}
+	return "for"
+}
+
+func stmtLabel(s minic.Stmt) string {
+	switch st := s.(type) {
+	case *minic.DeclStmt:
+		return "decl " + st.Name
+	case *minic.ExprStmt:
+		pr := &minic.Printer{}
+		lbl := pr.Expr(st.X)
+		if len(lbl) > 40 {
+			lbl = lbl[:37] + "..."
+		}
+		return lbl
+	case *minic.IfStmt:
+		return "if"
+	case *minic.ReturnStmt:
+		return "return"
+	case *minic.WhileStmt:
+		return "while"
+	case *minic.ForStmt:
+		return "for"
+	}
+	return fmt.Sprintf("%T", s)
+}
+
+// DOT renders the graph in Graphviz format for inspection.
+func (g *Graph) DOT() string {
+	var sb strings.Builder
+	sb.WriteString("digraph htg {\n  node [shape=box, fontsize=10];\n")
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		shape := "box"
+		if n.IsHierarchical() {
+			shape = "folder"
+		}
+		fmt.Fprintf(&sb, "  n%d [label=%q, shape=%s];\n",
+			n.ID, fmt.Sprintf("%s\\ncount=%.1f cyc=%.0f", n.Label, n.Count, n.SubtreeCycles), shape)
+		for _, c := range n.Children {
+			fmt.Fprintf(&sb, "  n%d -> n%d [style=dotted, arrowhead=none];\n", n.ID, c.ID)
+			walk(c)
+		}
+		for _, e := range n.Edges {
+			fmt.Fprintf(&sb, "  n%d -> n%d [label=\"%s %dB\"];\n", e.From.ID, e.To.ID, e.Kind, e.Bytes)
+		}
+	}
+	walk(g.Root)
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,302 @@
+package htg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/interp"
+	"repro/internal/minic"
+)
+
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	prog, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	in := interp.New(prog)
+	prof, err := in.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	g, err := Build(prog, prof, Config{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func findByLabel(n *Node, label string) *Node {
+	if strings.Contains(n.Label, label) {
+		return n
+	}
+	for _, c := range n.Children {
+		if r := findByLabel(c, label); r != nil {
+			return r
+		}
+	}
+	return nil
+}
+
+const pipelineSrc = `
+float a[64]; float b[64]; float c[64]; float s;
+
+void main(void) {
+    for (int i = 0; i < 64; i++) {
+        a[i] = i * 1.5;
+    }
+    for (int j = 0; j < 64; j++) {
+        b[j] = a[j] * 2.0;
+    }
+    for (int k = 0; k < 64; k++) {
+        c[k] = a[k] + 1.0;
+    }
+    for (int m = 0; m < 64; m++) {
+        s += b[m] + c[m];
+    }
+}
+`
+
+func TestHierarchyShape(t *testing.T) {
+	g := build(t, pipelineSrc)
+	if g.Root.Kind != KindRoot {
+		t.Fatalf("root kind %v", g.Root.Kind)
+	}
+	if len(g.Root.Children) != 4 {
+		t.Fatalf("root should have 4 loop children, got %d", len(g.Root.Children))
+	}
+	for i, c := range g.Root.Children {
+		if c.Kind != KindLoop {
+			t.Errorf("child %d kind = %v, want loop", i, c.Kind)
+		}
+		if c.Count != 1 {
+			t.Errorf("child %d count = %g, want 1", i, c.Count)
+		}
+	}
+	// Loop body statement executes 64x per loop execution.
+	loop := g.Root.Children[0]
+	var body *Node
+	for _, c := range loop.Children {
+		if c.Kind == KindSimple && strings.Contains(c.Label, "a[") {
+			body = c
+		}
+	}
+	if body == nil {
+		t.Fatalf("body node not found")
+	}
+	if body.Count != 64 {
+		t.Errorf("body count = %g, want 64", body.Count)
+	}
+}
+
+func TestDependenceEdgesBetweenLoops(t *testing.T) {
+	g := build(t, pipelineSrc)
+	kids := g.Root.Children
+	// loop0 defines a, used by loop1 and loop2; loops 1,2 feed loop3.
+	edgeTo := func(from *Node, to *Node) *Edge {
+		for _, e := range from.Edges {
+			if e.To == to {
+				return e
+			}
+		}
+		return nil
+	}
+	if e := edgeTo(kids[0], kids[1]); e == nil || !e.Kind.Has(dataflow.DepFlow) || e.Bytes != 64*4 {
+		t.Errorf("loop0->loop1 edge wrong: %+v", e)
+	}
+	if e := edgeTo(kids[0], kids[2]); e == nil || !e.Kind.Has(dataflow.DepFlow) {
+		t.Errorf("loop0->loop2 edge missing")
+	}
+	if e := edgeTo(kids[1], kids[2]); e != nil && e.Kind.Has(dataflow.DepFlow) {
+		t.Errorf("loop1->loop2 should have no flow dependence")
+	}
+	if e := edgeTo(kids[1], kids[3]); e == nil {
+		t.Errorf("loop1->loop3 edge missing")
+	}
+	if e := edgeTo(kids[2], kids[3]); e == nil {
+		t.Errorf("loop2->loop3 edge missing")
+	}
+}
+
+func TestLoopInfoAttached(t *testing.T) {
+	g := build(t, pipelineSrc)
+	for i, c := range g.Root.Children[:3] {
+		if c.Loop == nil || !c.Loop.Parallel {
+			t.Errorf("loop %d should be DOALL: %+v", i, c.Loop)
+		}
+	}
+	red := g.Root.Children[3]
+	if red.Loop == nil || !red.Loop.Parallel || len(red.Loop.Reductions) != 1 {
+		t.Errorf("loop 3 should be a parallel reduction: %+v", red.Loop)
+	}
+}
+
+func TestSubtreeCyclesAdditive(t *testing.T) {
+	g := build(t, pipelineSrc)
+	rootCycles := g.Root.SubtreeCycles
+	sum := g.Root.SelfCycles
+	for _, c := range g.Root.Children {
+		sum += c.Count * c.SubtreeCycles
+	}
+	if rootCycles != sum {
+		t.Errorf("root subtree cycles %g != sum %g", rootCycles, sum)
+	}
+	if rootCycles <= 0 {
+		t.Errorf("root cycles must be positive")
+	}
+	// Each of the four loops does similar work; totals should be same
+	// order of magnitude.
+	c0 := g.Root.Children[0].SubtreeCycles
+	for i, c := range g.Root.Children {
+		if c.SubtreeCycles < c0/4 || c.SubtreeCycles > c0*4 {
+			t.Errorf("loop %d cycles %g wildly different from loop 0 (%g)", i, c.SubtreeCycles, c0)
+		}
+	}
+}
+
+func TestCallBecomesHierarchical(t *testing.T) {
+	g := build(t, `
+float v[32]; float s;
+void fill(float a[32]) {
+    for (int i = 0; i < 32; i++) { a[i] = i * 0.5; }
+}
+float total(float a[32]) {
+    float r = 0.0;
+    for (int i = 0; i < 32; i++) { r += a[i]; }
+    return r;
+}
+void main(void) {
+    fill(v);
+    s = total(v);
+}
+`)
+	fill := findByLabel(g.Root, "call fill")
+	if fill == nil || fill.Kind != KindCall {
+		t.Fatalf("fill call not hierarchical")
+	}
+	if !fill.IsHierarchical() {
+		t.Fatalf("fill should have children")
+	}
+	tot := findByLabel(g.Root, "call total")
+	if tot == nil || !tot.IsHierarchical() {
+		t.Fatalf("total call not hierarchical (assignment form)")
+	}
+	// There must be a flow edge fill -> total through v.
+	found := false
+	for _, e := range fill.Edges {
+		if e.To == tot && e.Kind.Has(dataflow.DepFlow) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing flow edge fill->total")
+	}
+}
+
+func TestRecursionStaysSimple(t *testing.T) {
+	g := build(t, `
+int r;
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+void main(void) {
+    r = fib(10);
+}
+`)
+	// fib is recursive: the call must be atomic but still carry its cost.
+	call := g.Root.Children[0]
+	if call.IsHierarchical() {
+		// One inlining level is fine (depth guard), but the recursive call
+		// inside must not expand into itself endlessly - Build returning at
+		// all proves the guard works.
+		t.Log("top-level call expanded one level; recursion guard held")
+	}
+	if g.Root.SubtreeCycles <= 0 {
+		t.Errorf("recursive program should still have positive cost")
+	}
+}
+
+func TestIfIsAtomicButPriced(t *testing.T) {
+	g := build(t, `
+int a[100]; int evens;
+void main(void) {
+    for (int i = 0; i < 100; i++) {
+        if (i % 2 == 0) {
+            evens = evens + i;
+        } else {
+            a[i] = i;
+        }
+    }
+}
+`)
+	loop := g.Root.Children[0]
+	var ifNode *Node
+	for _, c := range loop.Children {
+		if c.Label == "if" {
+			ifNode = c
+		}
+	}
+	if ifNode == nil {
+		t.Fatalf("if node missing")
+	}
+	if ifNode.IsHierarchical() {
+		t.Errorf("if should be atomic")
+	}
+	if ifNode.SubtreeCycles <= ifNode.SelfCycles {
+		t.Errorf("if subtree cost (%g) should include branch bodies beyond header (%g)",
+			ifNode.SubtreeCycles, ifNode.SelfCycles)
+	}
+}
+
+func TestRegionBoundaryBytes(t *testing.T) {
+	g := build(t, `
+float x; float y;
+void main(void) {
+    float t = x * 2.0;   // reads x (external): in-bytes
+    y = t + 1.0;         // writes y (external): out-bytes
+}
+`)
+	first := g.Root.Children[0]
+	second := g.Root.Children[1]
+	if first.InBytes < 4 {
+		t.Errorf("first statement should import x: in=%d", first.InBytes)
+	}
+	if second.OutBytes < 4 {
+		t.Errorf("second statement should export y: out=%d", second.OutBytes)
+	}
+	// t is region-local: the edge carries 4 bytes.
+	if len(first.Edges) != 1 || first.Edges[0].Bytes != 4 {
+		t.Errorf("t edge wrong: %+v", first.Edges)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := build(t, pipelineSrc)
+	dot := g.DOT()
+	if !strings.Contains(dot, "digraph htg") || !strings.Contains(dot, "->") {
+		t.Errorf("DOT output malformed")
+	}
+}
+
+func TestDeadCodeHasZeroCount(t *testing.T) {
+	g := build(t, `
+int a;
+void main(void) {
+    if (0) {
+        a = 1;
+    }
+    a = 2;
+}
+`)
+	ifNode := g.Root.Children[0]
+	if ifNode.TotalCount != 1 {
+		t.Errorf("if executes once, got %d", ifNode.TotalCount)
+	}
+	// The never-taken branch contributes no weighted cost beyond the header.
+	if ifNode.SubtreeCycles > ifNode.SelfCycles {
+		t.Errorf("dead branch should not add cost: subtree=%g self=%g",
+			ifNode.SubtreeCycles, ifNode.SelfCycles)
+	}
+}

@@ -1,0 +1,332 @@
+package ilp
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Status is the outcome of a MILP solve.
+type Status int
+
+// MILP outcomes.
+const (
+	StatusOptimal    Status = iota // proven optimal
+	StatusFeasible                 // incumbent found, search truncated
+	StatusInfeasible               // no integral feasible point exists
+	StatusUnbounded
+	StatusNoSolution // search truncated before any incumbent was found
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusFeasible:
+		return "feasible"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusNoSolution:
+		return "no-solution"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Options tunes the branch-and-bound search.
+type Options struct {
+	// MaxNodes caps explored B&B nodes (0 = default 200000).
+	MaxNodes int
+	// Deadline aborts the search when exceeded (zero = none). On abort the
+	// best incumbent is returned with StatusFeasible.
+	Deadline time.Time
+	// IntTol is the integrality tolerance (default 1e-6).
+	IntTol float64
+	// Incumbent optionally provides a known feasible point to prune with.
+	Incumbent []float64
+	// RelGap terminates the search once the relative optimality gap of the
+	// incumbent drops to or below this value (0 = prove optimality).
+	RelGap float64
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	Status Status
+	X      []float64
+	Obj    float64
+	// Nodes is the number of B&B nodes explored; LPIters the total simplex
+	// iterations across relaxations.
+	Nodes   int
+	LPIters int
+	// Gap is the final relative optimality gap (0 when proven optimal).
+	Gap float64
+}
+
+// bbNode is one open branch-and-bound subproblem.
+type bbNode struct {
+	lo, hi []float64
+	bound  float64 // LP relaxation value (lower bound for minimization)
+	depth  int
+}
+
+type nodeHeap []*bbNode
+
+func (h nodeHeap) Len() int      { return len(h) }
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound < h[j].bound
+	}
+	return h[i].depth > h[j].depth // deeper first among equal bounds
+}
+func (h *nodeHeap) Push(x any) { *h = append(*h, x.(*bbNode)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Solve minimizes the model's objective subject to its constraints, bounds
+// and integrality requirements.
+func Solve(mod *Model, opt Options) Result {
+	if err := mod.Validate(); err != nil {
+		return Result{Status: StatusInfeasible}
+	}
+	if opt.MaxNodes == 0 {
+		opt.MaxNodes = 200000
+	}
+	if opt.IntTol == 0 {
+		opt.IntTol = 1e-6
+	}
+	res := Result{Status: StatusNoSolution, Obj: math.Inf(1)}
+	if opt.Incumbent != nil {
+		if err := mod.Feasible(opt.Incumbent, 1e-6); err == nil {
+			res.Status = StatusFeasible
+			res.X = append([]float64(nil), opt.Incumbent...)
+			res.Obj = mod.Objective(opt.Incumbent)
+		}
+	}
+
+	n := len(mod.Vars)
+	rootLo := make([]float64, n)
+	rootHi := make([]float64, n)
+	for i, v := range mod.Vars {
+		rootLo[i], rootHi[i] = v.Lo, v.Hi
+	}
+	rootLP := solveLP(mod, rootLo, rootHi, opt.Deadline)
+	res.LPIters += rootLP.Iters
+	switch rootLP.Status {
+	case LPInfeasible:
+		if res.Status == StatusFeasible {
+			return res // trust the provided incumbent
+		}
+		res.Status = StatusInfeasible
+		return res
+	case LPUnbounded:
+		res.Status = StatusUnbounded
+		return res
+	case LPIterLimit:
+		return res
+	}
+
+	// Phase 1: depth-first search until a first incumbent exists. DFS with
+	// backtracking reaches integral leaves quickly, unlike pure best-first
+	// which can spread across an exponential frontier when the relaxation
+	// is symmetric.
+	dfsBudget := opt.MaxNodes / 4
+	if dfsBudget < 200 {
+		dfsBudget = 200
+	}
+	dfsForIncumbent(mod, rootLo, rootHi, rootLP, opt, &res, dfsBudget)
+
+	// Phase 2: best-first search for optimality (or the requested gap).
+	open := &nodeHeap{{lo: rootLo, hi: rootHi, bound: rootLP.Obj}}
+	heap.Init(open)
+
+	gapOK := func(bound float64) bool {
+		if res.Status != StatusFeasible {
+			return false
+		}
+		gap := (res.Obj - bound) / math.Max(1e-9, math.Abs(res.Obj))
+		return gap <= opt.RelGap
+	}
+
+	truncated := false
+	for open.Len() > 0 {
+		if res.Nodes >= opt.MaxNodes {
+			truncated = true
+			break
+		}
+		if !opt.Deadline.IsZero() && time.Now().After(opt.Deadline) {
+			truncated = true
+			break
+		}
+		node := heap.Pop(open).(*bbNode)
+		if node.bound >= res.Obj-1e-9 {
+			continue // pruned by incumbent
+		}
+		if gapOK(node.bound) {
+			// node.bound is the minimum over the frontier (heap order), so
+			// the global bound proves the incumbent is within RelGap.
+			res.Gap = (res.Obj - node.bound) / math.Max(1e-9, math.Abs(res.Obj))
+			return res
+		}
+		res.Nodes++
+		lp := solveLP(mod, node.lo, node.hi, opt.Deadline)
+		res.LPIters += lp.Iters
+		if lp.Status != LPOptimal {
+			continue // infeasible/limit: prune
+		}
+		if lp.Obj >= res.Obj-1e-9 {
+			continue
+		}
+		frac := pickBranchVar(mod, lp.X, opt.IntTol)
+		if frac < 0 {
+			// Integral: new incumbent. Snap to exact integers first.
+			x := snap(mod, lp.X, opt.IntTol)
+			if err := mod.Feasible(x, 1e-5); err == nil {
+				obj := mod.Objective(x)
+				if obj < res.Obj {
+					res.Obj = obj
+					res.X = x
+					res.Status = StatusFeasible
+				}
+			}
+			continue
+		}
+		v := lp.X[frac]
+		floorV := math.Floor(v)
+		// Down branch: x <= floor(v).
+		dnHi := append([]float64(nil), node.hi...)
+		dnHi[frac] = floorV
+		heap.Push(open, &bbNode{lo: node.lo, hi: dnHi, bound: lp.Obj, depth: node.depth + 1})
+		// Up branch: x >= ceil(v).
+		upLo := append([]float64(nil), node.lo...)
+		upLo[frac] = floorV + 1
+		heap.Push(open, &bbNode{lo: upLo, hi: node.hi, bound: lp.Obj, depth: node.depth + 1})
+	}
+
+	if !truncated && open.Len() == 0 && res.Status == StatusFeasible {
+		res.Status = StatusOptimal
+		res.Gap = 0
+		return res
+	}
+	if !truncated && res.Status == StatusNoSolution && open.Len() == 0 {
+		res.Status = StatusInfeasible
+		return res
+	}
+	// Truncated: compute the remaining gap.
+	if open.Len() > 0 && res.Status == StatusFeasible && math.Abs(res.Obj) > 1e-12 {
+		bestBound := (*open)[0].bound
+		res.Gap = (res.Obj - bestBound) / math.Max(1e-9, math.Abs(res.Obj))
+		if res.Gap < 0 {
+			res.Gap = 0
+		}
+	}
+	return res
+}
+
+// dfsForIncumbent explores depth-first (rounding-guided child first) until
+// it finds one integral feasible point or exhausts its LP-solve budget.
+func dfsForIncumbent(mod *Model, rootLo, rootHi []float64, rootLP LPResult,
+	opt Options, res *Result, budget int) {
+	if res.Status == StatusFeasible {
+		return // caller-provided incumbent suffices
+	}
+	type dfsNode struct {
+		lo, hi []float64
+		// lp, when non-nil, is the already-solved relaxation of this node.
+		lp *LPResult
+	}
+	stack := []dfsNode{{lo: rootLo, hi: rootHi, lp: &rootLP}}
+	for len(stack) > 0 && budget > 0 {
+		if !opt.Deadline.IsZero() && time.Now().After(opt.Deadline) {
+			return
+		}
+		node := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		lp := node.lp
+		if lp == nil {
+			budget--
+			solved := solveLP(mod, node.lo, node.hi, opt.Deadline)
+			res.LPIters += solved.Iters
+			lp = &solved
+		}
+		if lp.Status != LPOptimal || lp.Obj >= res.Obj-1e-9 {
+			continue
+		}
+		frac := pickBranchVar(mod, lp.X, opt.IntTol)
+		if frac < 0 {
+			x := snap(mod, lp.X, opt.IntTol)
+			if err := mod.Feasible(x, 1e-5); err == nil {
+				if obj := mod.Objective(x); obj < res.Obj {
+					res.Obj = obj
+					res.X = x
+					res.Status = StatusFeasible
+				}
+				return
+			}
+			continue
+		}
+		v := lp.X[frac]
+		floorV := math.Floor(v)
+		dnHi := append([]float64(nil), node.hi...)
+		dnHi[frac] = floorV
+		upLo := append([]float64(nil), node.lo...)
+		upLo[frac] = floorV + 1
+		down := dfsNode{lo: node.lo, hi: dnHi}
+		up := dfsNode{lo: upLo, hi: node.hi}
+		// Push the less likely child first so the rounding-preferred child
+		// is explored next (LIFO).
+		if v-floorV >= 0.5 {
+			stack = append(stack, down, up)
+		} else {
+			stack = append(stack, up, down)
+		}
+	}
+}
+
+// pickBranchVar returns the fractional integral variable to branch on:
+// the most fractional one within the highest priority class that has any
+// fractional variable. Returns -1 when the point is integral.
+func pickBranchVar(mod *Model, x []float64, tol float64) int {
+	best := -1
+	bestDist := tol
+	bestPrio := math.MinInt32
+	for i, v := range mod.Vars {
+		if v.Kind == Continuous {
+			continue
+		}
+		f := x[i] - math.Floor(x[i])
+		dist := math.Min(f, 1-f)
+		if dist <= tol {
+			continue
+		}
+		if v.Priority > bestPrio || (v.Priority == bestPrio && dist > bestDist) {
+			best = i
+			bestDist = dist
+			bestPrio = v.Priority
+		}
+	}
+	return best
+}
+
+// snap rounds near-integral entries of integral variables exactly.
+func snap(mod *Model, x []float64, tol float64) []float64 {
+	out := append([]float64(nil), x...)
+	for i, v := range mod.Vars {
+		if v.Kind == Continuous {
+			continue
+		}
+		r := math.Round(out[i])
+		if math.Abs(out[i]-r) <= 10*tol {
+			out[i] = r
+		}
+	}
+	return out
+}

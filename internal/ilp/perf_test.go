@@ -1,0 +1,147 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestChunkLPPerformance replicates the parallelizer's chunk-region model
+// shape and requires the root relaxation to solve quickly.
+func TestChunkLPPerformance(t *testing.T) {
+	m := NewModel()
+	K, T, C := 12, 4, 3
+	speeds := []float64{1, 2.5, 5}
+	counts := []float64{1, 1, 2}
+	W := 430100.0
+	x := make([][]VarID, K)
+	pv := make([][]VarID, K)
+	for n := 0; n < K; n++ {
+		x[n] = make([]VarID, T)
+		for tt := 0; tt < T; tt++ {
+			x[n][tt] = m.AddBinary("x", 0)
+		}
+		pv[n] = make([]VarID, C)
+		for c := 0; c < C; c++ {
+			pv[n][c] = m.AddBinary("p", 0)
+		}
+	}
+	mp := make([][]VarID, T)
+	used := make([]VarID, T)
+	for tt := 0; tt < T; tt++ {
+		mp[tt] = make([]VarID, C)
+		for c := 0; c < C; c++ {
+			mp[tt][c] = m.AddBinary("map", 0)
+		}
+		used[tt] = m.AddBinary("used", 0)
+	}
+	contrib := make([][]VarID, K)
+	for n := 0; n < K; n++ {
+		contrib[n] = make([]VarID, T)
+		for tt := 0; tt < T; tt++ {
+			contrib[n][tt] = m.AddVar("ctr", 0, math.Inf(1), 0)
+		}
+	}
+	cost := make([]VarID, T)
+	for tt := 0; tt < T; tt++ {
+		cost[tt] = m.AddVar("cost", 0, math.Inf(1), 0)
+	}
+	exectime := m.AddVar("exectime", 0, W*0.999, 1)
+	for n := 0; n < K; n++ {
+		var terms []Term
+		for tt := 0; tt < T; tt++ {
+			terms = append(terms, Term{x[n][tt], 1})
+		}
+		m.AddCons("eq2", terms, EQ, 1)
+		terms = nil
+		for c := 0; c < C; c++ {
+			terms = append(terms, Term{pv[n][c], 1})
+		}
+		m.AddCons("eq4", terms, EQ, 1)
+	}
+	for tt := 0; tt < T; tt++ {
+		var terms []Term
+		for c := 0; c < C; c++ {
+			terms = append(terms, Term{mp[tt][c], 1})
+		}
+		m.AddCons("eq13", terms, EQ, 1)
+	}
+	m.AddCons("main", []Term{{mp[0][0], 1}}, EQ, 1)
+	for n := 0; n+1 < K; n++ {
+		var terms []Term
+		for tt := 1; tt < T; tt++ {
+			terms = append(terms, Term{x[n+1][tt], float64(tt)}, Term{x[n][tt], -float64(tt)})
+		}
+		m.AddCons("eq10", terms, GE, 0)
+	}
+	for tt := 0; tt < T; tt++ {
+		for n := 0; n < K; n++ {
+			m.AddCons("used", []Term{{used[tt], 1}, {x[n][tt], -1}}, GE, 0)
+		}
+	}
+	for n := 0; n < K; n++ {
+		worst := W / 12
+		for tt := 0; tt < T; tt++ {
+			for c := 0; c < C; c++ {
+				m.AddCons("eq18", []Term{{pv[n][c], 1}, {x[n][tt], -1}, {mp[tt][c], -1}}, GE, -1)
+			}
+			terms := []Term{{contrib[n][tt], 1}, {x[n][tt], -worst}}
+			for c := 0; c < C; c++ {
+				terms = append(terms, Term{pv[n][c], -W / 12 / speeds[c]})
+			}
+			m.AddCons("eq8", terms, GE, -worst)
+		}
+	}
+	for tt := 0; tt < T; tt++ {
+		terms := []Term{{cost[tt], 1}}
+		if tt != 0 {
+			terms = append(terms, Term{used[tt], -2500})
+		}
+		for n := 0; n < K; n++ {
+			terms = append(terms, Term{contrib[n][tt], -1})
+		}
+		m.AddCons("cost", terms, GE, 0)
+		m.AddCons("eq11", []Term{{exectime, 1}, {cost[tt], -1}}, GE, 0)
+	}
+	for c := 0; c < C; c++ {
+		var terms []Term
+		for tt := 0; tt < T; tt++ {
+			terms = append(terms, Term{mp[tt][c], 1})
+		}
+		m.AddCons("eq16", terms, LE, counts[c]+float64(T)) // loose
+	}
+	// Strengthening cuts like the parallelizer's.
+	for c := 0; c < C; c++ {
+		terms := []Term{{exectime, counts[c]}}
+		for n := 0; n < K; n++ {
+			terms = append(terms, Term{pv[n][c], -W / 12 / speeds[c]})
+		}
+		m.AddCons("cut_classwork", terms, GE, 0)
+	}
+	{
+		var terms []Term
+		for tt := 0; tt < T; tt++ {
+			terms = append(terms, Term{cost[tt], 1})
+		}
+		for n := 0; n < K; n++ {
+			for c := 0; c < C; c++ {
+				terms = append(terms, Term{pv[n][c], -W / 12 / speeds[c]})
+			}
+		}
+		m.AddCons("cut_conservation", terms, GE, 0)
+	}
+	start := time.Now()
+	lp := solveLP(m, nil, nil, time.Time{})
+	t.Logf("root LP: status=%v obj=%.0f iters=%d in %v (vars=%d cons=%d)",
+		lp.Status, lp.Obj, lp.Iters, time.Since(start), m.NumVars(), m.NumCons())
+	if time.Since(start) > 500*time.Millisecond {
+		t.Errorf("root LP too slow")
+	}
+	start = time.Now()
+	res := Solve(m, Options{MaxNodes: 3000, Deadline: time.Now().Add(4 * time.Second), RelGap: 0.05})
+	t.Logf("MILP: status=%v obj=%.0f nodes=%d lpIters=%d in %v",
+		res.Status, res.Obj, res.Nodes, res.LPIters, time.Since(start))
+	if res.Status != StatusOptimal && res.Status != StatusFeasible {
+		t.Errorf("expected a solution, got %v", res.Status)
+	}
+}

@@ -1,0 +1,120 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickMergeTermsInvariants: merging preserves the linear functional
+// and never leaves duplicate or zero-coefficient terms.
+func TestQuickMergeTermsInvariants(t *testing.T) {
+	f := func(coeffs []int8, vars []uint8) bool {
+		n := len(coeffs)
+		if len(vars) < n {
+			n = len(vars)
+		}
+		terms := make([]Term, 0, n)
+		for i := 0; i < n; i++ {
+			terms = append(terms, Term{Var: VarID(vars[i] % 8), Coeff: float64(coeffs[i])})
+		}
+		merged := mergeTerms(terms)
+		// No duplicates, no zeros.
+		seen := map[VarID]bool{}
+		for _, m := range merged {
+			if m.Coeff == 0 {
+				return false
+			}
+			if seen[m.Var] {
+				return false
+			}
+			seen[m.Var] = true
+		}
+		// Same functional at an arbitrary point x_v = v+1.
+		eval := func(ts []Term) float64 {
+			s := 0.0
+			for _, t := range ts {
+				s += t.Coeff * float64(t.Var+1)
+			}
+			return s
+		}
+		return math.Abs(eval(terms)-eval(merged)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickObjectiveLinearity: Objective is linear in each coordinate.
+func TestQuickObjectiveLinearity(t *testing.T) {
+	m := NewModel()
+	a := m.AddVar("a", 0, 10, 2)
+	b := m.AddVar("b", 0, 10, -3)
+	c := m.AddBinary("c", 5)
+	_ = a
+	_ = b
+	_ = c
+	f := func(x0, x1, x2, y0, y1, y2 float64) bool {
+		x := []float64{x0, x1, x2}
+		y := []float64{y0, y1, y2}
+		sum := []float64{x0 + y0, x1 + y1, x2 + y2}
+		lhs := m.Objective(sum)
+		rhs := m.Objective(x) + m.Objective(y)
+		if math.IsNaN(lhs) || math.IsInf(lhs, 0) {
+			return true // overflow inputs are out of scope
+		}
+		return math.Abs(lhs-rhs) <= 1e-6*(1+math.Abs(lhs))
+	}
+	cfg := &quick.Config{
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(rng.Float64()*200 - 100)
+			}
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSolveNeverBeatsPlantedOptimum: for random binary models built
+// around a planted feasible point, the solver's optimum is never worse
+// than the planted point (and its solution is always feasible).
+func TestQuickSolveNeverBeatsPlantedOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 120; trial++ {
+		m := NewModel()
+		n := 2 + rng.Intn(6)
+		planted := make([]float64, n)
+		for i := 0; i < n; i++ {
+			m.AddBinary("b", float64(rng.Intn(15)-7))
+			planted[i] = float64(rng.Intn(2))
+		}
+		for c := 0; c < 1+rng.Intn(4); c++ {
+			var terms []Term
+			lhs := 0.0
+			for i := 0; i < n; i++ {
+				coeff := float64(rng.Intn(9) - 4)
+				terms = append(terms, Term{VarID(i), coeff})
+				lhs += coeff * planted[i]
+			}
+			if rng.Intn(2) == 0 {
+				m.AddCons("le", terms, LE, lhs)
+			} else {
+				m.AddCons("ge", terms, GE, lhs)
+			}
+		}
+		res := Solve(m, Options{})
+		if res.Status != StatusOptimal {
+			t.Fatalf("trial %d: %v (planted point exists)", trial, res.Status)
+		}
+		if err := m.Feasible(res.X, 1e-6); err != nil {
+			t.Fatalf("trial %d: solution infeasible: %v", trial, err)
+		}
+		if res.Obj > m.Objective(planted)+1e-6 {
+			t.Fatalf("trial %d: obj %g worse than planted %g", trial, res.Obj, m.Objective(planted))
+		}
+	}
+}

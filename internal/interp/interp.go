@@ -1,0 +1,995 @@
+// Package interp is a reference interpreter for checked mini-C programs.
+//
+// It serves three purposes in the parallelization tool flow:
+//
+//  1. Profiling: it counts how often every statement executes, supplying the
+//     iteration counts the Augmented Hierarchical Task Graph is annotated
+//     with (the paper extracts these "by target platform simulation").
+//  2. Validation: benchmark programs carry golden output checksums; the test
+//     suite verifies the interpreter reproduces them, and that replaying an
+//     extracted parallel schedule leaves the semantics unchanged.
+//  3. Workload generation: benchmark inputs are initialized by mini-C code
+//     itself, so no external data files are needed.
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/minic"
+)
+
+// Value is a runtime value: a scalar or an array reference. Arrays are
+// passed by reference, matching C semantics for array parameters.
+type Value struct {
+	Type minic.Type
+	// I holds int scalars, F float scalars.
+	I int64
+	F float64
+	// Arr backs array values; shared between caller and callee.
+	Arr []float64 // ints stored as exact float64 when array base is Int? no:
+	// IntArr backs int arrays, Arr backs float arrays. Exactly one is
+	// non-nil for array values.
+	IntArr []int64
+}
+
+func (v Value) isFloat() bool { return v.Type.Base == minic.Float }
+
+// AsFloat returns the scalar as float64 (converting ints).
+func (v Value) AsFloat() float64 {
+	if v.isFloat() {
+		return v.F
+	}
+	return float64(v.I)
+}
+
+// AsInt returns the scalar as int64 (truncating floats, as C does).
+func (v Value) AsInt() int64 {
+	if v.isFloat() {
+		return int64(v.F)
+	}
+	return v.I
+}
+
+func intVal(i int64) Value { return Value{Type: minic.ScalarType(minic.Int), I: i} }
+func floatVal(f float64) Value {
+	return Value{Type: minic.ScalarType(minic.Float), F: f}
+}
+
+// RuntimeError is an error raised during interpretation (e.g. out-of-bounds
+// access or division by zero), with the source position of the offending
+// expression.
+type RuntimeError struct {
+	Pos minic.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *RuntimeError) Error() string { return fmt.Sprintf("runtime error at %s: %s", e.Pos, e.Msg) }
+
+func rterrf(pos minic.Pos, format string, args ...any) *RuntimeError {
+	return &RuntimeError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Profile records dynamic execution counts.
+type Profile struct {
+	// StmtCount maps each executed statement node to the number of times it
+	// ran. Keys are AST node identities.
+	StmtCount map[minic.Stmt]int64
+	// FuncCount maps each function to its number of invocations.
+	FuncCount map[*minic.FuncDecl]int64
+	// OpCount is the total number of evaluated expression operations, a
+	// coarse work measure used in tests.
+	OpCount int64
+}
+
+// Count returns the execution count of s (0 if never executed).
+func (p *Profile) Count(s minic.Stmt) int64 { return p.StmtCount[s] }
+
+// Interp executes a checked program.
+type Interp struct {
+	prog    *minic.Program
+	globals map[*minic.Symbol]*Value
+	profile *Profile
+	// StepLimit aborts runaway programs (0 = no limit).
+	StepLimit int64
+	steps     int64
+}
+
+// New creates an interpreter for prog. The program must have been checked
+// (Compile or Check).
+func New(prog *minic.Program) *Interp {
+	return &Interp{prog: prog, globals: make(map[*minic.Symbol]*Value), StepLimit: 1 << 32}
+}
+
+// control models non-sequential control flow during execution.
+type control int
+
+const (
+	ctrlNone control = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+// frame is one function activation.
+type frame struct {
+	locals map[*minic.Symbol]*Value
+	ret    Value
+	hasRet bool
+}
+
+// Run executes main() and returns the profile. Globals are (re)initialized
+// first, so Run is repeatable.
+func (in *Interp) Run() (*Profile, error) {
+	main := in.prog.Func("main")
+	if main == nil {
+		return nil, fmt.Errorf("program has no main function")
+	}
+	in.profile = &Profile{
+		StmtCount: make(map[minic.Stmt]int64),
+		FuncCount: make(map[*minic.FuncDecl]int64),
+	}
+	in.steps = 0
+	in.globals = make(map[*minic.Symbol]*Value)
+	for _, g := range in.prog.Globals {
+		v, err := in.newVar(g.Type)
+		if err != nil {
+			return nil, err
+		}
+		in.globals[g.Sym] = v
+		if err := in.initVar(v, g.Type, g.Init, g.List); err != nil {
+			return nil, err
+		}
+	}
+	_, err := in.call(main, nil)
+	if err != nil {
+		return nil, err
+	}
+	return in.profile, nil
+}
+
+// GlobalChecksum folds every global variable's contents into a single
+// float64, used as a golden output fingerprint for benchmark validation.
+func (in *Interp) GlobalChecksum() float64 {
+	sum := 0.0
+	k := 1.0
+	for _, g := range in.prog.Globals {
+		v := in.globals[g.Sym]
+		if v == nil {
+			continue
+		}
+		switch {
+		case v.IntArr != nil:
+			for _, x := range v.IntArr {
+				sum += k * float64(x)
+				k = nextK(k)
+			}
+		case v.Arr != nil:
+			for _, x := range v.Arr {
+				sum += k * x
+				k = nextK(k)
+			}
+		case v.isFloat():
+			sum += k * v.F
+			k = nextK(k)
+		default:
+			sum += k * float64(v.I)
+			k = nextK(k)
+		}
+	}
+	return sum
+}
+
+// GlobalValue returns the current value of the named global variable after
+// a Run, or the zero Value if no such global exists.
+func (in *Interp) GlobalValue(name string) Value {
+	for _, g := range in.prog.Globals {
+		if g.Name == name {
+			if v := in.globals[g.Sym]; v != nil {
+				return *v
+			}
+		}
+	}
+	return Value{}
+}
+
+// nextK advances the position-dependent multiplier so that permuting the
+// global contents changes the checksum; it cycles to avoid overflow.
+func nextK(k float64) float64 {
+	k *= 1.0009765625 // 1 + 2^-10, exactly representable
+	if k > 1e6 {
+		k = 1.0
+	}
+	return k
+}
+
+func (in *Interp) newVar(t minic.Type) (*Value, error) {
+	v := &Value{Type: t}
+	if t.IsArray() {
+		if t.Base == minic.Int {
+			v.IntArr = make([]int64, t.NumElems())
+		} else {
+			v.Arr = make([]float64, t.NumElems())
+		}
+	}
+	return v, nil
+}
+
+func (in *Interp) initVar(v *Value, t minic.Type, init minic.Expr, list []minic.Expr) error {
+	if init != nil {
+		x, err := in.eval(init, nil)
+		if err != nil {
+			return err
+		}
+		storeScalar(v, x)
+		return nil
+	}
+	for i, e := range list {
+		x, err := in.eval(e, nil)
+		if err != nil {
+			return err
+		}
+		if v.IntArr != nil {
+			v.IntArr[i] = x.AsInt()
+		} else {
+			v.Arr[i] = x.AsFloat()
+		}
+	}
+	return nil
+}
+
+func storeScalar(v *Value, x Value) {
+	if v.Type.Base == minic.Float {
+		v.F = x.AsFloat()
+	} else {
+		v.I = x.AsInt()
+	}
+}
+
+func (in *Interp) call(fn *minic.FuncDecl, args []Value) (Value, error) {
+	in.profile.FuncCount[fn]++
+	fr := &frame{locals: make(map[*minic.Symbol]*Value)}
+	for i := range fn.Params {
+		p := &fn.Params[i]
+		a := args[i]
+		if p.Type.IsArray() {
+			// Pass by reference: share the backing store.
+			pv := &Value{Type: a.Type, Arr: a.Arr, IntArr: a.IntArr}
+			fr.locals[p.Sym] = pv
+		} else {
+			pv := &Value{Type: p.Type}
+			storeScalar(pv, a)
+			fr.locals[p.Sym] = pv
+		}
+	}
+	ctl, err := in.execBlock(fn.Body, fr)
+	if err != nil {
+		return Value{}, err
+	}
+	_ = ctl
+	if fn.Result.Base != minic.Void && !fr.hasRet {
+		return Value{}, rterrf(fn.Pos, "function %s fell off the end without returning", fn.Name)
+	}
+	return fr.ret, nil
+}
+
+func (in *Interp) tick(pos minic.Pos) error {
+	in.steps++
+	if in.StepLimit > 0 && in.steps > in.StepLimit {
+		return rterrf(pos, "step limit exceeded (infinite loop?)")
+	}
+	return nil
+}
+
+func (in *Interp) execBlock(b *minic.BlockStmt, fr *frame) (control, error) {
+	for _, s := range b.Stmts {
+		ctl, err := in.exec(s, fr)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if ctl != ctrlNone {
+			return ctl, nil
+		}
+	}
+	return ctrlNone, nil
+}
+
+func (in *Interp) exec(s minic.Stmt, fr *frame) (control, error) {
+	in.profile.StmtCount[s]++
+	if err := in.tick(s.NodePos()); err != nil {
+		return ctrlNone, err
+	}
+	switch st := s.(type) {
+	case *minic.DeclStmt:
+		v, err := in.newVar(st.Type)
+		if err != nil {
+			return ctrlNone, err
+		}
+		fr.locals[st.Sym] = v
+		return ctrlNone, in.initVarFr(v, st, fr)
+	case *minic.ExprStmt:
+		_, err := in.eval(st.X, fr)
+		return ctrlNone, err
+	case *minic.BlockStmt:
+		return in.execBlock(st, fr)
+	case *minic.IfStmt:
+		c, err := in.eval(st.Cond, fr)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if truthy(c) {
+			return in.execBlock(st.Then, fr)
+		}
+		if st.Else != nil {
+			return in.exec(st.Else, fr)
+		}
+		return ctrlNone, nil
+	case *minic.ForStmt:
+		if st.Init != nil {
+			if _, err := in.exec(st.Init, fr); err != nil {
+				return ctrlNone, err
+			}
+		}
+		for {
+			if st.Cond != nil {
+				c, err := in.eval(st.Cond, fr)
+				if err != nil {
+					return ctrlNone, err
+				}
+				if !truthy(c) {
+					break
+				}
+			}
+			ctl, err := in.execBlock(st.Body, fr)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if ctl == ctrlBreak {
+				break
+			}
+			if ctl == ctrlReturn {
+				return ctrlReturn, nil
+			}
+			if st.Post != nil {
+				if _, err := in.eval(st.Post, fr); err != nil {
+					return ctrlNone, err
+				}
+			}
+			if err := in.tick(st.Pos); err != nil {
+				return ctrlNone, err
+			}
+		}
+		return ctrlNone, nil
+	case *minic.WhileStmt:
+		if st.DoWhile {
+			for {
+				ctl, err := in.execBlock(st.Body, fr)
+				if err != nil {
+					return ctrlNone, err
+				}
+				if ctl == ctrlBreak {
+					break
+				}
+				if ctl == ctrlReturn {
+					return ctrlReturn, nil
+				}
+				c, err := in.eval(st.Cond, fr)
+				if err != nil {
+					return ctrlNone, err
+				}
+				if !truthy(c) {
+					break
+				}
+				if err := in.tick(st.Pos); err != nil {
+					return ctrlNone, err
+				}
+			}
+			return ctrlNone, nil
+		}
+		for {
+			c, err := in.eval(st.Cond, fr)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if !truthy(c) {
+				break
+			}
+			ctl, err := in.execBlock(st.Body, fr)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if ctl == ctrlBreak {
+				break
+			}
+			if ctl == ctrlReturn {
+				return ctrlReturn, nil
+			}
+			if err := in.tick(st.Pos); err != nil {
+				return ctrlNone, err
+			}
+		}
+		return ctrlNone, nil
+	case *minic.ReturnStmt:
+		if st.Value != nil {
+			v, err := in.eval(st.Value, fr)
+			if err != nil {
+				return ctrlNone, err
+			}
+			fr.ret = v
+		}
+		fr.hasRet = true
+		return ctrlReturn, nil
+	case *minic.BreakStmt:
+		return ctrlBreak, nil
+	case *minic.ContinueStmt:
+		return ctrlContinue, nil
+	}
+	return ctrlNone, fmt.Errorf("unhandled statement %T", s)
+}
+
+func (in *Interp) initVarFr(v *Value, st *minic.DeclStmt, fr *frame) error {
+	if st.Init != nil {
+		x, err := in.eval(st.Init, fr)
+		if err != nil {
+			return err
+		}
+		storeScalar(v, x)
+		return nil
+	}
+	for i, e := range st.List {
+		x, err := in.eval(e, fr)
+		if err != nil {
+			return err
+		}
+		if v.IntArr != nil {
+			v.IntArr[i] = x.AsInt()
+		} else {
+			v.Arr[i] = x.AsFloat()
+		}
+	}
+	return nil
+}
+
+func truthy(v Value) bool {
+	if v.isFloat() {
+		return v.F != 0
+	}
+	return v.I != 0
+}
+
+// lookupVar resolves a symbol to its storage in the current frame or
+// globals.
+func (in *Interp) lookupVar(sym *minic.Symbol, fr *frame) (*Value, error) {
+	if fr != nil {
+		if v, ok := fr.locals[sym]; ok {
+			return v, nil
+		}
+	}
+	if v, ok := in.globals[sym]; ok {
+		return v, nil
+	}
+	return nil, fmt.Errorf("internal: storage for %s not found", sym)
+}
+
+// elemOffset computes the flat element offset for an index expression and
+// bounds-checks it.
+func (in *Interp) elemOffset(ix *minic.IndexExpr, av *Value, fr *frame) (int, error) {
+	dims := av.Type.Dims
+	if len(ix.Indices) != len(dims) {
+		return 0, rterrf(ix.Pos, "partial array indexing of %s used as a value", ix.Array.Name)
+	}
+	off := 0
+	for d, ie := range ix.Indices {
+		iv, err := in.eval(ie, fr)
+		if err != nil {
+			return 0, err
+		}
+		i := int(iv.AsInt())
+		extent := dims[d]
+		if extent == 0 {
+			// Unsized parameter dim: bound by backing store later.
+			extent = 1 << 30
+		}
+		if i < 0 || i >= extent {
+			return 0, rterrf(ix.Pos, "index %d out of bounds [0,%d) for %s", i, dims[d], ix.Array.Name)
+		}
+		stride := 1
+		for _, d2 := range dims[d+1:] {
+			stride *= d2
+		}
+		off += i * stride
+	}
+	n := len(av.Arr) + len(av.IntArr)
+	if off >= n {
+		return 0, rterrf(ix.Pos, "flattened index %d out of bounds (size %d) for %s", off, n, ix.Array.Name)
+	}
+	return off, nil
+}
+
+func (in *Interp) eval(e minic.Expr, fr *frame) (Value, error) {
+	in.profile.OpCount++
+	switch ex := e.(type) {
+	case *minic.IntLit:
+		return intVal(ex.Value), nil
+	case *minic.FloatLit:
+		return floatVal(ex.Value), nil
+	case *minic.VarRef:
+		v, err := in.lookupVar(ex.Sym, fr)
+		if err != nil {
+			return Value{}, err
+		}
+		return *v, nil
+	case *minic.IndexExpr:
+		av, err := in.lookupVar(ex.Array.Sym, fr)
+		if err != nil {
+			return Value{}, err
+		}
+		if len(ex.Indices) < len(av.Type.Dims) {
+			// Row view of a 2-D array (only valid as a call argument,
+			// handled in CallExpr); here it is an error.
+			return Value{}, rterrf(ex.Pos, "partial indexing of %s outside a call argument", ex.Array.Name)
+		}
+		off, err := in.elemOffset(ex, av, fr)
+		if err != nil {
+			return Value{}, err
+		}
+		if av.IntArr != nil {
+			return intVal(av.IntArr[off]), nil
+		}
+		return floatVal(av.Arr[off]), nil
+	case *minic.UnaryExpr:
+		x, err := in.eval(ex.X, fr)
+		if err != nil {
+			return Value{}, err
+		}
+		switch ex.Op {
+		case minic.TokMinus:
+			if x.isFloat() {
+				return floatVal(-x.F), nil
+			}
+			return intVal(-x.I), nil
+		case minic.TokNot:
+			if truthy(x) {
+				return intVal(0), nil
+			}
+			return intVal(1), nil
+		case minic.TokTilde:
+			return intVal(^x.AsInt()), nil
+		}
+		return Value{}, rterrf(ex.Pos, "unhandled unary %s", ex.Op)
+	case *minic.BinaryExpr:
+		return in.evalBinary(ex, fr)
+	case *minic.CondExpr:
+		c, err := in.eval(ex.Cond, fr)
+		if err != nil {
+			return Value{}, err
+		}
+		if truthy(c) {
+			return in.eval(ex.Then, fr)
+		}
+		return in.eval(ex.Else, fr)
+	case *minic.CallExpr:
+		return in.evalCall(ex, fr)
+	case *minic.AssignExpr:
+		return in.evalAssign(ex, fr)
+	case *minic.IncDecExpr:
+		return in.evalIncDec(ex, fr)
+	case *minic.CastExpr:
+		x, err := in.eval(ex.X, fr)
+		if err != nil {
+			return Value{}, err
+		}
+		if ex.To == minic.Int {
+			return intVal(x.AsInt()), nil
+		}
+		return floatVal(x.AsFloat()), nil
+	}
+	return Value{}, fmt.Errorf("unhandled expression %T", e)
+}
+
+func (in *Interp) evalBinary(ex *minic.BinaryExpr, fr *frame) (Value, error) {
+	// Short-circuit logical operators.
+	if ex.Op == minic.TokAndAnd || ex.Op == minic.TokOrOr {
+		x, err := in.eval(ex.X, fr)
+		if err != nil {
+			return Value{}, err
+		}
+		if ex.Op == minic.TokAndAnd && !truthy(x) {
+			return intVal(0), nil
+		}
+		if ex.Op == minic.TokOrOr && truthy(x) {
+			return intVal(1), nil
+		}
+		y, err := in.eval(ex.Y, fr)
+		if err != nil {
+			return Value{}, err
+		}
+		if truthy(y) {
+			return intVal(1), nil
+		}
+		return intVal(0), nil
+	}
+	x, err := in.eval(ex.X, fr)
+	if err != nil {
+		return Value{}, err
+	}
+	y, err := in.eval(ex.Y, fr)
+	if err != nil {
+		return Value{}, err
+	}
+	isF := x.isFloat() || y.isFloat()
+	b2i := func(b bool) Value {
+		if b {
+			return intVal(1)
+		}
+		return intVal(0)
+	}
+	switch ex.Op {
+	case minic.TokPlus:
+		if isF {
+			return floatVal(x.AsFloat() + y.AsFloat()), nil
+		}
+		return intVal(x.I + y.I), nil
+	case minic.TokMinus:
+		if isF {
+			return floatVal(x.AsFloat() - y.AsFloat()), nil
+		}
+		return intVal(x.I - y.I), nil
+	case minic.TokStar:
+		if isF {
+			return floatVal(x.AsFloat() * y.AsFloat()), nil
+		}
+		return intVal(x.I * y.I), nil
+	case minic.TokSlash:
+		if isF {
+			d := y.AsFloat()
+			if d == 0 {
+				return Value{}, rterrf(ex.Pos, "floating division by zero")
+			}
+			return floatVal(x.AsFloat() / d), nil
+		}
+		if y.I == 0 {
+			return Value{}, rterrf(ex.Pos, "integer division by zero")
+		}
+		return intVal(x.I / y.I), nil
+	case minic.TokPercent:
+		if y.AsInt() == 0 {
+			return Value{}, rterrf(ex.Pos, "modulo by zero")
+		}
+		return intVal(x.AsInt() % y.AsInt()), nil
+	case minic.TokAmp:
+		return intVal(x.AsInt() & y.AsInt()), nil
+	case minic.TokPipe:
+		return intVal(x.AsInt() | y.AsInt()), nil
+	case minic.TokCaret:
+		return intVal(x.AsInt() ^ y.AsInt()), nil
+	case minic.TokShl:
+		return intVal(x.AsInt() << uint(y.AsInt()&63)), nil
+	case minic.TokShr:
+		return intVal(x.AsInt() >> uint(y.AsInt()&63)), nil
+	case minic.TokEq:
+		if isF {
+			return b2i(x.AsFloat() == y.AsFloat()), nil
+		}
+		return b2i(x.I == y.I), nil
+	case minic.TokNeq:
+		if isF {
+			return b2i(x.AsFloat() != y.AsFloat()), nil
+		}
+		return b2i(x.I != y.I), nil
+	case minic.TokLt:
+		if isF {
+			return b2i(x.AsFloat() < y.AsFloat()), nil
+		}
+		return b2i(x.I < y.I), nil
+	case minic.TokGt:
+		if isF {
+			return b2i(x.AsFloat() > y.AsFloat()), nil
+		}
+		return b2i(x.I > y.I), nil
+	case minic.TokLe:
+		if isF {
+			return b2i(x.AsFloat() <= y.AsFloat()), nil
+		}
+		return b2i(x.I <= y.I), nil
+	case minic.TokGe:
+		if isF {
+			return b2i(x.AsFloat() >= y.AsFloat()), nil
+		}
+		return b2i(x.I >= y.I), nil
+	}
+	return Value{}, rterrf(ex.Pos, "unhandled binary %s", ex.Op)
+}
+
+func (in *Interp) evalCall(ex *minic.CallExpr, fr *frame) (Value, error) {
+	if ex.Builtin != "" {
+		return in.evalBuiltin(ex, fr)
+	}
+	args := make([]Value, len(ex.Args))
+	for i, a := range ex.Args {
+		if ex.Fn.Params[i].Type.IsArray() {
+			av, err := in.arrayArg(a, fr)
+			if err != nil {
+				return Value{}, err
+			}
+			args[i] = av
+			continue
+		}
+		v, err := in.eval(a, fr)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	return in.call(ex.Fn, args)
+}
+
+// arrayArg resolves an array-typed argument: either a whole array variable
+// or a row of a 2-D array.
+func (in *Interp) arrayArg(a minic.Expr, fr *frame) (Value, error) {
+	switch arg := a.(type) {
+	case *minic.VarRef:
+		v, err := in.lookupVar(arg.Sym, fr)
+		if err != nil {
+			return Value{}, err
+		}
+		return *v, nil
+	case *minic.IndexExpr:
+		base, err := in.lookupVar(arg.Array.Sym, fr)
+		if err != nil {
+			return Value{}, err
+		}
+		if len(arg.Indices) >= len(base.Type.Dims) {
+			return Value{}, rterrf(arg.Pos, "argument %s is not an array view", arg.Array.Name)
+		}
+		// Row view: compute the row offset.
+		iv, err := in.eval(arg.Indices[0], fr)
+		if err != nil {
+			return Value{}, err
+		}
+		row := int(iv.AsInt())
+		if row < 0 || row >= base.Type.Dims[0] {
+			return Value{}, rterrf(arg.Pos, "row %d out of bounds for %s", row, arg.Array.Name)
+		}
+		stride := base.Type.Dims[1]
+		view := Value{Type: minic.Type{Base: base.Type.Base, Dims: base.Type.Dims[1:]}}
+		if base.IntArr != nil {
+			view.IntArr = base.IntArr[row*stride : (row+1)*stride]
+		} else {
+			view.Arr = base.Arr[row*stride : (row+1)*stride]
+		}
+		return view, nil
+	}
+	return Value{}, rterrf(a.NodePos(), "unsupported array argument form")
+}
+
+func (in *Interp) evalBuiltin(ex *minic.CallExpr, fr *frame) (Value, error) {
+	vals := make([]Value, len(ex.Args))
+	for i, a := range ex.Args {
+		v, err := in.eval(a, fr)
+		if err != nil {
+			return Value{}, err
+		}
+		vals[i] = v
+	}
+	allInt := true
+	for _, v := range vals {
+		if v.isFloat() {
+			allInt = false
+		}
+	}
+	f := func(i int) float64 { return vals[i].AsFloat() }
+	switch ex.Builtin {
+	case "fabs":
+		return floatVal(math.Abs(f(0))), nil
+	case "sqrt":
+		if f(0) < 0 {
+			return Value{}, rterrf(ex.Pos, "sqrt of negative value %g", f(0))
+		}
+		return floatVal(math.Sqrt(f(0))), nil
+	case "sin":
+		return floatVal(math.Sin(f(0))), nil
+	case "cos":
+		return floatVal(math.Cos(f(0))), nil
+	case "tan":
+		return floatVal(math.Tan(f(0))), nil
+	case "exp":
+		return floatVal(math.Exp(f(0))), nil
+	case "log":
+		if f(0) <= 0 {
+			return Value{}, rterrf(ex.Pos, "log of non-positive value %g", f(0))
+		}
+		return floatVal(math.Log(f(0))), nil
+	case "floor":
+		return floatVal(math.Floor(f(0))), nil
+	case "ceil":
+		return floatVal(math.Ceil(f(0))), nil
+	case "pow":
+		return floatVal(math.Pow(f(0), f(1))), nil
+	case "atan":
+		return floatVal(math.Atan(f(0))), nil
+	case "atan2":
+		return floatVal(math.Atan2(f(0), f(1))), nil
+	case "abs":
+		if allInt {
+			x := vals[0].I
+			if x < 0 {
+				x = -x
+			}
+			return intVal(x), nil
+		}
+		return floatVal(math.Abs(f(0))), nil
+	case "min":
+		if allInt {
+			if vals[0].I < vals[1].I {
+				return vals[0], nil
+			}
+			return vals[1], nil
+		}
+		return floatVal(math.Min(f(0), f(1))), nil
+	case "max":
+		if allInt {
+			if vals[0].I > vals[1].I {
+				return vals[0], nil
+			}
+			return vals[1], nil
+		}
+		return floatVal(math.Max(f(0), f(1))), nil
+	}
+	return Value{}, rterrf(ex.Pos, "unhandled builtin %s", ex.Builtin)
+}
+
+func (in *Interp) evalAssign(ex *minic.AssignExpr, fr *frame) (Value, error) {
+	rhs, err := in.eval(ex.RHS, fr)
+	if err != nil {
+		return Value{}, err
+	}
+	read, write, err := in.lvalue(ex.LHS, fr)
+	if err != nil {
+		return Value{}, err
+	}
+	var out Value
+	if ex.Op == minic.TokAssign {
+		out = rhs
+	} else {
+		cur := read()
+		op := compoundBase(ex.Op)
+		out, err = applyArith(ex.Pos, op, cur, rhs)
+		if err != nil {
+			return Value{}, err
+		}
+	}
+	write(out)
+	return read(), nil
+}
+
+func compoundBase(k minic.TokenKind) minic.TokenKind {
+	switch k {
+	case minic.TokPlusEq:
+		return minic.TokPlus
+	case minic.TokMinusEq:
+		return minic.TokMinus
+	case minic.TokStarEq:
+		return minic.TokStar
+	case minic.TokSlashEq:
+		return minic.TokSlash
+	case minic.TokPercentEq:
+		return minic.TokPercent
+	case minic.TokShlEq:
+		return minic.TokShl
+	case minic.TokShrEq:
+		return minic.TokShr
+	case minic.TokAndEq:
+		return minic.TokAmp
+	case minic.TokOrEq:
+		return minic.TokPipe
+	case minic.TokXorEq:
+		return minic.TokCaret
+	}
+	return k
+}
+
+// applyArith applies a binary arithmetic op outside the profiling path (used
+// for compound assignment and ++/--).
+func applyArith(pos minic.Pos, op minic.TokenKind, x, y Value) (Value, error) {
+	be := &minic.BinaryExpr{Pos: pos, Op: op}
+	_ = be
+	isF := x.isFloat() || y.isFloat()
+	switch op {
+	case minic.TokPlus:
+		if isF {
+			return floatVal(x.AsFloat() + y.AsFloat()), nil
+		}
+		return intVal(x.I + y.I), nil
+	case minic.TokMinus:
+		if isF {
+			return floatVal(x.AsFloat() - y.AsFloat()), nil
+		}
+		return intVal(x.I - y.I), nil
+	case minic.TokStar:
+		if isF {
+			return floatVal(x.AsFloat() * y.AsFloat()), nil
+		}
+		return intVal(x.I * y.I), nil
+	case minic.TokSlash:
+		if isF {
+			d := y.AsFloat()
+			if d == 0 {
+				return Value{}, rterrf(pos, "floating division by zero")
+			}
+			return floatVal(x.AsFloat() / d), nil
+		}
+		if y.I == 0 {
+			return Value{}, rterrf(pos, "integer division by zero")
+		}
+		return intVal(x.I / y.I), nil
+	case minic.TokPercent:
+		if y.AsInt() == 0 {
+			return Value{}, rterrf(pos, "modulo by zero")
+		}
+		return intVal(x.AsInt() % y.AsInt()), nil
+	case minic.TokShl:
+		return intVal(x.AsInt() << uint(y.AsInt()&63)), nil
+	case minic.TokShr:
+		return intVal(x.AsInt() >> uint(y.AsInt()&63)), nil
+	case minic.TokAmp:
+		return intVal(x.AsInt() & y.AsInt()), nil
+	case minic.TokPipe:
+		return intVal(x.AsInt() | y.AsInt()), nil
+	case minic.TokCaret:
+		return intVal(x.AsInt() ^ y.AsInt()), nil
+	}
+	return Value{}, rterrf(pos, "unhandled compound op %s", op)
+}
+
+// lvalue resolves an assignable expression to read/write closures. The
+// write conversion respects the storage type (C assignment semantics).
+func (in *Interp) lvalue(e minic.Expr, fr *frame) (func() Value, func(Value), error) {
+	switch lv := e.(type) {
+	case *minic.VarRef:
+		v, err := in.lookupVar(lv.Sym, fr)
+		if err != nil {
+			return nil, nil, err
+		}
+		read := func() Value { return *v }
+		write := func(x Value) { storeScalar(v, x) }
+		return read, write, nil
+	case *minic.IndexExpr:
+		av, err := in.lookupVar(lv.Array.Sym, fr)
+		if err != nil {
+			return nil, nil, err
+		}
+		off, err := in.elemOffset(lv, av, fr)
+		if err != nil {
+			return nil, nil, err
+		}
+		if av.IntArr != nil {
+			read := func() Value { return intVal(av.IntArr[off]) }
+			write := func(x Value) { av.IntArr[off] = x.AsInt() }
+			return read, write, nil
+		}
+		read := func() Value { return floatVal(av.Arr[off]) }
+		write := func(x Value) { av.Arr[off] = x.AsFloat() }
+		return read, write, nil
+	}
+	return nil, nil, rterrf(e.NodePos(), "expression is not assignable")
+}
+
+func (in *Interp) evalIncDec(ex *minic.IncDecExpr, fr *frame) (Value, error) {
+	read, write, err := in.lvalue(ex.X, fr)
+	if err != nil {
+		return Value{}, err
+	}
+	cur := read()
+	op := minic.TokPlus
+	if ex.Op == minic.TokDec {
+		op = minic.TokMinus
+	}
+	out, err := applyArith(ex.Pos, op, cur, intVal(1))
+	if err != nil {
+		return Value{}, err
+	}
+	write(out)
+	return read(), nil
+}

@@ -1,0 +1,374 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BasicKind enumerates the scalar base types of mini-C.
+type BasicKind int
+
+// Scalar base types. Double is accepted in source but treated as Float.
+const (
+	Void BasicKind = iota
+	Int
+	Float
+)
+
+// String returns the C spelling of the base type.
+func (k BasicKind) String() string {
+	switch k {
+	case Void:
+		return "void"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	}
+	return fmt.Sprintf("BasicKind(%d)", int(k))
+}
+
+// Type describes a mini-C type: a scalar, or an array of a scalar with one
+// or two constant dimensions.
+type Type struct {
+	Base BasicKind
+	Dims []int // empty: scalar; len 1: 1-D array; len 2: 2-D array
+}
+
+// ScalarType returns the scalar type with base k.
+func ScalarType(k BasicKind) Type { return Type{Base: k} }
+
+// IsScalar reports whether the type has no array dimensions.
+func (t Type) IsScalar() bool { return len(t.Dims) == 0 }
+
+// IsArray reports whether the type has at least one array dimension.
+func (t Type) IsArray() bool { return len(t.Dims) > 0 }
+
+// NumElems returns the total number of elements (1 for scalars).
+func (t Type) NumElems() int {
+	n := 1
+	for _, d := range t.Dims {
+		n *= d
+	}
+	return n
+}
+
+// ElemBytes returns the byte size of one element (4 for int and float,
+// matching a 32-bit embedded target).
+func (t Type) ElemBytes() int { return 4 }
+
+// SizeBytes returns the total byte size of a value of this type.
+func (t Type) SizeBytes() int { return t.NumElems() * t.ElemBytes() }
+
+// Equal reports structural type equality.
+func (t Type) Equal(o Type) bool {
+	if t.Base != o.Base || len(t.Dims) != len(o.Dims) {
+		return false
+	}
+	for i := range t.Dims {
+		if t.Dims[i] != o.Dims[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String returns a C-like spelling, e.g. "float[8][8]".
+func (t Type) String() string {
+	var sb strings.Builder
+	sb.WriteString(t.Base.String())
+	for _, d := range t.Dims {
+		fmt.Fprintf(&sb, "[%d]", d)
+	}
+	return sb.String()
+}
+
+// Node is implemented by every AST node and reports its source position.
+type Node interface {
+	NodePos() Pos
+}
+
+// Expr is the interface of all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Stmt is the interface of all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos   Pos
+	Value int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Pos   Pos
+	Value float64
+}
+
+// VarRef references a scalar variable or a whole array by name.
+type VarRef struct {
+	Pos  Pos
+	Name string
+	// Sym is resolved by the type checker.
+	Sym *Symbol
+}
+
+// IndexExpr is an array element access a[i] or a[i][j].
+type IndexExpr struct {
+	Pos     Pos
+	Array   *VarRef
+	Indices []Expr
+}
+
+// UnaryExpr applies a prefix operator: -, !, ~, +.
+type UnaryExpr struct {
+	Pos Pos
+	Op  TokenKind
+	X   Expr
+}
+
+// BinaryExpr applies an infix operator.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   TokenKind
+	X, Y Expr
+}
+
+// CondExpr is the ternary conditional c ? a : b.
+type CondExpr struct {
+	Pos  Pos
+	Cond Expr
+	Then Expr
+	Else Expr
+}
+
+// CallExpr calls a user-defined or builtin function.
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+	// Fn is resolved by the type checker for user functions; nil for builtins.
+	Fn *FuncDecl
+	// Builtin is non-empty when Name refers to a math builtin.
+	Builtin string
+}
+
+// AssignExpr assigns to a scalar variable or array element. Op is TokAssign
+// for plain assignment or one of the compound kinds (TokPlusEq etc.).
+type AssignExpr struct {
+	Pos Pos
+	Op  TokenKind
+	LHS Expr // *VarRef or *IndexExpr
+	RHS Expr
+}
+
+// IncDecExpr is i++ / i-- / ++i / --i used as a statement or for-post.
+type IncDecExpr struct {
+	Pos Pos
+	Op  TokenKind // TokInc or TokDec
+	X   Expr      // *VarRef or *IndexExpr
+}
+
+// CastExpr is an explicit (int) or (float) conversion.
+type CastExpr struct {
+	Pos Pos
+	To  BasicKind
+	X   Expr
+}
+
+// NodePos implementations.
+func (e *IntLit) NodePos() Pos     { return e.Pos }
+func (e *FloatLit) NodePos() Pos   { return e.Pos }
+func (e *VarRef) NodePos() Pos     { return e.Pos }
+func (e *IndexExpr) NodePos() Pos  { return e.Pos }
+func (e *UnaryExpr) NodePos() Pos  { return e.Pos }
+func (e *BinaryExpr) NodePos() Pos { return e.Pos }
+func (e *CondExpr) NodePos() Pos   { return e.Pos }
+func (e *CallExpr) NodePos() Pos   { return e.Pos }
+func (e *AssignExpr) NodePos() Pos { return e.Pos }
+func (e *IncDecExpr) NodePos() Pos { return e.Pos }
+func (e *CastExpr) NodePos() Pos   { return e.Pos }
+
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*VarRef) exprNode()     {}
+func (*IndexExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*CondExpr) exprNode()   {}
+func (*CallExpr) exprNode()   {}
+func (*AssignExpr) exprNode() {}
+func (*IncDecExpr) exprNode() {}
+func (*CastExpr) exprNode()   {}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// DeclStmt declares a local variable, optionally with a scalar initializer
+// or an array initializer list.
+type DeclStmt struct {
+	Pos  Pos
+	Name string
+	Type Type
+	Init Expr   // scalar initializer, may be nil
+	List []Expr // array initializer list, may be nil
+	Sym  *Symbol
+}
+
+// ExprStmt evaluates an expression for its side effects (assignment, call,
+// increment).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// BlockStmt is a brace-delimited statement list.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt, or nil
+}
+
+// ForStmt is a C for loop. Init and Post may be nil; Cond may be nil
+// (infinite loop).
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt // *DeclStmt or *ExprStmt or nil
+	Cond Expr
+	Post Expr // AssignExpr or IncDecExpr, may be nil
+	Body *BlockStmt
+}
+
+// WhileStmt is while (cond) body, or do body while (cond) when DoWhile.
+type WhileStmt struct {
+	Pos     Pos
+	Cond    Expr
+	Body    *BlockStmt
+	DoWhile bool
+}
+
+// ReturnStmt returns from the current function.
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr // nil for void return
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+func (s *DeclStmt) NodePos() Pos     { return s.Pos }
+func (s *ExprStmt) NodePos() Pos     { return s.Pos }
+func (s *BlockStmt) NodePos() Pos    { return s.Pos }
+func (s *IfStmt) NodePos() Pos       { return s.Pos }
+func (s *ForStmt) NodePos() Pos      { return s.Pos }
+func (s *WhileStmt) NodePos() Pos    { return s.Pos }
+func (s *ReturnStmt) NodePos() Pos   { return s.Pos }
+func (s *BreakStmt) NodePos() Pos    { return s.Pos }
+func (s *ContinueStmt) NodePos() Pos { return s.Pos }
+
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*BlockStmt) stmtNode()    {}
+func (*IfStmt) stmtNode()       {}
+func (*ForStmt) stmtNode()      {}
+func (*WhileStmt) stmtNode()    {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+// Param is a function parameter. Array parameters are passed by reference
+// (as in C); scalars by value.
+type Param struct {
+	Name string
+	Type Type
+	Sym  *Symbol
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Result Type
+	Params []Param
+	Body   *BlockStmt
+}
+
+// NodePos returns the declaration position.
+func (f *FuncDecl) NodePos() Pos { return f.Pos }
+
+// GlobalDecl is a file-scope variable definition.
+type GlobalDecl struct {
+	Pos  Pos
+	Name string
+	Type Type
+	Init Expr
+	List []Expr
+	Sym  *Symbol
+}
+
+// NodePos returns the declaration position.
+func (g *GlobalDecl) NodePos() Pos { return g.Pos }
+
+// Program is a parsed translation unit.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// SymbolKind distinguishes the storage of a symbol.
+type SymbolKind int
+
+// Symbol kinds.
+const (
+	SymGlobal SymbolKind = iota
+	SymLocal
+	SymParam
+)
+
+// Symbol is a resolved variable: the type checker allocates one per
+// distinct declaration and links every reference to it.
+type Symbol struct {
+	Name string
+	Kind SymbolKind
+	Type Type
+	// ID is unique per program, assigned by the checker in declaration order.
+	ID int
+}
+
+// String renders the symbol for diagnostics.
+func (s *Symbol) String() string {
+	return fmt.Sprintf("%s#%d:%s", s.Name, s.ID, s.Type)
+}

@@ -1,0 +1,446 @@
+package minic
+
+import "fmt"
+
+// Builtins maps the math builtin names accepted by mini-C to an arity.
+// They all take and return float except abs/min/max which are overloaded on
+// int and float operands.
+var Builtins = map[string]int{
+	"fabs": 1, "sqrt": 1, "sin": 1, "cos": 1, "tan": 1, "exp": 1, "log": 1,
+	"floor": 1, "ceil": 1, "pow": 2, "atan": 1, "atan2": 2,
+	"abs": 1, "min": 2, "max": 2,
+}
+
+// checker holds the state of one type-checking pass.
+type checker struct {
+	prog   *Program
+	scopes []map[string]*Symbol
+	nextID int
+	fn     *FuncDecl
+	loop   int // loop nesting depth
+}
+
+// Check resolves all names, assigns Symbols and verifies types in place.
+func Check(prog *Program) error {
+	c := &checker{prog: prog}
+	c.push()
+	defer c.pop()
+	// Globals first (in order; forward references between globals are not
+	// allowed, matching C initializer rules).
+	for _, g := range prog.Globals {
+		if g.Init != nil {
+			if _, err := c.exprType(g.Init); err != nil {
+				return err
+			}
+		}
+		for _, e := range g.List {
+			if _, err := c.exprType(e); err != nil {
+				return err
+			}
+		}
+		if g.Type.IsArray() && g.Init != nil {
+			return errf(g.Pos, "array %s needs a brace initializer", g.Name)
+		}
+		if len(g.List) > g.Type.NumElems() {
+			return errf(g.Pos, "too many initializers for %s", g.Name)
+		}
+		sym, err := c.declare(g.Pos, g.Name, SymGlobal, g.Type)
+		if err != nil {
+			return err
+		}
+		g.Sym = sym
+	}
+	// Check for duplicate function names and that main exists when the
+	// program is a whole application (library use may omit it; callers that
+	// need main check separately).
+	seen := map[string]bool{}
+	for _, f := range prog.Funcs {
+		if seen[f.Name] {
+			return errf(f.Pos, "function %s redefined", f.Name)
+		}
+		seen[f.Name] = true
+		if _, isBuiltin := Builtins[f.Name]; isBuiltin {
+			return errf(f.Pos, "function %s shadows a builtin", f.Name)
+		}
+	}
+	for _, f := range prog.Funcs {
+		if err := c.checkFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]*Symbol{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(pos Pos, name string, kind SymbolKind, t Type) (*Symbol, error) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[name]; dup {
+		return nil, errf(pos, "%s redeclared in this scope", name)
+	}
+	sym := &Symbol{Name: name, Kind: kind, Type: t, ID: c.nextID}
+	c.nextID++
+	top[name] = sym
+	return sym, nil
+}
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkFunc(f *FuncDecl) error {
+	c.fn = f
+	c.push()
+	defer c.pop()
+	for i := range f.Params {
+		p := &f.Params[i]
+		// Unsized leading dimension: keep 0; the interpreter passes arrays
+		// by reference so the callee only needs trailing dims for indexing.
+		sym, err := c.declare(f.Pos, p.Name, SymParam, p.Type)
+		if err != nil {
+			return err
+		}
+		p.Sym = sym
+	}
+	return c.checkBlock(f.Body, false)
+}
+
+func (c *checker) checkBlock(b *BlockStmt, newScope bool) error {
+	if newScope {
+		c.push()
+		defer c.pop()
+	}
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *DeclStmt:
+		if st.Init != nil {
+			t, err := c.exprType(st.Init)
+			if err != nil {
+				return err
+			}
+			if !t.IsScalar() {
+				return errf(st.Pos, "cannot initialize %s with an array value", st.Name)
+			}
+		}
+		for _, e := range st.List {
+			if _, err := c.exprType(e); err != nil {
+				return err
+			}
+		}
+		if len(st.List) > st.Type.NumElems() {
+			return errf(st.Pos, "too many initializers for %s", st.Name)
+		}
+		sym, err := c.declare(st.Pos, st.Name, SymLocal, st.Type)
+		if err != nil {
+			return err
+		}
+		st.Sym = sym
+		return nil
+	case *ExprStmt:
+		_, err := c.exprType(st.X)
+		return err
+	case *BlockStmt:
+		return c.checkBlock(st, true)
+	case *IfStmt:
+		if _, err := c.exprType(st.Cond); err != nil {
+			return err
+		}
+		if err := c.checkBlock(st.Then, true); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkStmt(st.Else)
+		}
+		return nil
+	case *ForStmt:
+		c.push()
+		defer c.pop()
+		if st.Init != nil {
+			if err := c.checkStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if _, err := c.exprType(st.Cond); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if _, err := c.exprType(st.Post); err != nil {
+				return err
+			}
+		}
+		c.loop++
+		defer func() { c.loop-- }()
+		return c.checkBlock(st.Body, true)
+	case *WhileStmt:
+		if _, err := c.exprType(st.Cond); err != nil {
+			return err
+		}
+		c.loop++
+		defer func() { c.loop-- }()
+		return c.checkBlock(st.Body, true)
+	case *ReturnStmt:
+		if st.Value == nil {
+			if c.fn.Result.Base != Void {
+				return errf(st.Pos, "function %s must return a %s value", c.fn.Name, c.fn.Result)
+			}
+			return nil
+		}
+		t, err := c.exprType(st.Value)
+		if err != nil {
+			return err
+		}
+		if c.fn.Result.Base == Void {
+			return errf(st.Pos, "void function %s cannot return a value", c.fn.Name)
+		}
+		if !t.IsScalar() {
+			return errf(st.Pos, "cannot return an array value")
+		}
+		return nil
+	case *BreakStmt:
+		if c.loop == 0 {
+			return errf(st.Pos, "break outside a loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loop == 0 {
+			return errf(st.Pos, "continue outside a loop")
+		}
+		return nil
+	}
+	return fmt.Errorf("unhandled statement %T", s)
+}
+
+// exprType resolves names inside e and returns its type.
+func (c *checker) exprType(e Expr) (Type, error) {
+	switch ex := e.(type) {
+	case *IntLit:
+		return ScalarType(Int), nil
+	case *FloatLit:
+		return ScalarType(Float), nil
+	case *VarRef:
+		sym := c.lookup(ex.Name)
+		if sym == nil {
+			return Type{}, errf(ex.Pos, "undefined variable %s", ex.Name)
+		}
+		ex.Sym = sym
+		return sym.Type, nil
+	case *IndexExpr:
+		t, err := c.exprType(ex.Array)
+		if err != nil {
+			return Type{}, err
+		}
+		if !t.IsArray() {
+			return Type{}, errf(ex.Pos, "%s is not an array", ex.Array.Name)
+		}
+		if len(ex.Indices) > len(t.Dims) {
+			return Type{}, errf(ex.Pos, "too many indices for %s (%s)", ex.Array.Name, t)
+		}
+		for _, ix := range ex.Indices {
+			it, err := c.exprType(ix)
+			if err != nil {
+				return Type{}, err
+			}
+			if !it.IsScalar() {
+				return Type{}, errf(ix.NodePos(), "array index must be scalar")
+			}
+		}
+		if len(ex.Indices) == len(t.Dims) {
+			return ScalarType(t.Base), nil
+		}
+		// Partial indexing of a 2-D array yields a row view (only valid as a
+		// call argument); represent as 1-D array of the trailing dim.
+		return Type{Base: t.Base, Dims: t.Dims[len(ex.Indices):]}, nil
+	case *UnaryExpr:
+		t, err := c.exprType(ex.X)
+		if err != nil {
+			return Type{}, err
+		}
+		if !t.IsScalar() {
+			return Type{}, errf(ex.Pos, "unary %s requires a scalar operand", ex.Op)
+		}
+		if ex.Op == TokNot || ex.Op == TokTilde {
+			return ScalarType(Int), nil
+		}
+		return t, nil
+	case *BinaryExpr:
+		xt, err := c.exprType(ex.X)
+		if err != nil {
+			return Type{}, err
+		}
+		yt, err := c.exprType(ex.Y)
+		if err != nil {
+			return Type{}, err
+		}
+		if !xt.IsScalar() || !yt.IsScalar() {
+			return Type{}, errf(ex.Pos, "binary %s requires scalar operands", ex.Op)
+		}
+		switch ex.Op {
+		case TokEq, TokNeq, TokLt, TokGt, TokLe, TokGe, TokAndAnd, TokOrOr:
+			return ScalarType(Int), nil
+		case TokPercent, TokAmp, TokPipe, TokCaret, TokShl, TokShr:
+			if xt.Base != Int || yt.Base != Int {
+				return Type{}, errf(ex.Pos, "operator %s requires int operands", ex.Op)
+			}
+			return ScalarType(Int), nil
+		default:
+			if xt.Base == Float || yt.Base == Float {
+				return ScalarType(Float), nil
+			}
+			return ScalarType(Int), nil
+		}
+	case *CondExpr:
+		if _, err := c.exprType(ex.Cond); err != nil {
+			return Type{}, err
+		}
+		tt, err := c.exprType(ex.Then)
+		if err != nil {
+			return Type{}, err
+		}
+		et, err := c.exprType(ex.Else)
+		if err != nil {
+			return Type{}, err
+		}
+		if tt.Base == Float || et.Base == Float {
+			return ScalarType(Float), nil
+		}
+		return tt, nil
+	case *CallExpr:
+		return c.callType(ex)
+	case *AssignExpr:
+		lt, err := c.exprType(ex.LHS)
+		if err != nil {
+			return Type{}, err
+		}
+		if !lt.IsScalar() {
+			return Type{}, errf(ex.Pos, "cannot assign to an array as a whole")
+		}
+		rt, err := c.exprType(ex.RHS)
+		if err != nil {
+			return Type{}, err
+		}
+		if !rt.IsScalar() {
+			return Type{}, errf(ex.Pos, "cannot assign an array value")
+		}
+		if ex.Op != TokAssign && ex.Op != TokPlusEq && ex.Op != TokMinusEq &&
+			ex.Op != TokStarEq && ex.Op != TokSlashEq {
+			if lt.Base != Int || rt.Base != Int {
+				return Type{}, errf(ex.Pos, "compound operator %s requires int operands", ex.Op)
+			}
+		}
+		return lt, nil
+	case *IncDecExpr:
+		t, err := c.exprType(ex.X)
+		if err != nil {
+			return Type{}, err
+		}
+		switch ex.X.(type) {
+		case *VarRef, *IndexExpr:
+		default:
+			return Type{}, errf(ex.Pos, "%s requires a variable or array element", ex.Op)
+		}
+		if !t.IsScalar() {
+			return Type{}, errf(ex.Pos, "%s requires a scalar operand", ex.Op)
+		}
+		return t, nil
+	case *CastExpr:
+		t, err := c.exprType(ex.X)
+		if err != nil {
+			return Type{}, err
+		}
+		if !t.IsScalar() {
+			return Type{}, errf(ex.Pos, "cannot cast an array value")
+		}
+		return ScalarType(ex.To), nil
+	}
+	return Type{}, fmt.Errorf("unhandled expression %T", e)
+}
+
+func (c *checker) callType(ex *CallExpr) (Type, error) {
+	if arity, ok := Builtins[ex.Name]; ok {
+		ex.Builtin = ex.Name
+		if len(ex.Args) != arity {
+			return Type{}, errf(ex.Pos, "builtin %s expects %d argument(s), got %d", ex.Name, arity, len(ex.Args))
+		}
+		allInt := true
+		for _, a := range ex.Args {
+			t, err := c.exprType(a)
+			if err != nil {
+				return Type{}, err
+			}
+			if !t.IsScalar() {
+				return Type{}, errf(a.NodePos(), "builtin %s requires scalar arguments", ex.Name)
+			}
+			if t.Base != Int {
+				allInt = false
+			}
+		}
+		switch ex.Name {
+		case "abs", "min", "max":
+			if allInt {
+				return ScalarType(Int), nil
+			}
+			return ScalarType(Float), nil
+		case "floor", "ceil":
+			return ScalarType(Float), nil
+		default:
+			return ScalarType(Float), nil
+		}
+	}
+	fn := c.prog.Func(ex.Name)
+	if fn == nil {
+		return Type{}, errf(ex.Pos, "call to undefined function %s", ex.Name)
+	}
+	ex.Fn = fn
+	if len(ex.Args) != len(fn.Params) {
+		return Type{}, errf(ex.Pos, "function %s expects %d argument(s), got %d", ex.Name, len(fn.Params), len(ex.Args))
+	}
+	for i, a := range ex.Args {
+		at, err := c.exprType(a)
+		if err != nil {
+			return Type{}, err
+		}
+		pt := fn.Params[i].Type
+		if pt.IsArray() != at.IsArray() {
+			return Type{}, errf(a.NodePos(), "argument %d of %s: have %s, want %s", i+1, ex.Name, at, pt)
+		}
+		if pt.IsArray() {
+			if pt.Base != at.Base {
+				return Type{}, errf(a.NodePos(), "argument %d of %s: element type mismatch (%s vs %s)", i+1, ex.Name, at, pt)
+			}
+			if len(pt.Dims) != len(at.Dims) {
+				return Type{}, errf(a.NodePos(), "argument %d of %s: rank mismatch (%s vs %s)", i+1, ex.Name, at, pt)
+			}
+			// Trailing dims must match exactly; a 0 (unsized) param dim
+			// accepts any extent.
+			for d := range pt.Dims {
+				if pt.Dims[d] != 0 && pt.Dims[d] != at.Dims[d] {
+					return Type{}, errf(a.NodePos(), "argument %d of %s: extent mismatch (%s vs %s)", i+1, ex.Name, at, pt)
+				}
+			}
+			// Array arguments must be direct variable or row references so
+			// that aliasing is trackable by the dependence analysis.
+			switch a.(type) {
+			case *VarRef, *IndexExpr:
+			default:
+				return Type{}, errf(a.NodePos(), "array argument %d of %s must be a variable", i+1, ex.Name)
+			}
+		}
+	}
+	return fn.Result, nil
+}

@@ -1,0 +1,391 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Error is a front-end diagnostic carrying a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lexer turns mini-C source text into tokens. It strips // and /* */
+// comments and expands simple object-like #define macros (the only
+// preprocessor feature the benchmark sources need).
+type Lexer struct {
+	src     string
+	off     int
+	line    int
+	col     int
+	defines map[string][]Token // macro name -> replacement tokens
+	// expansion queue for macros currently being substituted
+	pending []Token
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1, defines: make(map[string][]Token)}
+}
+
+// Lex tokenizes the whole input, returning tokens terminated by a TokEOF
+// entry, or the first lexical error encountered.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) peekByte() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peekByteAt(i int) byte {
+	if lx.off+i >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+i]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// skipSpace consumes whitespace and comments. It returns an error for an
+// unterminated block comment.
+func (lx *Lexer) skipSpace() error {
+	for lx.off < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peekByteAt(1) == '/':
+			for lx.off < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peekByteAt(1) == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peekByte() == '*' && lx.peekByteAt(1) == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return errf(start, "unterminated block comment")
+			}
+		case c == '#':
+			if err := lx.directive(); err != nil {
+				return err
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// directive handles a preprocessor line starting at '#'. Only object-like
+// #define NAME TOKENS... is supported; #include and other directives are
+// rejected so that unsupported sources fail loudly.
+func (lx *Lexer) directive() error {
+	start := lx.pos()
+	lx.advance() // '#'
+	for lx.peekByte() == ' ' || lx.peekByte() == '\t' {
+		lx.advance()
+	}
+	word := lx.readWord()
+	if word != "define" {
+		return errf(start, "unsupported preprocessor directive #%s (only #define is supported)", word)
+	}
+	for lx.peekByte() == ' ' || lx.peekByte() == '\t' {
+		lx.advance()
+	}
+	if !isIdentStart(lx.peekByte()) {
+		return errf(lx.pos(), "#define expects a macro name")
+	}
+	name := lx.readWord()
+	if lx.peekByte() == '(' {
+		return errf(lx.pos(), "function-like macros are not supported (#define %s(...))", name)
+	}
+	// Capture the remainder of the line and lex it as replacement tokens.
+	lineStart := lx.off
+	for lx.off < len(lx.src) && lx.peekByte() != '\n' {
+		lx.advance()
+	}
+	body := strings.TrimSpace(lx.src[lineStart:lx.off])
+	var repl []Token
+	if body != "" {
+		sub, err := Lex(body)
+		if err != nil {
+			return errf(start, "in #define %s: %v", name, err)
+		}
+		repl = sub[:len(sub)-1] // drop EOF
+	}
+	lx.defines[name] = repl
+	return nil
+}
+
+func (lx *Lexer) readWord() string {
+	start := lx.off
+	for lx.off < len(lx.src) && isIdentCont(lx.peekByte()) {
+		lx.advance()
+	}
+	return lx.src[start:lx.off]
+}
+
+// Next returns the next token, expanding macros.
+func (lx *Lexer) Next() (Token, error) {
+	if len(lx.pending) > 0 {
+		t := lx.pending[0]
+		lx.pending = lx.pending[1:]
+		return t, nil
+	}
+	if err := lx.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := lx.peekByte()
+	switch {
+	case isIdentStart(c):
+		word := lx.readWord()
+		if kw, ok := keywords[word]; ok {
+			return Token{Kind: kw, Text: word, Pos: pos}, nil
+		}
+		if repl, ok := lx.defines[word]; ok {
+			// Substitute the macro body, re-positioned at the use site.
+			if len(repl) == 0 {
+				return lx.Next()
+			}
+			out := make([]Token, len(repl))
+			for i, t := range repl {
+				t.Pos = pos
+				out[i] = t
+			}
+			lx.pending = append(out[1:], lx.pending...)
+			return out[0], nil
+		}
+		return Token{Kind: TokIdent, Text: word, Pos: pos}, nil
+	case isDigit(c) || (c == '.' && isDigit(lx.peekByteAt(1))):
+		return lx.number(pos)
+	case c == '\'':
+		return lx.charLit(pos)
+	case c == '"':
+		return lx.stringLit(pos)
+	}
+	return lx.operator(pos)
+}
+
+func (lx *Lexer) number(pos Pos) (Token, error) {
+	start := lx.off
+	isFloat := false
+	if lx.peekByte() == '0' && (lx.peekByteAt(1) == 'x' || lx.peekByteAt(1) == 'X') {
+		lx.advance()
+		lx.advance()
+		for isDigit(lx.peekByte()) ||
+			(lx.peekByte() >= 'a' && lx.peekByte() <= 'f') ||
+			(lx.peekByte() >= 'A' && lx.peekByte() <= 'F') {
+			lx.advance()
+		}
+		return Token{Kind: TokIntLit, Text: lx.src[start:lx.off], Pos: pos}, nil
+	}
+	for isDigit(lx.peekByte()) {
+		lx.advance()
+	}
+	if lx.peekByte() == '.' {
+		isFloat = true
+		lx.advance()
+		for isDigit(lx.peekByte()) {
+			lx.advance()
+		}
+	}
+	if lx.peekByte() == 'e' || lx.peekByte() == 'E' {
+		isFloat = true
+		lx.advance()
+		if lx.peekByte() == '+' || lx.peekByte() == '-' {
+			lx.advance()
+		}
+		if !isDigit(lx.peekByte()) {
+			return Token{}, errf(lx.pos(), "malformed exponent in numeric literal")
+		}
+		for isDigit(lx.peekByte()) {
+			lx.advance()
+		}
+	}
+	// Accept and drop C suffixes (f, F, l, L, u, U).
+	text := lx.src[start:lx.off]
+	for {
+		c := lx.peekByte()
+		if c == 'f' || c == 'F' {
+			isFloat = true
+			lx.advance()
+			continue
+		}
+		if c == 'l' || c == 'L' || c == 'u' || c == 'U' {
+			lx.advance()
+			continue
+		}
+		break
+	}
+	kind := TokIntLit
+	if isFloat {
+		kind = TokFloatLit
+	}
+	return Token{Kind: kind, Text: text, Pos: pos}, nil
+}
+
+func (lx *Lexer) charLit(pos Pos) (Token, error) {
+	lx.advance() // opening quote
+	if lx.off >= len(lx.src) {
+		return Token{}, errf(pos, "unterminated character literal")
+	}
+	var val byte
+	c := lx.advance()
+	if c == '\\' {
+		if lx.off >= len(lx.src) {
+			return Token{}, errf(pos, "unterminated character literal")
+		}
+		esc := lx.advance()
+		switch esc {
+		case 'n':
+			val = '\n'
+		case 't':
+			val = '\t'
+		case 'r':
+			val = '\r'
+		case '0':
+			val = 0
+		case '\\', '\'', '"':
+			val = esc
+		default:
+			return Token{}, errf(pos, "unsupported escape \\%c", esc)
+		}
+	} else {
+		val = c
+	}
+	if lx.off >= len(lx.src) || lx.advance() != '\'' {
+		return Token{}, errf(pos, "unterminated character literal")
+	}
+	return Token{Kind: TokCharLit, Text: fmt.Sprintf("%d", val), Pos: pos}, nil
+}
+
+func (lx *Lexer) stringLit(pos Pos) (Token, error) {
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if lx.off >= len(lx.src) {
+			return Token{}, errf(pos, "unterminated string literal")
+		}
+		c := lx.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			if lx.off >= len(lx.src) {
+				return Token{}, errf(pos, "unterminated string literal")
+			}
+			esc := lx.advance()
+			switch esc {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '\\', '"', '\'':
+				sb.WriteByte(esc)
+			default:
+				return Token{}, errf(pos, "unsupported escape \\%c in string", esc)
+			}
+			continue
+		}
+		sb.WriteByte(c)
+	}
+	return Token{Kind: TokStringLit, Text: sb.String(), Pos: pos}, nil
+}
+
+// operator lexes punctuation, longest match first.
+func (lx *Lexer) operator(pos Pos) (Token, error) {
+	three := map[string]TokenKind{"<<=": TokShlEq, ">>=": TokShrEq}
+	two := map[string]TokenKind{
+		"+=": TokPlusEq, "-=": TokMinusEq, "*=": TokStarEq, "/=": TokSlashEq,
+		"%=": TokPercentEq, "&=": TokAndEq, "|=": TokOrEq, "^=": TokXorEq,
+		"++": TokInc, "--": TokDec, "==": TokEq, "!=": TokNeq, "<=": TokLe,
+		">=": TokGe, "&&": TokAndAnd, "||": TokOrOr, "<<": TokShl, ">>": TokShr,
+	}
+	one := map[byte]TokenKind{
+		'(': TokLParen, ')': TokRParen, '{': TokLBrace, '}': TokRBrace,
+		'[': TokLBracket, ']': TokRBracket, ';': TokSemi, ',': TokComma,
+		'?': TokQuestion, ':': TokColon, '=': TokAssign, '+': TokPlus,
+		'-': TokMinus, '*': TokStar, '/': TokSlash, '%': TokPercent,
+		'<': TokLt, '>': TokGt, '!': TokNot, '&': TokAmp, '|': TokPipe,
+		'^': TokCaret, '~': TokTilde,
+	}
+	if lx.off+3 <= len(lx.src) {
+		if k, ok := three[lx.src[lx.off:lx.off+3]]; ok {
+			text := lx.src[lx.off : lx.off+3]
+			lx.advance()
+			lx.advance()
+			lx.advance()
+			return Token{Kind: k, Text: text, Pos: pos}, nil
+		}
+	}
+	if lx.off+2 <= len(lx.src) {
+		if k, ok := two[lx.src[lx.off:lx.off+2]]; ok {
+			text := lx.src[lx.off : lx.off+2]
+			lx.advance()
+			lx.advance()
+			return Token{Kind: k, Text: text, Pos: pos}, nil
+		}
+	}
+	if k, ok := one[lx.peekByte()]; ok {
+		c := lx.advance()
+		return Token{Kind: k, Text: string(c), Pos: pos}, nil
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(lx.peekByte()))
+}

@@ -1,0 +1,796 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser is a recursive-descent parser for mini-C.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses src into a Program (without type checking; use
+// Check or Compile for a checked program).
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseProgram()
+}
+
+// Compile parses and type-checks src.
+func Compile(src string) (*Program, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) at(k TokenKind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k TokenKind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k TokenKind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, errf(p.cur().Pos, "expected %s, found %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for !p.at(TokEOF) {
+		// Skip storage qualifiers at file scope.
+		for p.accept(TokKwConst) || p.accept(TokKwStatic) {
+		}
+		base, ok := p.baseType()
+		if !ok {
+			return nil, errf(p.cur().Pos, "expected declaration, found %s", p.cur())
+		}
+		nameTok, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if p.at(TokLParen) {
+			fn, err := p.parseFuncRest(base, nameTok)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+			continue
+		}
+		g, err := p.parseGlobalRest(base, nameTok)
+		if err != nil {
+			return nil, err
+		}
+		prog.Globals = append(prog.Globals, g)
+	}
+	return prog, nil
+}
+
+// baseType consumes a type keyword if present.
+func (p *Parser) baseType() (BasicKind, bool) {
+	switch p.cur().Kind {
+	case TokKwInt:
+		p.next()
+		return Int, true
+	case TokKwFloat, TokKwDouble:
+		p.next()
+		return Float, true
+	case TokKwVoid:
+		p.next()
+		return Void, true
+	}
+	return Void, false
+}
+
+// parseDims parses zero, one or two constant array dimensions.
+func (p *Parser) parseDims() ([]int, error) {
+	var dims []int
+	for p.accept(TokLBracket) {
+		if len(dims) == 2 {
+			return nil, errf(p.cur().Pos, "arrays with more than two dimensions are not supported")
+		}
+		tok, err := p.expect(TokIntLit)
+		if err != nil {
+			return nil, errf(p.cur().Pos, "array dimension must be an integer constant")
+		}
+		v, err := strconv.ParseInt(tok.Text, 0, 64)
+		if err != nil || v <= 0 {
+			return nil, errf(tok.Pos, "invalid array dimension %q", tok.Text)
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		dims = append(dims, int(v))
+	}
+	return dims, nil
+}
+
+func (p *Parser) parseGlobalRest(base BasicKind, nameTok Token) (*GlobalDecl, error) {
+	if base == Void {
+		return nil, errf(nameTok.Pos, "variable %s cannot have type void", nameTok.Text)
+	}
+	dims, err := p.parseDims()
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{Pos: nameTok.Pos, Name: nameTok.Text, Type: Type{Base: base, Dims: dims}}
+	if p.accept(TokAssign) {
+		if p.at(TokLBrace) {
+			g.List, err = p.parseInitList()
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			g.Init, err = p.parseAssignExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// parseInitList parses { e, e, ... } possibly nested one level for 2-D
+// arrays; nested lists are flattened in row-major order.
+func (p *Parser) parseInitList() ([]Expr, error) {
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	var list []Expr
+	for !p.at(TokRBrace) {
+		if p.at(TokLBrace) {
+			sub, err := p.parseInitList()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, sub...)
+		} else {
+			e, err := p.parseAssignExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+		}
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return list, nil
+}
+
+func (p *Parser) parseFuncRest(base BasicKind, nameTok Token) (*FuncDecl, error) {
+	fn := &FuncDecl{Pos: nameTok.Pos, Name: nameTok.Text, Result: ScalarType(base)}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	if p.accept(TokKwVoid) && p.at(TokRParen) {
+		// f(void)
+	} else if !p.at(TokRParen) {
+		for {
+			for p.accept(TokKwConst) {
+			}
+			pbase, ok := p.baseType()
+			if !ok {
+				return nil, errf(p.cur().Pos, "expected parameter type, found %s", p.cur())
+			}
+			pname, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			dims, err := p.parseParamDims()
+			if err != nil {
+				return nil, err
+			}
+			fn.Params = append(fn.Params, Param{Name: pname.Text, Type: Type{Base: pbase, Dims: dims}})
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+// parseParamDims allows an empty first dimension (int a[] or int a[][N]):
+// the checker later unifies it with the argument's actual dimension.
+func (p *Parser) parseParamDims() ([]int, error) {
+	var dims []int
+	for p.accept(TokLBracket) {
+		if len(dims) == 2 {
+			return nil, errf(p.cur().Pos, "arrays with more than two dimensions are not supported")
+		}
+		if p.accept(TokRBracket) {
+			dims = append(dims, 0) // unsized; resolved against call sites
+			continue
+		}
+		tok, err := p.expect(TokIntLit)
+		if err != nil {
+			return nil, err
+		}
+		v, _ := strconv.ParseInt(tok.Text, 0, 64)
+		if v <= 0 {
+			return nil, errf(tok.Pos, "invalid array dimension %q", tok.Text)
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		dims = append(dims, int(v))
+	}
+	return dims, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{Pos: lb.Pos}
+	for !p.at(TokRBrace) {
+		if p.at(TokEOF) {
+			return nil, errf(lb.Pos, "unterminated block")
+		}
+		switch p.cur().Kind {
+		case TokKwConst, TokKwStatic, TokKwInt, TokKwFloat, TokKwDouble:
+			// Multi-declarator declarations are spliced directly into the
+			// enclosing block so all declared names share its scope.
+			decls, err := p.parseDeclList()
+			if err != nil {
+				return nil, err
+			}
+			blk.Stmts = append(blk.Stmts, decls...)
+		default:
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			blk.Stmts = append(blk.Stmts, s)
+		}
+	}
+	p.next() // consume '}'
+	return blk, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case TokLBrace:
+		return p.parseBlock()
+	case TokKwIf:
+		return p.parseIf()
+	case TokKwFor:
+		return p.parseFor()
+	case TokKwWhile:
+		return p.parseWhile()
+	case TokKwDo:
+		return p.parseDoWhile()
+	case TokKwReturn:
+		p.next()
+		rs := &ReturnStmt{Pos: tok.Pos}
+		if !p.at(TokSemi) {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			rs.Value = v
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return rs, nil
+	case TokKwBreak:
+		p.next()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: tok.Pos}, nil
+	case TokKwContinue:
+		p.next()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: tok.Pos}, nil
+	case TokSemi:
+		p.next()
+		return &BlockStmt{Pos: tok.Pos}, nil // empty statement
+	case TokKwConst, TokKwStatic, TokKwInt, TokKwFloat, TokKwDouble:
+		return p.parseDecl()
+	}
+	// Expression statement.
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{Pos: tok.Pos, X: e}, nil
+}
+
+// parseDecl parses a declaration with exactly one declarator (used in
+// for-init and single-statement contexts).
+func (p *Parser) parseDecl() (Stmt, error) {
+	decls, err := p.parseDeclList()
+	if err != nil {
+		return nil, err
+	}
+	if len(decls) != 1 {
+		return nil, errf(decls[0].NodePos(), "multiple declarators are not allowed here")
+	}
+	return decls[0], nil
+}
+
+// parseDeclList parses "type d1, d2, ...;" into one DeclStmt per declarator.
+func (p *Parser) parseDeclList() ([]Stmt, error) {
+	for p.accept(TokKwConst) || p.accept(TokKwStatic) {
+	}
+	base, ok := p.baseType()
+	if !ok {
+		return nil, errf(p.cur().Pos, "expected type in declaration")
+	}
+	if base == Void {
+		return nil, errf(p.cur().Pos, "variables cannot have type void")
+	}
+	// One or more declarators separated by commas become a block of decls.
+	var decls []Stmt
+	for {
+		nameTok, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		dims, err := p.parseDims()
+		if err != nil {
+			return nil, err
+		}
+		d := &DeclStmt{Pos: nameTok.Pos, Name: nameTok.Text, Type: Type{Base: base, Dims: dims}}
+		if p.accept(TokAssign) {
+			if p.at(TokLBrace) {
+				d.List, err = p.parseInitList()
+			} else {
+				d.Init, err = p.parseAssignExpr()
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		decls = append(decls, d)
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return decls, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	tok := p.next() // 'if'
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	thenBlk, err := p.parseStmtAsBlock()
+	if err != nil {
+		return nil, err
+	}
+	is := &IfStmt{Pos: tok.Pos, Cond: cond, Then: thenBlk}
+	if p.accept(TokKwElse) {
+		if p.at(TokKwIf) {
+			elseIf, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			is.Else = elseIf
+		} else {
+			elseBlk, err := p.parseStmtAsBlock()
+			if err != nil {
+				return nil, err
+			}
+			is.Else = elseBlk
+		}
+	}
+	return is, nil
+}
+
+// parseStmtAsBlock parses a statement and wraps non-blocks in a BlockStmt so
+// downstream passes always see uniform bodies.
+func (p *Parser) parseStmtAsBlock() (*BlockStmt, error) {
+	if p.at(TokLBrace) {
+		return p.parseBlock()
+	}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &BlockStmt{Pos: s.NodePos(), Stmts: []Stmt{s}}, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	tok := p.next() // 'for'
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	fs := &ForStmt{Pos: tok.Pos}
+	if !p.at(TokSemi) {
+		if p.at(TokKwInt) || p.at(TokKwFloat) || p.at(TokKwDouble) {
+			d, err := p.parseDecl() // consumes the ';'
+			if err != nil {
+				return nil, err
+			}
+			fs.Init = d
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fs.Init = &ExprStmt{Pos: e.NodePos(), X: e}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.next()
+	}
+	if !p.at(TokSemi) {
+		c, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fs.Cond = c
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if !p.at(TokRParen) {
+		post, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fs.Post = post
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmtAsBlock()
+	if err != nil {
+		return nil, err
+	}
+	fs.Body = body
+	return fs, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	tok := p.next() // 'while'
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmtAsBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos: tok.Pos, Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) parseDoWhile() (Stmt, error) {
+	tok := p.next() // 'do'
+	body, err := p.parseStmtAsBlock()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKwWhile); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos: tok.Pos, Cond: cond, Body: body, DoWhile: true}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+
+// parseExpr parses a full expression including assignment.
+func (p *Parser) parseExpr() (Expr, error) { return p.parseAssignExpr() }
+
+var assignOps = map[TokenKind]bool{
+	TokAssign: true, TokPlusEq: true, TokMinusEq: true, TokStarEq: true,
+	TokSlashEq: true, TokPercentEq: true, TokShlEq: true, TokShrEq: true,
+	TokAndEq: true, TokOrEq: true, TokXorEq: true,
+}
+
+func (p *Parser) parseAssignExpr() (Expr, error) {
+	lhs, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	if assignOps[p.cur().Kind] {
+		opTok := p.next()
+		switch lhs.(type) {
+		case *VarRef, *IndexExpr:
+		default:
+			return nil, errf(opTok.Pos, "left-hand side of assignment must be a variable or array element")
+		}
+		rhs, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignExpr{Pos: opTok.Pos, Op: opTok.Kind, LHS: lhs, RHS: rhs}, nil
+	}
+	return lhs, nil
+}
+
+func (p *Parser) parseTernary() (Expr, error) {
+	cond, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(TokQuestion) {
+		return cond, nil
+	}
+	thenE, err := p.parseAssignExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	elseE, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	return &CondExpr{Pos: cond.NodePos(), Cond: cond, Then: thenE, Else: elseE}, nil
+}
+
+// binaryPrec returns the precedence of an infix operator or -1.
+func binaryPrec(k TokenKind) int {
+	switch k {
+	case TokOrOr:
+		return 1
+	case TokAndAnd:
+		return 2
+	case TokPipe:
+		return 3
+	case TokCaret:
+		return 4
+	case TokAmp:
+		return 5
+	case TokEq, TokNeq:
+		return 6
+	case TokLt, TokGt, TokLe, TokGe:
+		return 7
+	case TokShl, TokShr:
+		return 8
+	case TokPlus, TokMinus:
+		return 9
+	case TokStar, TokSlash, TokPercent:
+		return 10
+	}
+	return -1
+}
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec := binaryPrec(p.cur().Kind)
+		if prec < 0 || prec < minPrec {
+			return lhs, nil
+		}
+		opTok := p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Pos: opTok.Pos, Op: opTok.Kind, X: lhs, Y: rhs}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case TokMinus, TokNot, TokTilde:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: tok.Pos, Op: tok.Kind, X: x}, nil
+	case TokPlus:
+		p.next()
+		return p.parseUnary()
+	case TokInc, TokDec:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &IncDecExpr{Pos: tok.Pos, Op: tok.Kind, X: x}, nil
+	case TokLParen:
+		// Cast or parenthesized expression.
+		if k, n := p.castLookahead(); n > 0 {
+			p.pos += n
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &CastExpr{Pos: tok.Pos, To: k, X: x}, nil
+		}
+	}
+	return p.parsePostfix()
+}
+
+// castLookahead detects "(int)" / "(float)" / "(double)" and returns the
+// target kind and the token count to skip.
+func (p *Parser) castLookahead() (BasicKind, int) {
+	if !p.at(TokLParen) {
+		return Void, 0
+	}
+	if p.pos+2 < len(p.toks) && p.toks[p.pos+2].Kind == TokRParen {
+		switch p.toks[p.pos+1].Kind {
+		case TokKwInt:
+			return Int, 3
+		case TokKwFloat, TokKwDouble:
+			return Float, 3
+		}
+	}
+	return Void, 0
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	base, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case TokLBracket:
+			vr, ok := base.(*VarRef)
+			if !ok {
+				return nil, errf(p.cur().Pos, "indexing is only supported on named arrays")
+			}
+			ix := &IndexExpr{Pos: vr.Pos, Array: vr}
+			for p.accept(TokLBracket) {
+				if len(ix.Indices) == 2 {
+					return nil, errf(p.cur().Pos, "arrays with more than two dimensions are not supported")
+				}
+				idx, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(TokRBracket); err != nil {
+					return nil, err
+				}
+				ix.Indices = append(ix.Indices, idx)
+			}
+			base = ix
+		case TokInc, TokDec:
+			opTok := p.next()
+			base = &IncDecExpr{Pos: opTok.Pos, Op: opTok.Kind, X: base}
+		default:
+			return base, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case TokIntLit:
+		p.next()
+		v, err := strconv.ParseInt(tok.Text, 0, 64)
+		if err != nil {
+			return nil, errf(tok.Pos, "invalid integer literal %q", tok.Text)
+		}
+		return &IntLit{Pos: tok.Pos, Value: v}, nil
+	case TokCharLit:
+		p.next()
+		v, _ := strconv.ParseInt(tok.Text, 10, 64)
+		return &IntLit{Pos: tok.Pos, Value: v}, nil
+	case TokFloatLit:
+		p.next()
+		v, err := strconv.ParseFloat(tok.Text, 64)
+		if err != nil {
+			return nil, errf(tok.Pos, "invalid float literal %q", tok.Text)
+		}
+		return &FloatLit{Pos: tok.Pos, Value: v}, nil
+	case TokIdent:
+		p.next()
+		if p.at(TokLParen) {
+			return p.parseCall(tok)
+		}
+		return &VarRef{Pos: tok.Pos, Name: tok.Text}, nil
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, errf(tok.Pos, "unexpected token %s in expression", tok)
+}
+
+func (p *Parser) parseCall(nameTok Token) (Expr, error) {
+	call := &CallExpr{Pos: nameTok.Pos, Name: nameTok.Text}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	if !p.at(TokRParen) {
+		for {
+			a, err := p.parseAssignExpr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, a)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return call, nil
+}
+
+var _ = fmt.Sprintf // keep fmt imported if diagnostics change

@@ -1,0 +1,324 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Printer renders AST nodes back to C source text. The output is valid
+// mini-C, so parse(print(parse(src))) is a fixpoint (tested).
+type Printer struct {
+	sb     strings.Builder
+	indent int
+	// StmtComment, when non-nil, is invoked before each statement is printed
+	// and may return an annotation comment line (used by the task-spec
+	// emitter to label statements with task assignments).
+	StmtComment func(s Stmt) string
+}
+
+// PrintProgram renders a whole program.
+func PrintProgram(p *Program) string {
+	pr := &Printer{}
+	return pr.Program(p)
+}
+
+// Program renders p and returns the accumulated text.
+func (pr *Printer) Program(p *Program) string {
+	pr.sb.Reset()
+	for _, g := range p.Globals {
+		pr.global(g)
+	}
+	if len(p.Globals) > 0 {
+		pr.sb.WriteByte('\n')
+	}
+	for i, f := range p.Funcs {
+		if i > 0 {
+			pr.sb.WriteByte('\n')
+		}
+		pr.function(f)
+	}
+	return pr.sb.String()
+}
+
+func (pr *Printer) line(format string, args ...any) {
+	pr.sb.WriteString(strings.Repeat("    ", pr.indent))
+	fmt.Fprintf(&pr.sb, format, args...)
+	pr.sb.WriteByte('\n')
+}
+
+func (pr *Printer) typeAndName(t Type, name string) string {
+	var sb strings.Builder
+	sb.WriteString(t.Base.String())
+	sb.WriteByte(' ')
+	sb.WriteString(name)
+	for _, d := range t.Dims {
+		if d == 0 {
+			sb.WriteString("[]")
+		} else {
+			fmt.Fprintf(&sb, "[%d]", d)
+		}
+	}
+	return sb.String()
+}
+
+func (pr *Printer) global(g *GlobalDecl) {
+	decl := pr.typeAndName(g.Type, g.Name)
+	switch {
+	case g.Init != nil:
+		pr.line("%s = %s;", decl, pr.Expr(g.Init))
+	case g.List != nil:
+		pr.line("%s = %s;", decl, pr.initList(g.List))
+	default:
+		pr.line("%s;", decl)
+	}
+}
+
+func (pr *Printer) initList(list []Expr) string {
+	parts := make([]string, len(list))
+	for i, e := range list {
+		parts[i] = pr.Expr(e)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func (pr *Printer) function(f *FuncDecl) {
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = pr.typeAndName(p.Type, p.Name)
+	}
+	if len(params) == 0 {
+		params = []string{"void"}
+	}
+	pr.line("%s %s(%s) {", f.Result.Base, f.Name, strings.Join(params, ", "))
+	pr.indent++
+	for _, s := range f.Body.Stmts {
+		pr.stmt(s)
+	}
+	pr.indent--
+	pr.line("}")
+}
+
+func (pr *Printer) stmt(s Stmt) {
+	if pr.StmtComment != nil {
+		if c := pr.StmtComment(s); c != "" {
+			pr.line("/* %s */", c)
+		}
+	}
+	switch st := s.(type) {
+	case *DeclStmt:
+		decl := pr.typeAndName(st.Type, st.Name)
+		switch {
+		case st.Init != nil:
+			pr.line("%s = %s;", decl, pr.Expr(st.Init))
+		case st.List != nil:
+			pr.line("%s = %s;", decl, pr.initList(st.List))
+		default:
+			pr.line("%s;", decl)
+		}
+	case *ExprStmt:
+		pr.line("%s;", pr.Expr(st.X))
+	case *BlockStmt:
+		if len(st.Stmts) == 0 {
+			pr.line(";")
+			return
+		}
+		pr.line("{")
+		pr.indent++
+		for _, inner := range st.Stmts {
+			pr.stmt(inner)
+		}
+		pr.indent--
+		pr.line("}")
+	case *IfStmt:
+		pr.line("if (%s) {", pr.Expr(st.Cond))
+		pr.indent++
+		for _, inner := range st.Then.Stmts {
+			pr.stmt(inner)
+		}
+		pr.indent--
+		if st.Else == nil {
+			pr.line("}")
+			return
+		}
+		if elseIf, ok := st.Else.(*IfStmt); ok {
+			pr.sb.WriteString(strings.Repeat("    ", pr.indent))
+			pr.sb.WriteString("} else ")
+			// Render the else-if inline: temporarily strip indentation.
+			saved := pr.indent
+			pr.indent = 0
+			pr.elseIfChain(elseIf, saved)
+			pr.indent = saved
+			return
+		}
+		pr.line("} else {")
+		pr.indent++
+		for _, inner := range st.Else.(*BlockStmt).Stmts {
+			pr.stmt(inner)
+		}
+		pr.indent--
+		pr.line("}")
+	case *ForStmt:
+		init := ""
+		if st.Init != nil {
+			init = pr.stmtInline(st.Init)
+		}
+		cond := ""
+		if st.Cond != nil {
+			cond = pr.Expr(st.Cond)
+		}
+		post := ""
+		if st.Post != nil {
+			post = pr.Expr(st.Post)
+		}
+		pr.line("for (%s; %s; %s) {", init, cond, post)
+		pr.indent++
+		for _, inner := range st.Body.Stmts {
+			pr.stmt(inner)
+		}
+		pr.indent--
+		pr.line("}")
+	case *WhileStmt:
+		if st.DoWhile {
+			pr.line("do {")
+			pr.indent++
+			for _, inner := range st.Body.Stmts {
+				pr.stmt(inner)
+			}
+			pr.indent--
+			pr.line("} while (%s);", pr.Expr(st.Cond))
+			return
+		}
+		pr.line("while (%s) {", pr.Expr(st.Cond))
+		pr.indent++
+		for _, inner := range st.Body.Stmts {
+			pr.stmt(inner)
+		}
+		pr.indent--
+		pr.line("}")
+	case *ReturnStmt:
+		if st.Value == nil {
+			pr.line("return;")
+		} else {
+			pr.line("return %s;", pr.Expr(st.Value))
+		}
+	case *BreakStmt:
+		pr.line("break;")
+	case *ContinueStmt:
+		pr.line("continue;")
+	}
+}
+
+// elseIfChain prints "if (...) { ... } else ..." continuing an already
+// emitted "} else " prefix at outer indentation.
+func (pr *Printer) elseIfChain(st *IfStmt, outer int) {
+	fmt.Fprintf(&pr.sb, "if (%s) {\n", pr.Expr(st.Cond))
+	pr.indent = outer + 1
+	for _, inner := range st.Then.Stmts {
+		pr.stmt(inner)
+	}
+	pr.indent = outer
+	if st.Else == nil {
+		pr.line("}")
+		return
+	}
+	if elseIf, ok := st.Else.(*IfStmt); ok {
+		pr.sb.WriteString(strings.Repeat("    ", pr.indent))
+		pr.sb.WriteString("} else ")
+		pr.elseIfChain(elseIf, outer)
+		return
+	}
+	pr.line("} else {")
+	pr.indent = outer + 1
+	for _, inner := range st.Else.(*BlockStmt).Stmts {
+		pr.stmt(inner)
+	}
+	pr.indent = outer
+	pr.line("}")
+}
+
+// stmtInline renders a simple statement without trailing semicolon/newline,
+// for use inside for-headers.
+func (pr *Printer) stmtInline(s Stmt) string {
+	switch st := s.(type) {
+	case *DeclStmt:
+		decl := pr.typeAndName(st.Type, st.Name)
+		if st.Init != nil {
+			return fmt.Sprintf("%s = %s", decl, pr.Expr(st.Init))
+		}
+		return decl
+	case *ExprStmt:
+		return pr.Expr(st.X)
+	}
+	return "/* ? */"
+}
+
+// Expr renders an expression with minimal but safe parenthesization.
+func (pr *Printer) Expr(e Expr) string {
+	return pr.exprPrec(e, 0)
+}
+
+func (pr *Printer) exprPrec(e Expr, parent int) string {
+	switch ex := e.(type) {
+	case *IntLit:
+		return strconv.FormatInt(ex.Value, 10)
+	case *FloatLit:
+		s := strconv.FormatFloat(ex.Value, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case *VarRef:
+		return ex.Name
+	case *IndexExpr:
+		var sb strings.Builder
+		sb.WriteString(ex.Array.Name)
+		for _, ix := range ex.Indices {
+			fmt.Fprintf(&sb, "[%s]", pr.exprPrec(ix, 0))
+		}
+		return sb.String()
+	case *UnaryExpr:
+		s := fmt.Sprintf("%s%s", ex.Op, pr.exprPrec(ex.X, 11))
+		if parent > 11 {
+			return "(" + s + ")"
+		}
+		return s
+	case *BinaryExpr:
+		prec := binaryPrec(ex.Op)
+		s := fmt.Sprintf("%s %s %s",
+			pr.exprPrec(ex.X, prec), ex.Op, pr.exprPrec(ex.Y, prec+1))
+		if prec < parent {
+			return "(" + s + ")"
+		}
+		return s
+	case *CondExpr:
+		s := fmt.Sprintf("%s ? %s : %s",
+			pr.exprPrec(ex.Cond, 1), pr.exprPrec(ex.Then, 0), pr.exprPrec(ex.Else, 0))
+		if parent > 0 {
+			return "(" + s + ")"
+		}
+		return s
+	case *CallExpr:
+		args := make([]string, len(ex.Args))
+		for i, a := range ex.Args {
+			args[i] = pr.exprPrec(a, 0)
+		}
+		return fmt.Sprintf("%s(%s)", ex.Name, strings.Join(args, ", "))
+	case *AssignExpr:
+		s := fmt.Sprintf("%s %s %s",
+			pr.exprPrec(ex.LHS, 11), ex.Op, pr.exprPrec(ex.RHS, 0))
+		if parent > 0 {
+			return "(" + s + ")"
+		}
+		return s
+	case *IncDecExpr:
+		s := fmt.Sprintf("%s%s", pr.exprPrec(ex.X, 11), ex.Op)
+		if parent > 0 {
+			return "(" + s + ")"
+		}
+		return s
+	case *CastExpr:
+		return fmt.Sprintf("(%s)%s", ex.To, pr.exprPrec(ex.X, 11))
+	}
+	return "/*?expr?*/"
+}

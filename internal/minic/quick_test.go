@@ -1,0 +1,137 @@
+package minic
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// progGen builds random but well-formed mini-C programs: straight-line
+// arithmetic over a fixed set of globals, nested loops with bounded trip
+// counts, and conditionals.
+type progGen struct {
+	rng   *rand.Rand
+	sb    strings.Builder
+	depth int
+}
+
+func (g *progGen) expr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%d", g.rng.Intn(19)-9)
+		case 1:
+			return []string{"ga", "gb", "gc"}[g.rng.Intn(3)]
+		default:
+			return fmt.Sprintf("arr[%d]", g.rng.Intn(8))
+		}
+	}
+	op := []string{"+", "-", "*"}[g.rng.Intn(3)]
+	return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), op, g.expr(depth-1))
+}
+
+func (g *progGen) stmt(indent string, depth int) {
+	switch g.rng.Intn(5) {
+	case 0:
+		fmt.Fprintf(&g.sb, "%sga = %s;\n", indent, g.expr(2))
+	case 1:
+		fmt.Fprintf(&g.sb, "%sarr[%d] = %s;\n", indent, g.rng.Intn(8), g.expr(2))
+	case 2:
+		fmt.Fprintf(&g.sb, "%sgb += %s;\n", indent, g.expr(1))
+	case 3:
+		if depth > 0 {
+			fmt.Fprintf(&g.sb, "%sif (%s > 0) {\n", indent, g.expr(1))
+			g.stmt(indent+"    ", depth-1)
+			fmt.Fprintf(&g.sb, "%s} else {\n", indent)
+			g.stmt(indent+"    ", depth-1)
+			fmt.Fprintf(&g.sb, "%s}\n", indent)
+		} else {
+			fmt.Fprintf(&g.sb, "%sgc = %s;\n", indent, g.expr(1))
+		}
+	default:
+		if depth > 0 {
+			v := fmt.Sprintf("i%d", g.rng.Int31())
+			fmt.Fprintf(&g.sb, "%sfor (int %s = 0; %s < %d; %s++) {\n",
+				indent, v, v, 1+g.rng.Intn(5), v)
+			g.stmt(indent+"    ", depth-1)
+			fmt.Fprintf(&g.sb, "%s}\n", indent)
+		} else {
+			fmt.Fprintf(&g.sb, "%sgc = gc ^ %d;\n", indent, g.rng.Intn(255))
+		}
+	}
+}
+
+func genProgram(seed int64) string {
+	g := &progGen{rng: rand.New(rand.NewSource(seed))}
+	g.sb.WriteString("int ga; int gb; int gc;\nint arr[8];\n\nvoid main(void) {\n")
+	n := 2 + g.rng.Intn(6)
+	for i := 0; i < n; i++ {
+		g.stmt("    ", 2)
+	}
+	g.sb.WriteString("}\n")
+	return g.sb.String()
+}
+
+// TestQuickParsePrintFixpoint: for random generated programs,
+// print(parse(src)) is a fixpoint of parse-then-print.
+func TestQuickParsePrintFixpoint(t *testing.T) {
+	f := func(seed int64) bool {
+		src := genProgram(seed)
+		p1, err := Compile(src)
+		if err != nil {
+			t.Logf("seed %d: generated program does not compile: %v\n%s", seed, err, src)
+			return false
+		}
+		out1 := PrintProgram(p1)
+		p2, err := Compile(out1)
+		if err != nil {
+			t.Logf("seed %d: printed form does not compile: %v\n%s", seed, err, out1)
+			return false
+		}
+		out2 := PrintProgram(p2)
+		if out1 != out2 {
+			t.Logf("seed %d: not a fixpoint", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLexerNeverPanics: arbitrary byte strings must lex to tokens or
+// a clean error, never a panic or a hang.
+func TestQuickLexerNeverPanics(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		// Errors are fine; panics are not.
+		_, _ = Lex(string(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickParserNeverPanics: same property one level up.
+func TestQuickParserNeverPanics(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		_, _ = Compile(string(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

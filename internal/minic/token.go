@@ -1,0 +1,207 @@
+// Package minic implements a lexer, parser and type checker for a compact
+// ANSI-C subset ("mini-C") that is rich enough to express the UTDSP-style
+// benchmark kernels the parallelizer is evaluated on: functions, int/float
+// scalars, one- and two-dimensional arrays with constant bounds, the usual
+// statement forms (if/else, for, while, do-while, return, break, continue,
+// blocks, expression statements) and the full C expression grammar including
+// assignments, ternaries and calls. Simple object-like #define macros are
+// expanded by the lexer.
+package minic
+
+import "fmt"
+
+// TokenKind enumerates the lexical token classes of mini-C.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokIntLit
+	TokFloatLit
+	TokCharLit
+	TokStringLit
+
+	// Keywords.
+	TokKwInt
+	TokKwFloat
+	TokKwDouble
+	TokKwVoid
+	TokKwIf
+	TokKwElse
+	TokKwFor
+	TokKwWhile
+	TokKwDo
+	TokKwReturn
+	TokKwBreak
+	TokKwContinue
+	TokKwConst
+	TokKwStatic
+
+	// Punctuation and operators.
+	TokLParen   // (
+	TokRParen   // )
+	TokLBrace   // {
+	TokRBrace   // }
+	TokLBracket // [
+	TokRBracket // ]
+	TokSemi     // ;
+	TokComma    // ,
+	TokQuestion // ?
+	TokColon    // :
+
+	TokAssign    // =
+	TokPlusEq    // +=
+	TokMinusEq   // -=
+	TokStarEq    // *=
+	TokSlashEq   // /=
+	TokPercentEq // %=
+	TokShlEq     // <<=
+	TokShrEq     // >>=
+	TokAndEq     // &=
+	TokOrEq      // |=
+	TokXorEq     // ^=
+
+	TokPlus    // +
+	TokMinus   // -
+	TokStar    // *
+	TokSlash   // /
+	TokPercent // %
+	TokInc     // ++
+	TokDec     // --
+
+	TokEq  // ==
+	TokNeq // !=
+	TokLt  // <
+	TokGt  // >
+	TokLe  // <=
+	TokGe  // >=
+
+	TokAndAnd // &&
+	TokOrOr   // ||
+	TokNot    // !
+
+	TokAmp   // &
+	TokPipe  // |
+	TokCaret // ^
+	TokTilde // ~
+	TokShl   // <<
+	TokShr   // >>
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF:        "EOF",
+	TokIdent:      "identifier",
+	TokIntLit:     "integer literal",
+	TokFloatLit:   "float literal",
+	TokCharLit:    "char literal",
+	TokStringLit:  "string literal",
+	TokKwInt:      "int",
+	TokKwFloat:    "float",
+	TokKwDouble:   "double",
+	TokKwVoid:     "void",
+	TokKwIf:       "if",
+	TokKwElse:     "else",
+	TokKwFor:      "for",
+	TokKwWhile:    "while",
+	TokKwDo:       "do",
+	TokKwReturn:   "return",
+	TokKwBreak:    "break",
+	TokKwContinue: "continue",
+	TokKwConst:    "const",
+	TokKwStatic:   "static",
+	TokLParen:     "(",
+	TokRParen:     ")",
+	TokLBrace:     "{",
+	TokRBrace:     "}",
+	TokLBracket:   "[",
+	TokRBracket:   "]",
+	TokSemi:       ";",
+	TokComma:      ",",
+	TokQuestion:   "?",
+	TokColon:      ":",
+	TokAssign:     "=",
+	TokPlusEq:     "+=",
+	TokMinusEq:    "-=",
+	TokStarEq:     "*=",
+	TokSlashEq:    "/=",
+	TokPercentEq:  "%=",
+	TokShlEq:      "<<=",
+	TokShrEq:      ">>=",
+	TokAndEq:      "&=",
+	TokOrEq:       "|=",
+	TokXorEq:      "^=",
+	TokPlus:       "+",
+	TokMinus:      "-",
+	TokStar:       "*",
+	TokSlash:      "/",
+	TokPercent:    "%",
+	TokInc:        "++",
+	TokDec:        "--",
+	TokEq:         "==",
+	TokNeq:        "!=",
+	TokLt:         "<",
+	TokGt:         ">",
+	TokLe:         "<=",
+	TokGe:         ">=",
+	TokAndAnd:     "&&",
+	TokOrOr:       "||",
+	TokNot:        "!",
+	TokAmp:        "&",
+	TokPipe:       "|",
+	TokCaret:      "^",
+	TokTilde:      "~",
+	TokShl:        "<<",
+	TokShr:        ">>",
+}
+
+// String returns the canonical spelling of the token kind.
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+var keywords = map[string]TokenKind{
+	"int":      TokKwInt,
+	"float":    TokKwFloat,
+	"double":   TokKwDouble,
+	"void":     TokKwVoid,
+	"if":       TokKwIf,
+	"else":     TokKwElse,
+	"for":      TokKwFor,
+	"while":    TokKwWhile,
+	"do":       TokKwDo,
+	"return":   TokKwReturn,
+	"break":    TokKwBreak,
+	"continue": TokKwContinue,
+	"const":    TokKwConst,
+	"static":   TokKwStatic,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String formats the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token with its source text and position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokIntLit, TokFloatLit, TokCharLit, TokStringLit:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

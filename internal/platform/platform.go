@@ -1,0 +1,277 @@
+// Package platform describes heterogeneous MPSoC targets for the
+// parallelizer and the simulator: processor classes (identical processing
+// units grouped by performance characteristics), per-class core counts and
+// clock frequencies, the shared interconnect, and runtime overheads.
+//
+// It is the Go equivalent of the MPMH platform description the paper's tool
+// flow consumes, and ships the two evaluation configurations of Section VI:
+//
+//	Configuration (A): 100 MHz (1x), 250 MHz (1x), 500 MHz (2x)
+//	Configuration (B): 200 MHz (2x), 500 MHz (2x)
+package platform
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ProcClass is one class of identical processing units. Same-ISA
+// heterogeneity is expressed through the clock frequency and a CPI factor;
+// specialized units could additionally scale individual operation costs.
+type ProcClass struct {
+	// Name identifies the class, e.g. "ARM@500MHz".
+	Name string
+	// MHz is the core clock in megahertz.
+	MHz float64
+	// Count is the number of processing units of this class.
+	Count int
+	// CPIFactor scales the architectural cycles-per-instruction baseline;
+	// 1.0 models the reference pipeline. A simpler in-order core (e.g. a
+	// Cortex-M3 next to an A9) would use a factor > 1.
+	CPIFactor float64
+	// ActiveMW is the active power draw in milliwatts (0 = derive a
+	// first-order estimate from the clock: dynamic power grows
+	// superlinearly with frequency because voltage scales with it).
+	ActiveMW float64
+	// IdleMW is the idle power draw (0 = 12% of active).
+	IdleMW float64
+}
+
+// ActivePowerMW returns the active power draw, deriving the first-order
+// DVFS estimate P ~ f * V(f)^2 when no explicit figure is configured.
+func (pc ProcClass) ActivePowerMW() float64 {
+	if pc.ActiveMW > 0 {
+		return pc.ActiveMW
+	}
+	// Normalized V(f) = 0.8 + f/1250 (volts-ish): 100 MHz -> 0.88, 500 MHz
+	// -> 1.2; P = k * f * V^2 with k chosen so a 500 MHz core draws 430 mW.
+	v := 0.8 + pc.MHz/1250.0
+	return 0.6 * pc.MHz * v * v / pc.CPIFactor
+}
+
+// IdlePowerMW returns the idle draw (clock-gated but powered).
+func (pc ProcClass) IdlePowerMW() float64 {
+	if pc.IdleMW > 0 {
+		return pc.IdleMW
+	}
+	return 0.12 * pc.ActivePowerMW()
+}
+
+// CyclesToNanos converts cycle counts on this class to nanoseconds.
+func (pc ProcClass) CyclesToNanos(cycles float64) float64 {
+	return cycles * pc.CPIFactor * 1000.0 / pc.MHz
+}
+
+// SpeedScore is proportional to the class's throughput; used for
+// theoretical-speedup limits (sum of scores / main score).
+func (pc ProcClass) SpeedScore() float64 { return pc.MHz / pc.CPIFactor }
+
+// Platform is a complete heterogeneous MPSoC description.
+type Platform struct {
+	// Name labels the configuration (e.g. "config-A").
+	Name string
+	// Classes lists the processor classes. Index into this slice is the
+	// ClassID used throughout the parallelizer.
+	Classes []ProcClass
+	// BusLatencyNs is the startup latency of one shared-bus transfer.
+	BusLatencyNs float64
+	// BusBytesPerNs is the bus bandwidth (bytes per nanosecond).
+	BusBytesPerNs float64
+	// TaskCreateNs is the task-creation overhead (TCO in Eq. 8), charged
+	// once per dynamic creation of a task.
+	TaskCreateNs float64
+}
+
+// Validate reports configuration errors.
+func (p *Platform) Validate() error {
+	if len(p.Classes) == 0 {
+		return fmt.Errorf("platform %q has no processor classes", p.Name)
+	}
+	names := map[string]bool{}
+	for i, c := range p.Classes {
+		if c.Count <= 0 {
+			return fmt.Errorf("platform %q: class %d (%s) has non-positive count %d", p.Name, i, c.Name, c.Count)
+		}
+		if c.MHz <= 0 {
+			return fmt.Errorf("platform %q: class %d (%s) has non-positive clock %.1f", p.Name, i, c.Name, c.MHz)
+		}
+		if c.CPIFactor <= 0 {
+			return fmt.Errorf("platform %q: class %d (%s) has non-positive CPI factor", p.Name, i, c.Name)
+		}
+		if names[c.Name] {
+			return fmt.Errorf("platform %q: duplicate class name %q", p.Name, c.Name)
+		}
+		names[c.Name] = true
+	}
+	if p.BusBytesPerNs <= 0 {
+		return fmt.Errorf("platform %q: bus bandwidth must be positive", p.Name)
+	}
+	if p.BusLatencyNs < 0 || p.TaskCreateNs < 0 {
+		return fmt.Errorf("platform %q: overheads must be non-negative", p.Name)
+	}
+	return nil
+}
+
+// NumCores returns the total number of processing units.
+func (p *Platform) NumCores() int {
+	n := 0
+	for _, c := range p.Classes {
+		n += c.Count
+	}
+	return n
+}
+
+// ClassByName returns the index of the named class, or -1.
+func (p *Platform) ClassByName(name string) int {
+	for i, c := range p.Classes {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// FastestClass returns the index of the class with the highest speed score.
+func (p *Platform) FastestClass() int {
+	best, bestScore := 0, -1.0
+	for i, c := range p.Classes {
+		if s := c.SpeedScore(); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// SlowestClass returns the index of the class with the lowest speed score.
+func (p *Platform) SlowestClass() int {
+	best := 0
+	bestScore := p.Classes[0].SpeedScore()
+	for i, c := range p.Classes {
+		if s := c.SpeedScore(); s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// TheoreticalSpeedup is the dashed-line limit of Figures 7 and 8: the sum
+// of all core speed scores divided by the main class's score, e.g.
+// (1*100 + 1*250 + 2*500)/100 = 13.5 for configuration (A) scenario (I).
+func (p *Platform) TheoreticalSpeedup(mainClass int) float64 {
+	total := 0.0
+	for _, c := range p.Classes {
+		total += float64(c.Count) * c.SpeedScore()
+	}
+	return total / p.Classes[mainClass].SpeedScore()
+}
+
+// BusEnergyPJPerByte is the first-order interconnect energy cost.
+const BusEnergyPJPerByte = 45.0
+
+// CommCostNs estimates the time to move bytes once over the shared bus.
+func (p *Platform) CommCostNs(bytes int) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return p.BusLatencyNs + float64(bytes)/p.BusBytesPerNs
+}
+
+// String renders a compact summary, classes sorted fastest first.
+func (p *Platform) String() string {
+	cls := make([]ProcClass, len(p.Classes))
+	copy(cls, p.Classes)
+	sort.Slice(cls, func(i, j int) bool { return cls[i].SpeedScore() > cls[j].SpeedScore() })
+	parts := make([]string, len(cls))
+	for i, c := range cls {
+		parts[i] = fmt.Sprintf("%dx %s", c.Count, c.Name)
+	}
+	return fmt.Sprintf("%s [%s]", p.Name, strings.Join(parts, ", "))
+}
+
+// Scenario selects which processor class hosts the sequential main task, as
+// in the paper's two evaluation scenarios.
+type Scenario int
+
+const (
+	// ScenarioAccelerator (I): the main processor is a slow core; faster
+	// units are attached as accelerators.
+	ScenarioAccelerator Scenario = iota
+	// ScenarioSlowerCores (II): the main processor is the fast core; slower
+	// units exist for power/thermal reasons.
+	ScenarioSlowerCores
+)
+
+// String names the scenario.
+func (s Scenario) String() string {
+	switch s {
+	case ScenarioAccelerator:
+		return "accelerator"
+	case ScenarioSlowerCores:
+		return "slower-cores"
+	}
+	return fmt.Sprintf("Scenario(%d)", int(s))
+}
+
+// MainClass resolves the scenario to a concrete class index on p.
+func (s Scenario) MainClass(p *Platform) int {
+	if s == ScenarioAccelerator {
+		return p.SlowestClass()
+	}
+	return p.FastestClass()
+}
+
+// Default overhead parameters shared by the shipped configurations. The bus
+// is a high-performance interconnect with an L2 shared cache, matching the
+// evaluation platforms ("connected with a level 2 cache on a high
+// performance bus").
+const (
+	defaultBusLatencyNs  = 80.0
+	defaultBusBytesPerNs = 0.8   // 800 MB/s shared bus
+	defaultTaskCreateNs  = 2500. // pthread-like creation cost on a slow core
+)
+
+// ConfigA returns evaluation platform configuration (A):
+// four ARM cores at 100, 250, 500 and 500 MHz.
+func ConfigA() *Platform {
+	return &Platform{
+		Name: "config-A",
+		Classes: []ProcClass{
+			{Name: "ARM@100MHz", MHz: 100, Count: 1, CPIFactor: 1},
+			{Name: "ARM@250MHz", MHz: 250, Count: 1, CPIFactor: 1},
+			{Name: "ARM@500MHz", MHz: 500, Count: 2, CPIFactor: 1},
+		},
+		BusLatencyNs:  defaultBusLatencyNs,
+		BusBytesPerNs: defaultBusBytesPerNs,
+		TaskCreateNs:  defaultTaskCreateNs,
+	}
+}
+
+// ConfigB returns evaluation platform configuration (B):
+// two 200 MHz and two 500 MHz ARM cores (big.LITTLE-like 2.5x gap).
+func ConfigB() *Platform {
+	return &Platform{
+		Name: "config-B",
+		Classes: []ProcClass{
+			{Name: "ARM@200MHz", MHz: 200, Count: 2, CPIFactor: 1},
+			{Name: "ARM@500MHz", MHz: 500, Count: 2, CPIFactor: 1},
+		},
+		BusLatencyNs:  defaultBusLatencyNs,
+		BusBytesPerNs: defaultBusBytesPerNs,
+		TaskCreateNs:  defaultTaskCreateNs,
+	}
+}
+
+// Homogeneous builds an n-core single-class platform, used by tests and by
+// the homogeneous-baseline comparisons.
+func Homogeneous(name string, mhz float64, n int) *Platform {
+	return &Platform{
+		Name: name,
+		Classes: []ProcClass{
+			{Name: fmt.Sprintf("ARM@%.0fMHz", mhz), MHz: mhz, Count: n, CPIFactor: 1},
+		},
+		BusLatencyNs:  defaultBusLatencyNs,
+		BusBytesPerNs: defaultBusBytesPerNs,
+		TaskCreateNs:  defaultTaskCreateNs,
+	}
+}

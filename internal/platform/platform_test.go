@@ -1,0 +1,155 @@
+package platform
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestConfigAValidatesAndLimits(t *testing.T) {
+	p := ConfigA()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("ConfigA invalid: %v", err)
+	}
+	if p.NumCores() != 4 {
+		t.Errorf("NumCores = %d, want 4", p.NumCores())
+	}
+	// Paper footnote 2: (1*100 + 1*250 + 2*500)/100 = 13.5
+	slow := ScenarioAccelerator.MainClass(p)
+	if got := p.TheoreticalSpeedup(slow); math.Abs(got-13.5) > 1e-9 {
+		t.Errorf("accelerator limit = %g, want 13.5", got)
+	}
+	// Paper footnote 3: /500 = 2.7
+	fast := ScenarioSlowerCores.MainClass(p)
+	if got := p.TheoreticalSpeedup(fast); math.Abs(got-2.7) > 1e-9 {
+		t.Errorf("slower-cores limit = %g, want 2.7", got)
+	}
+}
+
+func TestConfigBLimits(t *testing.T) {
+	p := ConfigB()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("ConfigB invalid: %v", err)
+	}
+	// Paper footnote 4: (2*200 + 2*500)/200 = 7
+	if got := p.TheoreticalSpeedup(ScenarioAccelerator.MainClass(p)); math.Abs(got-7) > 1e-9 {
+		t.Errorf("accelerator limit = %g, want 7", got)
+	}
+	// Paper footnote 5: /500 = 2.8
+	if got := p.TheoreticalSpeedup(ScenarioSlowerCores.MainClass(p)); math.Abs(got-2.8) > 1e-9 {
+		t.Errorf("slower-cores limit = %g, want 2.8", got)
+	}
+}
+
+func TestClassSelection(t *testing.T) {
+	p := ConfigA()
+	if got := p.Classes[p.SlowestClass()].MHz; got != 100 {
+		t.Errorf("slowest class MHz = %g, want 100", got)
+	}
+	if got := p.Classes[p.FastestClass()].MHz; got != 500 {
+		t.Errorf("fastest class MHz = %g, want 500", got)
+	}
+	if p.ClassByName("ARM@250MHz") != 1 {
+		t.Errorf("ClassByName failed")
+	}
+	if p.ClassByName("nope") != -1 {
+		t.Errorf("ClassByName should return -1 for unknown")
+	}
+}
+
+func TestCyclesToNanos(t *testing.T) {
+	c := ProcClass{Name: "x", MHz: 500, Count: 1, CPIFactor: 1}
+	// 500 cycles at 500 MHz = 1000 ns.
+	if got := c.CyclesToNanos(500); math.Abs(got-1000) > 1e-9 {
+		t.Errorf("CyclesToNanos = %g, want 1000", got)
+	}
+	c2 := ProcClass{Name: "y", MHz: 500, Count: 1, CPIFactor: 2}
+	if got := c2.CyclesToNanos(500); math.Abs(got-2000) > 1e-9 {
+		t.Errorf("CPI factor ignored: %g, want 2000", got)
+	}
+}
+
+func TestCommCost(t *testing.T) {
+	p := ConfigA()
+	if got := p.CommCostNs(0); got != 0 {
+		t.Errorf("zero bytes should cost 0, got %g", got)
+	}
+	small := p.CommCostNs(4)
+	big := p.CommCostNs(4096)
+	if small <= 0 || big <= small {
+		t.Errorf("comm cost not monotone: %g, %g", small, big)
+	}
+	if small < p.BusLatencyNs {
+		t.Errorf("comm cost below startup latency: %g < %g", small, p.BusLatencyNs)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Platform)
+		want string
+	}{
+		{"no classes", func(p *Platform) { p.Classes = nil }, "no processor classes"},
+		{"bad count", func(p *Platform) { p.Classes[0].Count = 0 }, "non-positive count"},
+		{"bad clock", func(p *Platform) { p.Classes[0].MHz = -1 }, "non-positive clock"},
+		{"bad cpi", func(p *Platform) { p.Classes[0].CPIFactor = 0 }, "non-positive CPI"},
+		{"dup name", func(p *Platform) { p.Classes[1].Name = p.Classes[0].Name }, "duplicate class"},
+		{"bad bus", func(p *Platform) { p.BusBytesPerNs = 0 }, "bandwidth"},
+		{"bad overhead", func(p *Platform) { p.TaskCreateNs = -1 }, "non-negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := ConfigA()
+			tc.mut(p)
+			err := p.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("got %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestHomogeneous(t *testing.T) {
+	p := Homogeneous("h4", 500, 4)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if p.NumCores() != 4 || len(p.Classes) != 1 {
+		t.Errorf("unexpected shape: %v", p)
+	}
+	if got := p.TheoreticalSpeedup(0); math.Abs(got-4) > 1e-9 {
+		t.Errorf("homogeneous limit = %g, want 4", got)
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	if ScenarioAccelerator.String() != "accelerator" || ScenarioSlowerCores.String() != "slower-cores" {
+		t.Errorf("scenario names wrong")
+	}
+	if !strings.Contains(ConfigA().String(), "config-A") {
+		t.Errorf("platform String missing name")
+	}
+}
+
+func TestPowerModel(t *testing.T) {
+	slow := ProcClass{Name: "s", MHz: 100, Count: 1, CPIFactor: 1}
+	fast := ProcClass{Name: "f", MHz: 500, Count: 1, CPIFactor: 1}
+	if slow.ActivePowerMW() <= 0 || fast.ActivePowerMW() <= 0 {
+		t.Fatalf("derived power must be positive")
+	}
+	// Power grows superlinearly with clock (DVFS voltage scaling).
+	ratio := fast.ActivePowerMW() / slow.ActivePowerMW()
+	if ratio <= 5 {
+		t.Errorf("500/100 MHz power ratio %.2f should exceed the 5x speed ratio", ratio)
+	}
+	// Idle draw must stay a small fraction of active draw.
+	if slow.IdlePowerMW() >= slow.ActivePowerMW()/2 {
+		t.Errorf("idle draw should be well below active")
+	}
+	// Explicit figures override the derivation.
+	custom := ProcClass{Name: "c", MHz: 500, Count: 1, CPIFactor: 1, ActiveMW: 999, IdleMW: 1}
+	if custom.ActivePowerMW() != 999 || custom.IdlePowerMW() != 1 {
+		t.Errorf("explicit power figures ignored")
+	}
+}

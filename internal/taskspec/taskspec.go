@@ -1,0 +1,166 @@
+// Package taskspec turns a chosen parallel solution into the tool-flow
+// outputs of Figure 6: a parallel specification mapping labeled statements
+// to tasks, a pre-mapping specification assigning tasks to processor
+// classes (so the downstream mapper keeps tasks on the units they were
+// optimized for), and an annotated copy of the source in an OpenMP-like
+// dialect.
+package taskspec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/htg"
+	"repro/internal/minic"
+	"repro/internal/platform"
+)
+
+// TaskID identifies one task in the flattened specification.
+type TaskID int
+
+// TaskSpec is one task of the parallel specification.
+type TaskSpec struct {
+	ID TaskID
+	// Class is the pre-mapped processor class (index into the platform).
+	Class int
+	// Labels lists the statement labels mapped to this task.
+	Labels []string
+	// Chunks lists the DOALL iteration shares this task executes, one entry
+	// per loop it holds chunks of.
+	Chunks []ChunkShare
+	// Parent is the spawning task (-1 for the root main task).
+	Parent TaskID
+}
+
+// ChunkShare is a task's slice of one DOALL loop's iteration space.
+type ChunkShare struct {
+	Loop string
+	Frac float64
+}
+
+// addChunk accumulates a share of the named loop.
+func (t *TaskSpec) addChunk(loop string, frac float64) {
+	for i := range t.Chunks {
+		if t.Chunks[i].Loop == loop {
+			t.Chunks[i].Frac += frac
+			return
+		}
+	}
+	t.Chunks = append(t.Chunks, ChunkShare{Loop: loop, Frac: frac})
+}
+
+// Spec is the complete parallel + pre-mapping specification.
+type Spec struct {
+	Platform *platform.Platform
+	Tasks    []*TaskSpec
+	// StmtTask maps statements to the task executing them (for source-level
+	// annotation).
+	StmtTask map[minic.Stmt]TaskID
+}
+
+// Build flattens the hierarchical solution into a task list.
+func Build(sol *core.Solution, pf *platform.Platform) *Spec {
+	sp := &Spec{Platform: pf, StmtTask: map[minic.Stmt]TaskID{}}
+	root := &TaskSpec{ID: 0, Class: sol.MainClass, Parent: -1}
+	sp.Tasks = append(sp.Tasks, root)
+	sp.flatten(sol, root)
+	return sp
+}
+
+func (sp *Spec) newTask(class int, parent TaskID) *TaskSpec {
+	t := &TaskSpec{ID: TaskID(len(sp.Tasks)), Class: class, Parent: parent}
+	sp.Tasks = append(sp.Tasks, t)
+	return t
+}
+
+// flatten walks the solution tree; work of task 0 of each level stays in
+// `owner`, other tasks become new TaskSpecs.
+func (sp *Spec) flatten(sol *core.Solution, owner *TaskSpec) {
+	if sol.Kind == core.KindSequential || len(sol.Tasks) == 0 {
+		sp.claimSubtree(sol.Node, owner)
+		return
+	}
+	for ti, tp := range sol.Tasks {
+		target := owner
+		if ti > 0 {
+			target = sp.newTask(tp.Class, owner.ID)
+		}
+		for _, it := range tp.Items {
+			switch {
+			case it.ChunkFrac > 0:
+				target.addChunk(it.Child.Label, it.ChunkFrac)
+			case it.Sub != nil && it.Sub.Kind != core.KindSequential:
+				sp.flatten(it.Sub, target)
+			default:
+				sp.claimSubtree(it.Child, target)
+			}
+		}
+	}
+}
+
+// claimSubtree assigns the node's statement (and HTG descendants) to t.
+func (sp *Spec) claimSubtree(n *htg.Node, t *TaskSpec) {
+	if n == nil {
+		return
+	}
+	if n.Stmt != nil {
+		if _, taken := sp.StmtTask[n.Stmt]; !taken {
+			sp.StmtTask[n.Stmt] = t.ID
+			t.Labels = append(t.Labels, n.Label)
+		}
+	}
+	for _, c := range n.Children {
+		sp.claimSubtree(c, t)
+	}
+}
+
+// Render prints the parallel specification in the textual exchange format.
+func (sp *Spec) Render() string {
+	var sb strings.Builder
+	sb.WriteString("# parallel specification (statements -> tasks)\n")
+	sb.WriteString("# pre-mapping    (tasks -> processor classes)\n")
+	for _, t := range sp.Tasks {
+		cls := sp.Platform.Classes[t.Class].Name
+		fmt.Fprintf(&sb, "task %d parent %d class %q\n", t.ID, t.Parent, cls)
+		for _, ch := range t.Chunks {
+			fmt.Fprintf(&sb, "  iterations %.1f%% of %q\n", ch.Frac*100, ch.Loop)
+		}
+		labels := append([]string(nil), t.Labels...)
+		sort.Strings(labels)
+		for _, l := range labels {
+			fmt.Fprintf(&sb, "  stmt %q\n", l)
+		}
+	}
+	return sb.String()
+}
+
+// AnnotateSource re-prints the program with task annotations ahead of each
+// mapped statement, in an OpenMP-like comment dialect (the "extension of
+// OpenMP which enables heterogeneous mapping" of Section V).
+func (sp *Spec) AnnotateSource(prog *minic.Program) string {
+	pr := &minic.Printer{}
+	pr.StmtComment = func(s minic.Stmt) string {
+		id, ok := sp.StmtTask[s]
+		if !ok {
+			return ""
+		}
+		t := sp.Tasks[id]
+		cls := sp.Platform.Classes[t.Class].Name
+		for _, ch := range t.Chunks {
+			if ch.Loop == "" {
+				continue
+			}
+			return fmt.Sprintf("#pragma omp task affinity(%s) // task %d, %.0f%% of %s", cls, id, ch.Frac*100, ch.Loop)
+		}
+		if id == 0 {
+			return ""
+		}
+		return fmt.Sprintf("#pragma omp task affinity(%s) // task %d", cls, id)
+	}
+	return pr.Program(prog)
+}
+
+// NumTasks returns the flattened task count.
+func (sp *Spec) NumTasks() int { return len(sp.Tasks) }

@@ -1,0 +1,147 @@
+package taskspec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/htg"
+	"repro/internal/interp"
+	"repro/internal/minic"
+	"repro/internal/platform"
+)
+
+const src = `
+#define N 256
+float a[N]; float b[N]; float s;
+void main(void) {
+    for (int i = 0; i < N; i++) {
+        a[i] = sqrt(i * 1.0 + 1.0);
+    }
+    for (int j = 0; j < N; j++) {
+        b[j] = a[j] * 2.0;
+    }
+    s = 0.0;
+    for (int k = 0; k < N; k++) {
+        s += b[k];
+    }
+}
+`
+
+func build(t *testing.T) (*minic.Program, *core.Result, *platform.Platform) {
+	t.Helper()
+	prog, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	in := interp.New(prog)
+	prof, err := in.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	g, err := htg.Build(prog, prof, htg.Config{})
+	if err != nil {
+		t.Fatalf("htg: %v", err)
+	}
+	pf := platform.ConfigA()
+	res, err := core.Parallelize(g, pf, pf.SlowestClass(), core.Heterogeneous, core.Config{})
+	if err != nil {
+		t.Fatalf("parallelize: %v", err)
+	}
+	return prog, res, pf
+}
+
+func TestBuildSpec(t *testing.T) {
+	prog, res, pf := build(t)
+	sp := Build(res.Best, pf)
+	if sp.NumTasks() < 1 {
+		t.Fatalf("no tasks")
+	}
+	// Task 0 must exist, be parentless and on the main class.
+	if sp.Tasks[0].Parent != -1 {
+		t.Errorf("root task parent = %d", sp.Tasks[0].Parent)
+	}
+	if sp.Tasks[0].Class != res.Best.MainClass {
+		t.Errorf("root task class = %d, want %d", sp.Tasks[0].Class, res.Best.MainClass)
+	}
+	for i, task := range sp.Tasks[1:] {
+		if task.Parent < 0 || int(task.Parent) >= sp.NumTasks() {
+			t.Errorf("task %d has invalid parent %d", i+1, task.Parent)
+		}
+		if task.Class < 0 || task.Class >= len(pf.Classes) {
+			t.Errorf("task %d has invalid class %d", i+1, task.Class)
+		}
+	}
+	_ = prog
+}
+
+func TestChunkTasksCoverIterations(t *testing.T) {
+	_, res, pf := build(t)
+	sp := Build(res.Best, pf)
+	// Sum of chunk fractions per chunked loop must not exceed 100%.
+	perLoop := map[string]float64{}
+	for _, task := range sp.Tasks {
+		for _, ch := range task.Chunks {
+			perLoop[ch.Loop] += ch.Frac
+		}
+	}
+	for loop, frac := range perLoop {
+		if frac > 1.0+1e-9 {
+			t.Errorf("loop %q has %.1f%% of iterations assigned to extra tasks", loop, frac*100)
+		}
+	}
+}
+
+func TestRenderFormat(t *testing.T) {
+	_, res, pf := build(t)
+	sp := Build(res.Best, pf)
+	out := sp.Render()
+	if !strings.Contains(out, "task 0 parent -1") {
+		t.Errorf("render missing root task:\n%s", out)
+	}
+	if !strings.Contains(out, "class") {
+		t.Errorf("render missing class mapping")
+	}
+}
+
+func TestAnnotateSourceRoundTrips(t *testing.T) {
+	prog, res, pf := build(t)
+	sp := Build(res.Best, pf)
+	annotated := sp.AnnotateSource(prog)
+	if !strings.Contains(annotated, "void main(void)") {
+		t.Fatalf("annotated source lost main:\n%s", annotated)
+	}
+	// Annotations are comments: stripping them must leave a compilable
+	// program (the parser ignores comments anyway, so just recompile).
+	if _, err := minic.Compile(annotated); err != nil {
+		t.Errorf("annotated source no longer compiles: %v", err)
+	}
+}
+
+func TestSequentialSolutionSpec(t *testing.T) {
+	prog, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	in := interp.New(prog)
+	prof, err := in.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	g, err := htg.Build(prog, prof, htg.Config{})
+	if err != nil {
+		t.Fatalf("htg: %v", err)
+	}
+	pf := platform.ConfigA()
+	// Force a fully sequential plan via the chunking+hierarchy ablations on
+	// a single-statement region.
+	res, err := core.Parallelize(g, pf, 0, core.Heterogeneous,
+		core.Config{DisableChunking: true, DisableHierarchy: true})
+	if err != nil {
+		t.Fatalf("parallelize: %v", err)
+	}
+	sp := Build(res.Best, pf)
+	if sp.NumTasks() < 1 {
+		t.Fatalf("sequential plan still needs the main task")
+	}
+}
