@@ -16,6 +16,9 @@
 //	-spec              print the parallel specification
 //	-plan              print the hierarchical task plan
 //	-bench name        use a bundled benchmark instead of a file
+//	-trace out.json    write a Chrome trace_event file of the run
+//	-stats             print per-region solver statistics and metrics
+//	-v                 log spans to stderr as they complete
 package main
 
 import (
@@ -40,10 +43,16 @@ func main() {
 		emitGo       = flag.String("emit-go", "", "write a runnable parallel Go implementation to this file")
 		benchFlag    = flag.String("bench", "", "use a bundled benchmark (see -list)")
 		list         = flag.Bool("list", false, "list bundled benchmarks")
+		traceFlag    = flag.String("trace", "", "write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
+		statsFlag    = flag.Bool("stats", false, "print per-region ILP solver statistics and the metrics table")
+		verbose      = flag.Bool("v", false, "log tracing spans to stderr as they complete")
 	)
 	flag.Parse()
 
 	if *list {
+		if *benchFlag != "" || flag.NArg() > 0 {
+			fatalf("-list does not take a benchmark or file argument")
+		}
 		for _, b := range bench.All() {
 			fmt.Printf("%-12s %s\n", b.Name, b.Description)
 		}
@@ -52,6 +61,8 @@ func main() {
 
 	var source, name string
 	switch {
+	case *benchFlag != "" && flag.NArg() > 0:
+		fatalf("both -bench %q and file argument %q given; pass one input", *benchFlag, flag.Arg(0))
 	case *benchFlag != "":
 		b := bench.ByName(*benchFlag)
 		if b == nil {
@@ -64,6 +75,8 @@ func main() {
 			fatalf("%v", err)
 		}
 		source, name = string(data), flag.Arg(0)
+	case flag.NArg() > 1:
+		fatalf("expected one source file, got %d arguments: %s", flag.NArg(), strings.Join(flag.Args(), " "))
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -95,6 +108,13 @@ func main() {
 		fatalf("unknown approach %q", *approachFlag)
 	}
 
+	if *traceFlag != "" || *statsFlag || *verbose {
+		opts.Observer = heteropar.NewObserver()
+		if *verbose {
+			opts.Observer.Tracer.SetLogger(os.Stderr)
+		}
+	}
+
 	rep, err := heteropar.Parallelize(source, opts)
 	if err != nil {
 		fatalf("%v", err)
@@ -114,6 +134,16 @@ func main() {
 	fmt.Printf("speedup:    %.2fx measured (%.2fx estimated, %.2fx theoretical limit)\n",
 		rep.MeasuredSpeedup, rep.EstimatedSpeedup, rep.TheoreticalLimit())
 
+	if *statsFlag {
+		fmt.Printf("\n--- solver statistics ---\n%s", rep.SolverStatsTable())
+		fmt.Printf("\n--- metrics ---\n%s", opts.Observer.Metrics.RenderTable())
+	}
+	if *traceFlag != "" {
+		if err := opts.Observer.Tracer.WriteChromeFile(*traceFlag); err != nil {
+			fatalf("trace: %v", err)
+		}
+		fmt.Printf("chrome trace written to %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *traceFlag)
+	}
 	if *plan {
 		fmt.Printf("\n--- task plan ---\n%s", rep.PlanSummary())
 	}

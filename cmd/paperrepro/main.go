@@ -31,6 +31,25 @@ func main() {
 	)
 	flag.Parse()
 
+	if *figFlag != "" {
+		valid := false
+		for _, id := range experiments.FigureIDs() {
+			if *figFlag == id {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			fmt.Fprintf(os.Stderr, "paperrepro: unknown figure %q (want one of %s)\n",
+				*figFlag, strings.Join(experiments.FigureIDs(), ", "))
+			os.Exit(1)
+		}
+	}
+	if *tableFlag != "" && *tableFlag != "1" {
+		fmt.Fprintf(os.Stderr, "paperrepro: unknown table %q (only table 1 exists)\n", *tableFlag)
+		os.Exit(1)
+	}
+
 	var names []string
 	if *benchCSV != "" {
 		for _, n := range strings.Split(*benchCSV, ",") {
@@ -71,6 +90,9 @@ func main() {
 		fmt.Println(out)
 		fmt.Printf("(table I regenerated in %v)\n\n", time.Since(start).Round(time.Second))
 		fmt.Fprintf(&md, "## Table I\n\n```\n%s```\n\n", out)
+		solver := tbl.RenderSolverStats()
+		fmt.Printf("Solver telemetry (per benchmark and approach):\n\n%s\n", solver)
+		fmt.Fprintf(&md, "## Solver telemetry\n\n%s\n", solver)
 	}
 
 	switch {

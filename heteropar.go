@@ -33,9 +33,20 @@ import (
 	"repro/internal/interp"
 	"repro/internal/minic"
 	"repro/internal/mpsoc"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/taskspec"
 )
+
+// Observer re-exports the observability bundle (tracer + metrics); see
+// package repro/internal/obs. A nil observer disables all
+// instrumentation at the cost of one pointer test per phase.
+type Observer = obs.Observer
+
+// NewObserver builds a fully enabled observer (tracing and metrics).
+func NewObserver() *Observer {
+	return &Observer{Tracer: obs.NewTracer(), Metrics: obs.NewRegistry()}
+}
 
 // Platform re-exports the platform description type.
 type Platform = platform.Platform
@@ -102,6 +113,9 @@ type Options struct {
 	// SkipSimulation omits the MPSoC measurement (faster; the report's
 	// Measured* fields stay zero).
 	SkipSimulation bool
+	// Observer, when non-nil, records phase spans, per-solve solver
+	// telemetry and simulator occupancy for the -trace/-stats tooling.
+	Observer *Observer
 }
 
 // Report is the result of parallelizing one program.
@@ -137,7 +151,12 @@ type Report struct {
 	opts Options
 }
 
-// Parallelize runs the complete tool flow on source.
+// Parallelize runs the complete tool flow on source. When an Observer
+// is configured, each pipeline phase (compile, profile, HTG build,
+// parallelize with its per-region ILP solves, taskspec, simulate) is
+// wrapped in a tracing span, solver telemetry flows into the metrics
+// registry, and the simulated schedule is exported as per-core
+// occupancy tracks.
 func Parallelize(source string, opts Options) (*Report, error) {
 	if opts.Platform == nil {
 		opts.Platform = PlatformA()
@@ -145,42 +164,69 @@ func Parallelize(source string, opts Options) (*Report, error) {
 	if err := opts.Platform.Validate(); err != nil {
 		return nil, err
 	}
+	tr := opts.Observer.T()
+	flow := tr.Start("parallelize-flow",
+		obs.String("platform", opts.Platform.Name),
+		obs.String("approach", opts.Approach.String()))
+	defer flow.End()
+
+	span := tr.Start("compile", obs.Int("source_bytes", len(source)))
 	prog, err := minic.Compile(source)
+	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("heteropar: %w", err)
 	}
+	span = tr.Start("profile")
 	in := interp.New(prog)
 	prof, err := in.Run()
+	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("heteropar: profiling failed: %w", err)
 	}
+	span = tr.Start("htg-build")
 	g, err := htg.Build(prog, prof, htg.Config{})
 	if err != nil {
+		span.End()
 		return nil, fmt.Errorf("heteropar: %w", err)
 	}
+	span.End()
 	mainClass := opts.Scenario.MainClass(opts.Platform)
 	cfg := core.Config{
 		ILPTimeout:       opts.MaxILPTime,
 		DisableChunking:  opts.DisableChunking,
 		EnablePipelining: opts.EnablePipelining,
+		Tracer:           tr,
+		Metrics:          opts.Observer.M(),
 	}
+	span = tr.Start("parallelize", obs.Int("main_class", mainClass))
 	res, err := core.Parallelize(g, opts.Platform, mainClass, opts.Approach, cfg)
 	if err != nil {
+		span.End()
 		return nil, fmt.Errorf("heteropar: %w", err)
 	}
+	span.SetAttr(
+		obs.Int("ilps", res.Stats.NumILPs),
+		obs.Int("bb_nodes", res.Stats.BBNodes),
+		obs.Dur("solve_time", res.Stats.SolveTime))
+	span.End()
+	span = tr.Start("taskspec")
+	spec := taskspec.Build(res.Best, res.Platform)
+	span.End()
 	rep := &Report{
 		Program:          prog,
 		Graph:            g,
 		Result:           res,
-		Spec:             taskspec.Build(res.Best, res.Platform),
+		Spec:             spec,
 		EstimatedSpeedup: res.EstimatedSpeedup(g),
 		MainClass:        mainClass,
 		opts:             opts,
 	}
 	if !opts.SkipSimulation {
+		span = tr.Start("simulate")
 		sim := mpsoc.New(opts.Platform, opts.Approach == Homogeneous)
 		meas, err := sim.Run(res.Best, mainClass)
 		if err != nil {
+			span.End()
 			return nil, fmt.Errorf("heteropar: simulation failed: %w", err)
 		}
 		rep.SequentialNs = sim.SequentialBaseline(g, mainClass)
@@ -189,6 +235,11 @@ func Parallelize(source string, opts Options) (*Report, error) {
 		rep.MeasuredEnergyUJ = meas.EnergyUJ
 		rep.SequentialEnergyUJ = sim.SequentialEnergyUJ(g, mainClass)
 		rep.Measured = meas
+		span.SetAttr(
+			obs.Float("makespan_ns", meas.MakespanNs),
+			obs.Float("speedup", rep.MeasuredSpeedup))
+		span.End()
+		meas.ExportOccupancy(tr, opts.Platform)
 	}
 	return rep, nil
 }
@@ -215,11 +266,22 @@ func (r *Report) TheoreticalLimit() float64 {
 	return r.opts.Platform.TheoreticalSpeedup(r.MainClass)
 }
 
+// SolverStatsTable renders the per-region ILP solve records (region,
+// model, problem size, branch-and-bound effort, gap, status) as an
+// aligned text table. Empty when no ILPs were solved.
+func (r *Report) SolverStatsTable() string {
+	return r.Result.Stats.SolveTable()
+}
+
 // Gantt renders the simulated execution as an ASCII timeline (empty when
-// the simulation was skipped).
+// the simulation was skipped). Non-positive widths fall back to 96
+// columns instead of producing a degenerate chart.
 func (r *Report) Gantt(width int) string {
 	if r.Measured == nil {
 		return ""
+	}
+	if width <= 0 {
+		width = 96
 	}
 	return mpsoc.RenderGantt(r.opts.Platform, r.Measured, width)
 }

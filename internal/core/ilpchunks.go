@@ -138,7 +138,7 @@ func (p *Parallelizer) ilpParChunks(rs *regionSpec, seqPC, maxTasks int) *Soluti
 		m.AddCons(fmt.Sprintf("budget_c%d", c), terms, ilp.LE, float64(p.pf.Classes[c].Count))
 	}
 
-	res := p.solve(m)
+	res := p.solve(m, solveMeta{region: regionLabel(rs), model: "chunks", class: seqPC, tasks: T})
 	if res == nil {
 		return nil
 	}

@@ -7,18 +7,26 @@ import (
 
 	"repro/internal/htg"
 	"repro/internal/ilp"
+	"repro/internal/obs"
 )
 
 // debugILP enables solve tracing in tests.
 var debugILP = false
 
-// ilpStats aggregates solver statistics for Table I.
-type ilpStats struct {
-	numILPs        int
-	numVars        int
-	numConstraints int
-	solveTime      time.Duration
-	nodes          int
+// solveMeta identifies one region solve for telemetry.
+type solveMeta struct {
+	region string // HTG node label of the region
+	model  string // "tasks", "chunks" or "pipeline"
+	class  int    // main-task class under consideration
+	tasks  int    // task-count bound of this sweep step
+}
+
+// regionLabel names a region for solve records and spans.
+func regionLabel(rs *regionSpec) string {
+	if rs.node != nil && rs.node.Label != "" {
+		return rs.node.Label
+	}
+	return "<region>"
 }
 
 // ilpParHetero builds and solves the heterogeneous partitioning-and-mapping
@@ -435,7 +443,8 @@ func (p *Parallelizer) ilpParHetero(rs *regionSpec, seqPC, maxTasks int) *Soluti
 		contrib: contrib, cost: cost, accum: accum,
 		procsused: procsused, w: w, exectime: exectime,
 	})
-	res := p.solveWithIncumbent(m, incumbent)
+	res := p.solveWithIncumbent(m, incumbent,
+		solveMeta{region: regionLabel(rs), model: "tasks", class: seqPC, tasks: T})
 	if res == nil {
 		return nil
 	}
@@ -508,28 +517,80 @@ func mainTaskIncumbent(m *ilp.Model, rs *regionSpec, seqPC int, seqTime float64,
 }
 
 // solve runs the MILP and records statistics.
-func (p *Parallelizer) solve(m *ilp.Model) *ilp.Result {
-	return p.solveWithIncumbent(m, nil)
+func (p *Parallelizer) solve(m *ilp.Model, meta solveMeta) *ilp.Result {
+	return p.solveWithIncumbent(m, nil, meta)
 }
 
 // solveWithIncumbent additionally seeds the search with a known feasible
-// assignment (ignored when nil or infeasible).
-func (p *Parallelizer) solveWithIncumbent(m *ilp.Model, incumbent []float64) *ilp.Result {
-	p.stats.numILPs++
-	p.stats.numVars += m.NumVars()
-	p.stats.numConstraints += m.NumCons()
+// assignment (ignored when nil or infeasible). Every solve is recorded
+// as a SolveRecord; when a tracer or metrics registry is configured it
+// also emits a span and feeds the solver's progress hook into the
+// registry.
+func (p *Parallelizer) solveWithIncumbent(m *ilp.Model, incumbent []float64, meta solveMeta) *ilp.Result {
+	span := p.cfg.Tracer.Start("ilp-solve",
+		obs.String("region", meta.region),
+		obs.String("model", meta.model),
+		obs.Int("class", meta.class),
+		obs.Int("tasks", meta.tasks),
+		obs.Int("vars", m.NumVars()),
+		obs.Int("cons", m.NumCons()))
 	start := time.Now()
 	opt := ilp.Options{MaxNodes: p.cfg.MaxILPNodes, RelGap: p.cfg.ILPRelGap, Incumbent: incumbent}
 	if p.cfg.ILPTimeout > 0 {
 		opt.Deadline = start.Add(p.cfg.ILPTimeout)
 	}
+	if reg := p.cfg.Metrics; reg != nil {
+		opt.Progress = func(ev ilp.ProgressEvent) {
+			switch ev.Kind {
+			case ilp.EventIncumbent:
+				reg.Counter("ilp.incumbents").Inc()
+			case ilp.EventDone:
+				reg.Counter("ilp.bb_nodes").Add(int64(ev.Nodes))
+				reg.Counter("ilp.lp_iters").Add(int64(ev.LPIters))
+				reg.Gauge("ilp.gap.max").Max(ev.Gap)
+			}
+		}
+	}
 	res := ilp.Solve(m, opt)
-	p.stats.solveTime += time.Since(start)
+	dur := time.Since(start)
+	p.stats.record(SolveRecord{
+		Region:     meta.region,
+		Model:      meta.model,
+		Class:      meta.class,
+		MaxTasks:   meta.tasks,
+		Vars:       m.NumVars(),
+		Cons:       m.NumCons(),
+		Status:     res.Status.String(),
+		Nodes:      res.Nodes,
+		LPIters:    res.LPIters,
+		Incumbents: res.Incumbents,
+		Gap:        res.Gap,
+		TimedOut:   res.TimedOut,
+		NodeCapped: res.NodeCapped,
+		Time:       dur,
+	})
+	if reg := p.cfg.Metrics; reg != nil {
+		reg.Counter("ilp.solves").Inc()
+		reg.Histogram("ilp.solve_time").Observe(dur)
+		if res.TimedOut {
+			reg.Counter("ilp.timeouts").Inc()
+		}
+		if res.NodeCapped {
+			reg.Counter("ilp.node_caps").Inc()
+		}
+	}
+	span.SetAttr(
+		obs.String("status", res.Status.String()),
+		obs.Int("nodes", res.Nodes),
+		obs.Int("lp_iters", res.LPIters),
+		obs.Float("gap", res.Gap),
+		obs.Bool("timed_out", res.TimedOut),
+		obs.Bool("node_capped", res.NodeCapped))
+	span.End()
 	if debugILP {
 		fmt.Printf("ILP: status=%v obj=%.0f nodes=%d gap=%.3f vars=%d cons=%d\n",
 			res.Status, res.Obj, res.Nodes, res.Gap, m.NumVars(), m.NumCons())
 	}
-	p.stats.nodes += res.Nodes
 	if res.Status != ilp.StatusOptimal && res.Status != ilp.StatusFeasible {
 		return nil
 	}

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/htg"
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
@@ -53,6 +55,13 @@ type Config struct {
 	// DisableHierarchy runs a single flat ILP over the root region only
 	// (ablation; inner nodes keep sequential candidates only).
 	DisableHierarchy bool
+	// Tracer, when non-nil, receives one span per ILP solve (region,
+	// model shape, solver outcome attributes).
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, is fed solver telemetry via the branch-and-
+	// bound progress hook: B&B nodes, LP iterations, incumbent updates,
+	// gaps, timeout and node-cap hits, and solve durations.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -74,13 +83,117 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats reports the solver effort, the quantities of Table I.
+// SolveRecord is the telemetry of one per-region ILP solve.
+type SolveRecord struct {
+	// Region names the HTG node whose child region was solved.
+	Region string
+	// Model is the ILP family: "tasks" (statement partitioning),
+	// "chunks" (DOALL iteration splitting) or "pipeline" (stage
+	// partitioning).
+	Model string
+	// Class is the main-task processor class of this solve; MaxTasks the
+	// task-count bound of the sweep step.
+	Class    int
+	MaxTasks int
+	// Vars and Cons are the model dimensions.
+	Vars int
+	Cons int
+	// Status is the solver outcome (optimal, feasible, infeasible, ...).
+	Status string
+	// Nodes, LPIters and Incumbents are the branch-and-bound effort
+	// counters; Gap the final relative optimality gap.
+	Nodes      int
+	LPIters    int
+	Incumbents int
+	Gap        float64
+	// TimedOut / NodeCapped mark truncated searches.
+	TimedOut   bool
+	NodeCapped bool
+	// Time is the wall-clock solve duration.
+	Time time.Duration
+}
+
+// Optimal reports whether the solve proved optimality.
+func (r SolveRecord) Optimal() bool { return r.Status == "optimal" }
+
+// Stats reports the solver effort: the aggregate quantities of Table I
+// plus per-solve telemetry.
 type Stats struct {
 	NumILPs        int
 	NumVars        int
 	NumConstraints int
 	SolveTime      time.Duration
 	BBNodes        int
+	// LPIters totals simplex iterations across all solves; Incumbents
+	// the integral improvements found.
+	LPIters    int
+	Incumbents int
+	// Timeouts and NodeCapHits count truncated solves; ProvedOptimal the
+	// solves that closed the gap completely. MaxGap is the worst final
+	// relative optimality gap over all solves that found a solution.
+	Timeouts      int
+	NodeCapHits   int
+	ProvedOptimal int
+	MaxGap        float64
+	// Solves lists every per-region ILP solve in execution order.
+	Solves []SolveRecord
+}
+
+// record folds one solve into the aggregates.
+func (s *Stats) record(rec SolveRecord) {
+	s.NumILPs++
+	s.NumVars += rec.Vars
+	s.NumConstraints += rec.Cons
+	s.SolveTime += rec.Time
+	s.BBNodes += rec.Nodes
+	s.LPIters += rec.LPIters
+	s.Incumbents += rec.Incumbents
+	if rec.TimedOut {
+		s.Timeouts++
+	}
+	if rec.NodeCapped {
+		s.NodeCapHits++
+	}
+	if rec.Optimal() {
+		s.ProvedOptimal++
+	}
+	if rec.Gap > s.MaxGap {
+		s.MaxGap = rec.Gap
+	}
+	s.Solves = append(s.Solves, rec)
+}
+
+// SolveTable renders the per-region solve records as an aligned
+// human-readable table (the CLI's -stats view).
+func (s *Stats) SolveTable() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-22s %-8s %5s %5s %6s %6s %7s %9s %6s %7s %9s\n",
+		"region", "model", "class", "tasks", "vars", "cons",
+		"nodes", "lp-iters", "inc", "gap", "time")
+	sb.WriteString(strings.Repeat("-", 98) + "\n")
+	for _, r := range s.Solves {
+		flags := ""
+		if r.TimedOut {
+			flags = "!t"
+		}
+		if r.NodeCapped {
+			flags += "!n"
+		}
+		region := r.Region
+		if len(region) > 22 {
+			region = region[:19] + "..."
+		}
+		fmt.Fprintf(&sb, "%-22s %-8s %5d %5d %6d %6d %7d %9d %6d %6.2f%% %9s %s\n",
+			region, r.Model, r.Class, r.MaxTasks, r.Vars, r.Cons,
+			r.Nodes, r.LPIters, r.Incumbents, r.Gap*100,
+			r.Time.Round(time.Microsecond), r.Status+flags)
+	}
+	sb.WriteString(strings.Repeat("-", 98) + "\n")
+	fmt.Fprintf(&sb, "total: %d ILPs, %d B&B nodes, %d LP iterations, %d incumbents, %v solve time\n",
+		s.NumILPs, s.BBNodes, s.LPIters, s.Incumbents, s.SolveTime.Round(time.Millisecond))
+	fmt.Fprintf(&sb, "       %d proved optimal, %d timeouts, %d node-cap hits, worst gap %.2f%%\n",
+		s.ProvedOptimal, s.Timeouts, s.NodeCapHits, s.MaxGap*100)
+	return sb.String()
 }
 
 // Result is the outcome of parallelizing one program.
@@ -121,7 +234,7 @@ func (r *Result) EstimatedSpeedup(g *htg.Graph) float64 {
 type Parallelizer struct {
 	pf    *platform.Platform
 	cfg   Config
-	stats ilpStats
+	stats Stats
 }
 
 // Parallelize runs the selected approach on graph g targeting pf with the
@@ -158,13 +271,7 @@ func Parallelize(g *htg.Graph, pf *platform.Platform, mainClass int, approach Ap
 		Approach:  approach,
 		MainClass: workMain,
 		Platform:  workPF,
-		Stats: Stats{
-			NumILPs:        p.stats.numILPs,
-			NumVars:        p.stats.numVars,
-			NumConstraints: p.stats.numConstraints,
-			SolveTime:      p.stats.solveTime,
-			BBNodes:        p.stats.nodes,
-		},
+		Stats:     p.stats,
 	}, nil
 }
 

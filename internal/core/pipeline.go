@@ -268,7 +268,7 @@ func (p *Parallelizer) ilpParPipeline(rs *regionSpec, iters float64, seqPC, maxT
 		m.AddCons("cut_bneck", terms, ilp.GE, best)
 	}
 
-	res := p.solve(m)
+	res := p.solve(m, solveMeta{region: regionLabel(rs), model: "pipeline", class: seqPC, tasks: T})
 	if res == nil {
 		return nil
 	}

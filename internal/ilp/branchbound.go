@@ -36,6 +36,29 @@ func (s Status) String() string {
 	return fmt.Sprintf("Status(%d)", int(s))
 }
 
+// ProgressKind labels a solver progress event.
+type ProgressKind int
+
+// Progress event kinds.
+const (
+	// EventIncumbent fires when the search finds a new best integral point.
+	EventIncumbent ProgressKind = iota
+	// EventDone fires exactly once, after the search finishes.
+	EventDone
+)
+
+// ProgressEvent is one solver milestone reported to Options.Progress.
+type ProgressEvent struct {
+	Kind ProgressKind
+	// Nodes and LPIters are the exploration counters at event time.
+	Nodes   int
+	LPIters int
+	// Obj is the incumbent objective (meaningless before the first
+	// incumbent); Gap the relative optimality gap when known.
+	Obj float64
+	Gap float64
+}
+
 // Options tunes the branch-and-bound search.
 type Options struct {
 	// MaxNodes caps explored B&B nodes (0 = default 200000).
@@ -50,6 +73,11 @@ type Options struct {
 	// RelGap terminates the search once the relative optimality gap of the
 	// incumbent drops to or below this value (0 = prove optimality).
 	RelGap float64
+	// Progress, when non-nil, receives one event per incumbent improvement
+	// and a final summary event. The hook runs inline on the solve loop and
+	// must be cheap; a nil hook costs a single pointer test (nothing is
+	// allocated on the hot path).
+	Progress func(ProgressEvent)
 }
 
 // Result is the outcome of Solve.
@@ -63,6 +91,13 @@ type Result struct {
 	LPIters int
 	// Gap is the final relative optimality gap (0 when proven optimal).
 	Gap float64
+	// Incumbents counts integral improvements found during the search
+	// (seeded Options.Incumbent points are not counted).
+	Incumbents int
+	// TimedOut and NodeCapped report why a truncated search stopped:
+	// the Options.Deadline passed or the MaxNodes budget ran out.
+	TimedOut   bool
+	NodeCapped bool
 }
 
 // bbNode is one open branch-and-bound subproblem.
@@ -94,6 +129,34 @@ func (h *nodeHeap) Pop() any {
 // Solve minimizes the model's objective subject to its constraints, bounds
 // and integrality requirements.
 func Solve(mod *Model, opt Options) Result {
+	res := solve(mod, opt)
+	if opt.Progress != nil {
+		opt.Progress(ProgressEvent{
+			Kind:    EventDone,
+			Nodes:   res.Nodes,
+			LPIters: res.LPIters,
+			Obj:     res.Obj,
+			Gap:     res.Gap,
+		})
+	}
+	return res
+}
+
+// noteIncumbent records an integral improvement and fires the progress
+// hook when one is installed.
+func noteIncumbent(opt *Options, res *Result) {
+	res.Incumbents++
+	if opt.Progress != nil {
+		opt.Progress(ProgressEvent{
+			Kind:    EventIncumbent,
+			Nodes:   res.Nodes,
+			LPIters: res.LPIters,
+			Obj:     res.Obj,
+		})
+	}
+}
+
+func solve(mod *Model, opt Options) Result {
 	if err := mod.Validate(); err != nil {
 		return Result{Status: StatusInfeasible}
 	}
@@ -160,10 +223,12 @@ func Solve(mod *Model, opt Options) Result {
 	for open.Len() > 0 {
 		if res.Nodes >= opt.MaxNodes {
 			truncated = true
+			res.NodeCapped = true
 			break
 		}
 		if !opt.Deadline.IsZero() && time.Now().After(opt.Deadline) {
 			truncated = true
+			res.TimedOut = true
 			break
 		}
 		node := heap.Pop(open).(*bbNode)
@@ -195,6 +260,7 @@ func Solve(mod *Model, opt Options) Result {
 					res.Obj = obj
 					res.X = x
 					res.Status = StatusFeasible
+					noteIncumbent(&opt, &res)
 				}
 			}
 			continue
@@ -268,6 +334,7 @@ func dfsForIncumbent(mod *Model, rootLo, rootHi []float64, rootLP LPResult,
 					res.Obj = obj
 					res.X = x
 					res.Status = StatusFeasible
+					noteIncumbent(&opt, res)
 				}
 				return
 			}

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/htg"
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
@@ -531,6 +532,34 @@ func nodeLabel(n *htg.Node) string {
 		return "work"
 	}
 	return n.Label
+}
+
+// ExportOccupancy synthesizes per-core occupancy tracks (plus the
+// shared bus) from the recorded execution trace onto the tracer's
+// virtual timeline, for the Chrome trace export. Safe on a nil tracer.
+func (r *Result) ExportOccupancy(tr *obs.Tracer, pf *platform.Platform) {
+	if tr == nil || r == nil {
+		return
+	}
+	names := map[int]string{-1: "bus"}
+	id := 0
+	for _, pc := range pf.Classes {
+		for i := 0; i < pc.Count; i++ {
+			names[id] = fmt.Sprintf("core%d %s", id, pc.Name)
+			id++
+		}
+	}
+	for _, seg := range r.Trace {
+		track, ok := names[seg.Core]
+		if !ok {
+			track = fmt.Sprintf("core%d", seg.Core)
+		}
+		label := seg.Label
+		if label == "" {
+			label = "work"
+		}
+		tr.Slice(track, label, seg.StartNs, seg.EndNs)
+	}
 }
 
 // RenderGantt draws the traced execution as an ASCII timeline, one row per

@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer metric. All methods are
+// safe on a nil receiver and from concurrent goroutines.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins float metric.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Max raises the gauge to v when v exceeds the stored value.
+func (g *Gauge) Max(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets are the duration histogram upper bounds.
+var histBuckets = [...]time.Duration{
+	10 * time.Microsecond,
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+	10 * time.Second,
+	// implicit +Inf bucket
+}
+
+// Histogram is a fixed-bucket duration histogram (exponential bounds
+// from 10µs to 10s plus overflow), tracking count, sum, min and max.
+type Histogram struct {
+	buckets [len(histBuckets) + 1]atomic.Int64
+	count   atomic.Int64
+	sumNs   atomic.Int64
+	minNs   atomic.Int64 // valid when count > 0
+	maxNs   atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := d.Nanoseconds()
+	i := 0
+	for ; i < len(histBuckets); i++ {
+		if d <= histBuckets[i] {
+			break
+		}
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	for {
+		old := h.minNs.Load()
+		if old <= ns {
+			break
+		}
+		if h.minNs.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	for {
+		old := h.maxNs.Load()
+		if old >= ns {
+			break
+		}
+		if h.maxNs.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load())
+}
+
+// Mean returns the average observed duration.
+func (h *Histogram) Mean() time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load() / n)
+}
+
+// Registry is a concurrency-safe collection of named metrics. A nil
+// *Registry hands out nil metrics whose methods all no-op, so
+// instrumented code needs no enabled/disabled branches.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns (creating on first use) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		h.minNs.Store(math.MaxInt64)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RenderTable prints every metric as an aligned human-readable table,
+// sorted by name within each metric family.
+func (r *Registry) RenderTable() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	counterNames := sortedKeys(r.counters)
+	gaugeNames := sortedKeys(r.gauges)
+	histNames := sortedKeys(r.hists)
+	r.mu.Unlock()
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-32s %14s\n", "metric", "value")
+	sb.WriteString(strings.Repeat("-", 47) + "\n")
+	for _, n := range counterNames {
+		fmt.Fprintf(&sb, "%-32s %14d\n", n, r.Counter(n).Value())
+	}
+	for _, n := range gaugeNames {
+		fmt.Fprintf(&sb, "%-32s %14.4g\n", n, r.Gauge(n).Value())
+	}
+	for _, n := range histNames {
+		h := r.Histogram(n)
+		if h.Count() == 0 {
+			fmt.Fprintf(&sb, "%-32s %14s\n", n, "(empty)")
+			continue
+		}
+		fmt.Fprintf(&sb, "%-32s count=%d sum=%s mean=%s min=%s max=%s\n",
+			n, h.Count(),
+			h.Sum().Round(time.Microsecond),
+			h.Mean().Round(time.Microsecond),
+			time.Duration(h.minNs.Load()).Round(time.Microsecond),
+			time.Duration(h.maxNs.Load()).Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsFreeNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("a").Add(3)
+	r.Counter("a").Inc()
+	r.Gauge("b").Set(1.5)
+	r.Gauge("b").Max(2.5)
+	r.Histogram("c").Observe(time.Millisecond)
+	if r.Counter("a").Value() != 0 || r.Gauge("b").Value() != 0 || r.Histogram("c").Count() != 0 {
+		t.Errorf("nil registry accumulated values")
+	}
+	if r.RenderTable() != "" {
+		t.Errorf("nil registry rendered a table")
+	}
+}
+
+func TestMetricsBasics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ilp.solves").Add(2)
+	r.Counter("ilp.solves").Inc()
+	if got := r.Counter("ilp.solves").Value(); got != 3 {
+		t.Errorf("counter = %d, want 3", got)
+	}
+	r.Gauge("gap.max").Max(0.01)
+	r.Gauge("gap.max").Max(0.5)
+	r.Gauge("gap.max").Max(0.2)
+	if got := r.Gauge("gap.max").Value(); got != 0.5 {
+		t.Errorf("gauge max = %g, want 0.5", got)
+	}
+	h := r.Histogram("solve.time")
+	h.Observe(2 * time.Millisecond)
+	h.Observe(40 * time.Millisecond)
+	if h.Count() != 2 {
+		t.Errorf("hist count = %d, want 2", h.Count())
+	}
+	if h.Sum() != 42*time.Millisecond {
+		t.Errorf("hist sum = %v, want 42ms", h.Sum())
+	}
+	if h.Mean() != 21*time.Millisecond {
+		t.Errorf("hist mean = %v, want 21ms", h.Mean())
+	}
+	table := r.RenderTable()
+	for _, want := range []string{"ilp.solves", "gap.max", "solve.time", "count=2"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines;
+// run under -race (the make check target does) to verify the
+// concurrency-safety contract.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("shared.counter").Inc()
+				r.Counter("shared.counter2").Add(2)
+				r.Gauge("shared.gauge").Set(float64(i))
+				r.Gauge("shared.max").Max(float64(w*perWorker + i))
+				r.Histogram("shared.hist").Observe(time.Duration(i) * time.Microsecond)
+				if i%100 == 0 {
+					_ = r.RenderTable()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared.counter").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Counter("shared.counter2").Value(); got != 2*workers*perWorker {
+		t.Errorf("counter2 = %d, want %d", got, 2*workers*perWorker)
+	}
+	if got := r.Gauge("shared.max").Value(); got != workers*perWorker-1 {
+		t.Errorf("gauge max = %g, want %d", got, workers*perWorker-1)
+	}
+	if got := r.Histogram("shared.hist").Count(); got != workers*perWorker {
+		t.Errorf("hist count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestTracerConcurrentSlices verifies Slice and span recording are safe
+// from concurrent goroutines (occupancy export happens while metrics
+// are still being written in future pipelined flows).
+func TestTracerConcurrentSlices(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Slice("core", "seg", float64(i), float64(i+1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.NumSlices(); got != 8*200 {
+		t.Errorf("slices = %d, want %d", got, 8*200)
+	}
+}

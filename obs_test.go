@@ -1,0 +1,102 @@
+package heteropar_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	heteropar "repro"
+)
+
+// TestObserverEndToEnd runs the full flow with an observer attached and
+// checks that every pipeline phase left a span, that the Chrome export
+// is valid balanced JSON, and that the simulator contributed per-core
+// occupancy slices.
+func TestObserverEndToEnd(t *testing.T) {
+	o := heteropar.NewObserver()
+	rep, err := heteropar.Parallelize(demoSrc, heteropar.Options{
+		Platform: heteropar.PlatformA(),
+		Scenario: heteropar.Accelerator,
+		Observer: o,
+	})
+	if err != nil {
+		t.Fatalf("Parallelize: %v", err)
+	}
+	names := map[string]bool{}
+	for _, n := range o.Tracer.SpanNames() {
+		names[n] = true
+	}
+	for _, phase := range []string{
+		"parallelize-flow", "compile", "profile", "htg-build",
+		"parallelize", "ilp-solve", "taskspec", "simulate",
+	} {
+		if !names[phase] {
+			t.Errorf("missing span for phase %q (got %v)", phase, o.Tracer.SpanNames())
+		}
+	}
+	if o.Tracer.NumSlices() == 0 {
+		t.Errorf("no occupancy slices exported from the simulation")
+	}
+	if got := o.Metrics.Counter("ilp.solves").Value(); got != int64(rep.Result.Stats.NumILPs) {
+		t.Errorf("ilp.solves = %d, want %d", got, rep.Result.Stats.NumILPs)
+	}
+
+	var buf bytes.Buffer
+	if err := o.Tracer.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Ph  string  `json:"ph"`
+			PID int     `json:"pid"`
+			TID int     `json:"tid"`
+			Dur float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	begins, ends, complete := 0, 0, 0
+	for _, ev := range trace.TraceEvents {
+		switch ev.Ph {
+		case "B":
+			begins++
+		case "E":
+			ends++
+		case "X":
+			complete++
+			if ev.Dur <= 0 {
+				t.Errorf("occupancy slice with non-positive duration %f", ev.Dur)
+			}
+		}
+	}
+	if begins == 0 || begins != ends {
+		t.Errorf("unbalanced trace: %d begin vs %d end events", begins, ends)
+	}
+	if complete == 0 {
+		t.Errorf("no occupancy X events in the chrome trace")
+	}
+
+	if table := rep.SolverStatsTable(); !strings.Contains(table, "region") {
+		t.Errorf("SolverStatsTable missing header:\n%s", table)
+	}
+	if stats := o.Metrics.RenderTable(); !strings.Contains(stats, "ilp.solves") {
+		t.Errorf("metrics table missing ilp.solves:\n%s", stats)
+	}
+}
+
+// TestObserverNilIsNoOp checks the disabled path: no observer, same
+// result, nothing to export.
+func TestObserverNilIsNoOp(t *testing.T) {
+	rep, err := heteropar.Parallelize(demoSrc, heteropar.Options{})
+	if err != nil {
+		t.Fatalf("Parallelize: %v", err)
+	}
+	if rep.MeasuredSpeedup <= 1 {
+		t.Errorf("speedup %.2f", rep.MeasuredSpeedup)
+	}
+	if rep.Gantt(-5) == "" {
+		t.Errorf("Gantt with non-positive width should fall back to a default, not be empty")
+	}
+}
