@@ -9,7 +9,7 @@
 //
 // Flags:
 //
-//	-platform A|B     target platform configuration (default A)
+//	-platform A|B|file.json  target platform configuration (default A)
 //	-scenario acc|slow main core selection (default acc)
 //	-approach het|hom  algorithm (default het)
 //	-annotate          print the annotated source
@@ -29,11 +29,12 @@ import (
 
 	heteropar "repro"
 	"repro/internal/bench"
+	"repro/internal/platform"
 )
 
 func main() {
 	var (
-		platformFlag = flag.String("platform", "A", "platform configuration: A (100/250/500/500 MHz) or B (200/200/500/500 MHz)")
+		platformFlag = flag.String("platform", "A", "platform configuration: A (100/250/500/500 MHz), B (200/200/500/500 MHz) or a path to a .json platform description")
 		scenarioFlag = flag.String("scenario", "acc", "scenario: acc (slow main core) or slow (fast main core)")
 		approachFlag = flag.String("approach", "het", "approach: het (heterogeneous) or hom (homogeneous baseline)")
 		annotate     = flag.Bool("annotate", false, "print the annotated source")
@@ -83,13 +84,19 @@ func main() {
 	}
 
 	opts := heteropar.Options{}
-	switch strings.ToUpper(*platformFlag) {
-	case "A":
+	switch {
+	case strings.EqualFold(*platformFlag, "A"):
 		opts.Platform = heteropar.PlatformA()
-	case "B":
+	case strings.EqualFold(*platformFlag, "B"):
 		opts.Platform = heteropar.PlatformB()
+	case strings.HasSuffix(*platformFlag, ".json"):
+		pf, err := platform.LoadFile(*platformFlag)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opts.Platform = pf
 	default:
-		fatalf("unknown platform %q", *platformFlag)
+		fatalf("unknown platform %q (want A, B or a path to a .json platform description)", *platformFlag)
 	}
 	switch *scenarioFlag {
 	case "acc":

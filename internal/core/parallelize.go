@@ -39,6 +39,12 @@ type Config struct {
 	MaxItemsPerILP int
 	// MaxCandsPerClass bounds each node's pruned candidate set (default 5).
 	MaxCandsPerClass int
+	// MaxTasksPerRegion caps the task bound each region ILP starts from
+	// (0 = the platform's core count). ILP size — and simplex time —
+	// grows steeply with the bound, so design-space sweeps over large
+	// platforms set a small cap to trade a little plan optimality for
+	// tractable solve times.
+	MaxTasksPerRegion int
 	// MaxILPNodes caps branch-and-bound nodes per ILP (default 30000).
 	MaxILPNodes int
 	// ILPTimeout caps wall time per ILP (default 3s).
@@ -62,6 +68,18 @@ type Config struct {
 	// bound progress hook: B&B nodes, LP iterations, incumbent updates,
 	// gaps, timeout and node-cap hits, and solve durations.
 	Metrics *obs.Registry
+}
+
+// Fingerprint returns a canonical string of every field that influences
+// which solutions the parallelizer produces, with defaults applied, so
+// two configs with equal fingerprints are interchangeable for caching.
+// The observability sinks (Tracer, Metrics) are deliberately excluded:
+// they never change results.
+func (c Config) Fingerprint() string {
+	d := c.withDefaults()
+	return fmt.Sprintf("items:%d;cands:%d;tasks:%d;nodes:%d;timeout:%s;gap:%g;chunk:%t;pipe:%t;hier:%t",
+		d.MaxItemsPerILP, d.MaxCandsPerClass, d.MaxTasksPerRegion, d.MaxILPNodes,
+		d.ILPTimeout, d.ILPRelGap, !d.DisableChunking, d.EnablePipelining, !d.DisableHierarchy)
 }
 
 func (c Config) withDefaults() Config {
@@ -306,7 +324,7 @@ func (p *Parallelizer) parallelizeNode(n *htg.Node, sets map[*htg.Node]*Solution
 	}
 	for _, rs := range regions {
 		for seqPC := range p.pf.Classes {
-			i := p.pf.NumCores()
+			i := p.taskBound()
 			for i > 1 {
 				r := p.regionSolver(rs, seqPC, i)
 				if r == nil {
@@ -335,12 +353,22 @@ func (p *Parallelizer) parallelizeNode(n *htg.Node, sets map[*htg.Node]*Solution
 		// Pipelines are created once per loop entry, not per iteration.
 		rs.spawnCount = float64(n.TotalCount)
 		for seqPC := range p.pf.Classes {
-			if r := p.ilpParPipeline(rs, iters, seqPC, p.pf.NumCores()); r != nil {
+			if r := p.ilpParPipeline(rs, iters, seqPC, p.taskBound()); r != nil {
 				set.ByClass[seqPC] = append(set.ByClass[seqPC], r)
 			}
 		}
 	}
 	set.prune(p.cfg.MaxCandsPerClass)
+}
+
+// taskBound returns the starting task bound for region solving: the
+// platform's core count, clipped by the MaxTasksPerRegion budget.
+func (p *Parallelizer) taskBound() int {
+	n := p.pf.NumCores()
+	if p.cfg.MaxTasksPerRegion > 0 && p.cfg.MaxTasksPerRegion < n {
+		n = p.cfg.MaxTasksPerRegion
+	}
+	return n
 }
 
 // DebugILP toggles per-ILP solve tracing (tests only).

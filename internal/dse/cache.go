@@ -1,0 +1,206 @@
+package dse
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/htg"
+	"repro/internal/obs"
+	"repro/internal/platform"
+)
+
+// HTGHash returns a canonical content hash of an Augmented Hierarchical
+// Task Graph: a depth-first walk over the tree hashing, per node, the
+// kind, label, profiled counts, cost-model cycles, boundary
+// communication volumes, loop-parallelism facts and every data-flow
+// edge (endpoint IDs, kind, bytes). Two graphs with equal hashes are
+// indistinguishable to the parallelizer and the simulator, which makes
+// the hash a valid solution-cache key component.
+func HTGHash(g *htg.Graph) string {
+	h := sha256.New()
+	buf := make([]byte, 8)
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf, v)
+		h.Write(buf)
+	}
+	wf := func(v float64) { w64(math.Float64bits(v)) }
+	ws := func(s string) {
+		w64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	var walk func(n *htg.Node)
+	walk = func(n *htg.Node) {
+		w64(uint64(n.ID))
+		w64(uint64(n.Kind))
+		ws(n.Label)
+		wf(n.Count)
+		w64(uint64(n.TotalCount))
+		wf(n.SelfCycles)
+		wf(n.SubtreeCycles)
+		w64(uint64(n.InBytes))
+		w64(uint64(n.OutBytes))
+		if n.Loop != nil {
+			w64(1)
+			if n.Loop.Parallel {
+				w64(1)
+			} else {
+				w64(0)
+			}
+		} else {
+			w64(0)
+		}
+		w64(uint64(len(n.Edges)))
+		for _, e := range n.Edges {
+			w64(uint64(e.From.ID))
+			w64(uint64(e.To.ID))
+			w64(uint64(e.Kind))
+			w64(uint64(e.Bytes))
+		}
+		w64(uint64(len(n.Children)))
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(g.Root)
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// CacheKey derives the content address of one sweep evaluation:
+// everything that determines the outcome — program (canonical HTG
+// hash), platform (fingerprint), resolved main-core class and the
+// parallelizer configuration. Scenario enters through the resolved
+// main class, so two scenarios that pick the same class on a platform
+// (e.g. any scenario on a single-class platform) correctly share one
+// entry.
+func CacheKey(htgHash string, pf *platform.Platform, mainClass int, cfg core.Config) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("v1|%s|%s|%d|%s",
+		htgHash, pf.Fingerprint(), mainClass, cfg.Fingerprint())))
+	return fmt.Sprintf("%x", h[:16])
+}
+
+// Outcome is the cached result of one (program, platform, main class,
+// config) evaluation: everything the sweep reports, so a cache hit
+// skips the ILP solves, the simulation and the GA search. All fields
+// are deterministic for a given key; wall-clock quantities are
+// deliberately excluded.
+type Outcome struct {
+	// Speedup is the simulator-measured speedup of the ILP plan over
+	// sequential execution on the main core; EstimatedSpeedup the
+	// parallelizer's own cost-model prediction.
+	Speedup          float64 `json:"speedup"`
+	EstimatedSpeedup float64 `json:"estimated_speedup"`
+	// MakespanNs and SequentialNs are the simulated parallel and
+	// sequential execution times.
+	MakespanNs   float64 `json:"makespan_ns"`
+	SequentialNs float64 `json:"sequential_ns"`
+	// EnergyUJ is the simulated energy of the parallel execution (from
+	// the platform's ProcClass power fields); SequentialEnergyUJ the
+	// sequential baseline's.
+	EnergyUJ           float64 `json:"energy_uj"`
+	SequentialEnergyUJ float64 `json:"sequential_energy_uj"`
+	// NumTasks is the task count of the chosen root solution; NumILPs
+	// the number of ILPs solved to find it.
+	NumTasks int `json:"num_tasks"`
+	NumILPs  int `json:"num_ilps"`
+	// GASpeedup is the estimated speedup of the best task→core mapping
+	// the genetic algorithm found; GAGapPct the relative objective gap
+	// to the ILP's estimate in percent (positive = GA worse).
+	GASpeedup float64 `json:"ga_speedup"`
+	GAGapPct  float64 `json:"ga_gap_pct"`
+}
+
+// Cache is a concurrency-safe, content-addressed store of evaluation
+// outcomes: an in-memory map, optionally backed by a directory of
+// <key>.json files so later runs start warm. Hit/miss counts flow into
+// the obs metrics registry under dse.cache.*.
+type Cache struct {
+	mu      sync.Mutex
+	mem     map[string]Outcome
+	dir     string
+	metrics *obs.Registry
+	hits    int
+	misses  int
+}
+
+// NewCache creates a cache. dir may be empty (memory-only); otherwise
+// it is created on first Put. metrics may be nil.
+func NewCache(dir string, metrics *obs.Registry) *Cache {
+	return &Cache{mem: map[string]Outcome{}, dir: dir, metrics: metrics}
+}
+
+// Get looks the key up in memory, then on disk. Every call counts as
+// exactly one hit or miss.
+func (c *Cache) Get(key string) (Outcome, bool) {
+	c.mu.Lock()
+	out, ok := c.mem[key]
+	c.mu.Unlock()
+	if !ok && c.dir != "" {
+		if data, err := os.ReadFile(filepath.Join(c.dir, key+".json")); err == nil {
+			if json.Unmarshal(data, &out) == nil {
+				ok = true
+				c.mu.Lock()
+				c.mem[key] = out
+				c.mu.Unlock()
+			}
+		}
+	}
+	c.mu.Lock()
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+	if ok {
+		c.metrics.Counter("dse.cache.hits").Inc()
+	} else {
+		c.metrics.Counter("dse.cache.misses").Inc()
+	}
+	return out, ok
+}
+
+// Put stores the outcome in memory and, when a directory is
+// configured, persists it as <key>.json (atomically via rename).
+func (c *Cache) Put(key string, out Outcome) error {
+	c.mu.Lock()
+	c.mem[key] = out
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return fmt.Errorf("dse: cache dir: %w", err)
+	}
+	data, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(c.dir, key+".json.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("dse: cache write: %w", err)
+	}
+	return os.Rename(tmp, filepath.Join(c.dir, key+".json"))
+}
+
+// Stats returns the hit/miss counts since creation.
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// HitRate returns hits/(hits+misses), 0 when empty.
+func (c *Cache) HitRate() float64 {
+	h, m := c.Stats()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}

@@ -1,0 +1,199 @@
+package dse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/htg"
+	"repro/internal/interp"
+	"repro/internal/minic"
+	"repro/internal/platform"
+)
+
+// tinyProgram is a fast-to-analyze workload with one DOALL hot loop, a
+// sequential reduction, and cross-statement data flow — enough
+// structure to exercise the parallelizer, the GA flattening and the
+// cache without slowing the suite down.
+const tinyProgram = `
+int a[96];
+int b[96];
+int total;
+
+void main(void) {
+    for (int i = 0; i < 96; i++) {
+        a[i] = (i * 7) % 23;
+    }
+    for (int j = 0; j < 96; j++) {
+        b[j] = a[j] * a[j] + j;
+    }
+    total = 0;
+    for (int k = 0; k < 96; k++) {
+        total = total + b[k];
+    }
+}
+`
+
+// buildGraph compiles, profiles and HTG-builds src.
+func buildGraph(t *testing.T, src string) *htg.Graph {
+	t.Helper()
+	prog, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	prof, err := interp.New(prog).Run()
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	g, err := htg.Build(prog, prof, htg.Config{})
+	if err != nil {
+		t.Fatalf("htg: %v", err)
+	}
+	return g
+}
+
+// tinySpace is a 5-point space that enumerates in milliseconds.
+func tinySpace() SpaceSpec {
+	return SpaceSpec{
+		ClocksMHz:        []float64{100, 500},
+		MaxClasses:       2,
+		MaxCoresPerClass: 2,
+		MinTotalCores:    2,
+		MaxTotalCores:    3,
+		Scenarios:        []platform.Scenario{platform.ScenarioAccelerator},
+	}
+}
+
+func TestSpaceEnumerate(t *testing.T) {
+	points := tinySpace().Enumerate()
+	// {100}x2, {500}x2, {100,500} with counts (1,1),(1,2),(2,1).
+	if len(points) != 5 {
+		ids := make([]string, len(points))
+		for i, p := range points {
+			ids[i] = p.ID
+		}
+		t.Fatalf("enumerated %d points, want 5: %v", len(points), ids)
+	}
+	seen := map[string]bool{}
+	for _, pt := range points {
+		if seen[pt.ID] {
+			t.Errorf("duplicate point ID %s", pt.ID)
+		}
+		seen[pt.ID] = true
+		if err := pt.Platform.Validate(); err != nil {
+			t.Errorf("point %s platform invalid: %v", pt.ID, err)
+		}
+		n := pt.Platform.NumCores()
+		if n < 2 || n > 3 {
+			t.Errorf("point %s has %d cores, want 2..3", pt.ID, n)
+		}
+	}
+	for _, want := range []string{"100x2/acc", "500x2/acc", "100x1+500x1/acc", "100x1+500x2/acc", "100x2+500x1/acc"} {
+		if !seen[want] {
+			t.Errorf("missing expected point %s", want)
+		}
+	}
+}
+
+func TestSpaceGenerateDeterministicSampling(t *testing.T) {
+	spec := DefaultSpace()
+	full := spec.Enumerate()
+	if len(full) < 400 {
+		t.Fatalf("default space enumerates only %d points, want hundreds", len(full))
+	}
+	a := spec.Generate(200, 42)
+	b := spec.Generate(200, 42)
+	if len(a) != 200 || len(b) != 200 {
+		t.Fatalf("sample sizes %d/%d, want 200", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatalf("same seed diverged at %d: %s vs %s", i, a[i].ID, b[i].ID)
+		}
+	}
+	// Samples are sorted by ID (deterministic sweep order).
+	for i := 1; i < len(a); i++ {
+		if a[i-1].ID >= a[i].ID {
+			t.Fatalf("sample not sorted at %d: %s >= %s", i, a[i-1].ID, a[i].ID)
+		}
+	}
+	c := spec.Generate(200, 7)
+	diff := false
+	for i := range a {
+		if a[i].ID != c[i].ID {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Errorf("different seeds produced the identical sample")
+	}
+	// Requesting more points than exist returns the full enumeration.
+	all := spec.Generate(len(full)+10, 1)
+	if len(all) != len(full) {
+		t.Errorf("oversized request returned %d points, want %d", len(all), len(full))
+	}
+}
+
+func TestHTGHash(t *testing.T) {
+	g1 := buildGraph(t, tinyProgram)
+	g2 := buildGraph(t, tinyProgram)
+	if HTGHash(g1) != HTGHash(g2) {
+		t.Errorf("identical programs hash differently")
+	}
+	other := buildGraph(t, strings.Replace(tinyProgram, "a[i] = (i * 7) % 23;", "a[i] = (i * 5) % 23;", 1))
+	if HTGHash(g1) == HTGHash(other) {
+		t.Errorf("different programs share a hash")
+	}
+	if len(HTGHash(g1)) != 32 {
+		t.Errorf("hash length = %d, want 32 hex chars", len(HTGHash(g1)))
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	mk := func(id string, sp float64, cores int, e float64) PointSummary {
+		return PointSummary{
+			Point: Point{ID: id, Platform: platform.Homogeneous(id, 100, cores)},
+			Cores: cores, GeoSpeedup: sp, MeanEnergyUJ: e,
+		}
+	}
+	sums := []PointSummary{
+		mk("a", 4.0, 4, 100), // front: best speedup
+		mk("b", 3.0, 2, 60),  // front: fewer cores, less energy
+		mk("c", 2.9, 2, 70),  // dominated by b
+		mk("d", 4.0, 4, 120), // dominated by a
+		mk("e", 1.0, 2, 10),  // front: cheapest energy
+	}
+	front := ParetoFront(sums)
+	if len(front) != 3 {
+		ids := make([]string, len(front))
+		for i, s := range front {
+			ids[i] = s.Point.ID
+		}
+		t.Fatalf("front = %v, want [a b e]", ids)
+	}
+	if front[0].Point.ID != "a" || front[1].Point.ID != "b" || front[2].Point.ID != "e" {
+		t.Errorf("front order wrong: %s %s %s", front[0].Point.ID, front[1].Point.ID, front[2].Point.ID)
+	}
+	for _, s := range front {
+		if !s.Pareto {
+			t.Errorf("front member %s not marked Pareto", s.Point.ID)
+		}
+	}
+	// Identical objective vectors both survive.
+	dup := []PointSummary{mk("x", 2, 2, 50), mk("y", 2, 2, 50)}
+	if got := ParetoFront(dup); len(got) != 2 {
+		t.Errorf("equal points pruned: %d survivors, want 2", len(got))
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median(nil); got != 0 {
+		t.Errorf("median(nil) = %g", got)
+	}
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %g, want 2", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("even median = %g, want 2.5", got)
+	}
+}

@@ -1,0 +1,402 @@
+package dse
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/htg"
+	"repro/internal/platform"
+)
+
+// GAConfig tunes the genetic-algorithm mapping baseline. The zero value
+// selects the defaults noted per field.
+type GAConfig struct {
+	// Population is the number of individuals per generation (default 32).
+	Population int
+	// Generations is the number of evolution steps (default 60).
+	Generations int
+	// Elite is the number of best individuals copied unchanged into the
+	// next generation (default 2) — the "elitist" part.
+	Elite int
+	// BiasRate is the probability that an initial gene is drawn
+	// proportionally to class speed scores instead of uniformly
+	// (default 0.5) — the "bias" part: fast cores attract work early.
+	BiasRate float64
+	// CrossoverRate is the probability a child is produced by uniform
+	// crossover rather than cloning (default 0.9).
+	CrossoverRate float64
+	// Tournament is the selection tournament size (default 3).
+	Tournament int
+}
+
+func (c GAConfig) withDefaults() GAConfig {
+	if c.Population <= 0 {
+		c.Population = 32
+	}
+	if c.Generations <= 0 {
+		c.Generations = 60
+	}
+	if c.Elite <= 0 {
+		c.Elite = 2
+	}
+	if c.Elite > c.Population {
+		c.Elite = c.Population
+	}
+	if c.BiasRate <= 0 {
+		c.BiasRate = 0.5
+	}
+	if c.CrossoverRate <= 0 {
+		c.CrossoverRate = 0.9
+	}
+	if c.Tournament <= 0 {
+		c.Tournament = 3
+	}
+	return c
+}
+
+// gaUnit is one schedulable work unit of the flattened mapping problem:
+// a top-level HTG child, or one iteration chunk of a parallel (DOALL)
+// top-level loop.
+type gaUnit struct {
+	node *htg.Node
+	// frac is the fraction of the node's work this unit covers (1 for
+	// whole statements, 1/k for chunks).
+	frac float64
+	// child indexes the originating root child, for dependence lookup.
+	child int
+}
+
+// GAResult is the outcome of one GA search.
+type GAResult struct {
+	// MakespanNs is the best mapping's estimated execution time;
+	// Speedup the corresponding estimated speedup over sequential
+	// execution on the main class.
+	MakespanNs float64
+	Speedup    float64
+	// Assignment maps each work unit to a core index.
+	Assignment []int
+	// Units is the number of schedulable work units.
+	Units int
+	// Generations actually evolved (0 when the problem is trivial).
+	Generations int
+}
+
+// gaProblem is the immutable evaluation context shared by all fitness
+// calls of one search.
+type gaProblem struct {
+	pf        *platform.Platform
+	coreClass []int // core index -> class index
+	mainCore  int
+	units     []gaUnit
+	// deps[i] lists (unit index, comm ns) pairs unit i must wait for
+	// when mapped to a different core.
+	deps    [][]gaDep
+	seqNs   float64
+	costOf  [][]float64 // unit -> class -> duration ns
+	inComm  []float64   // boundary in-communication ns (off-main only)
+	outComm []float64
+}
+
+type gaDep struct {
+	unit   int
+	commNs float64
+}
+
+// RunGA searches task→core mappings for the root region of g on pf with
+// the main task on mainClass, using a seeded bias-elitist genetic
+// algorithm. It is a cheap, inexact alternative to the ILP backend: the
+// chromosome assigns every top-level work unit (statement nodes, and
+// iteration chunks of DOALL loops) to a physical core, and fitness is
+// the makespan of a deterministic list schedule under the same
+// cost-model quantities the ILP consumes (per-class execution times,
+// shared-bus communication costs, task-creation overhead).
+//
+// Identical (graph, platform, mainClass, cfg, seed) inputs produce an
+// identical result.
+func RunGA(g *htg.Graph, pf *platform.Platform, mainClass int, cfg GAConfig, seed int64) GAResult {
+	cfg = cfg.withDefaults()
+	p := buildGAProblem(g, pf, mainClass)
+	res := GAResult{MakespanNs: p.seqNs, Speedup: 1, Units: len(p.units)}
+	if len(p.units) < 2 || len(p.coreClass) < 2 {
+		if len(p.units) > 0 {
+			res.Assignment = make([]int, len(p.units))
+			for i := range res.Assignment {
+				res.Assignment[i] = p.mainCore
+			}
+		}
+		return res
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := len(p.units)
+	pop := make([][]int, cfg.Population)
+	// Biased initialization, plus two seeded individuals: all-sequential
+	// (the guaranteed-feasible fallback) and a greedy LPT mapping.
+	for i := range pop {
+		pop[i] = p.randomIndividual(rng, cfg.BiasRate)
+	}
+	seq := make([]int, n)
+	for i := range seq {
+		seq[i] = p.mainCore
+	}
+	pop[0] = seq
+	pop[1] = p.greedyLPT()
+	fit := make([]float64, cfg.Population)
+	for i, ind := range pop {
+		fit[i] = p.makespan(ind)
+	}
+	best := append([]int(nil), pop[argmin(fit)]...)
+	bestFit := fit[argmin(fit)]
+
+	next := make([][]int, cfg.Population)
+	for gen := 0; gen < cfg.Generations; gen++ {
+		order := sortedByFitness(fit)
+		// Elitism: the top individuals survive unchanged.
+		for e := 0; e < cfg.Elite; e++ {
+			next[e] = append(next[e][:0], pop[order[e]]...)
+		}
+		for i := cfg.Elite; i < cfg.Population; i++ {
+			a := p.tournament(rng, fit, cfg.Tournament)
+			child := append([]int(nil), pop[a]...)
+			if rng.Float64() < cfg.CrossoverRate {
+				b := p.tournament(rng, fit, cfg.Tournament)
+				for gi := range child {
+					if rng.Intn(2) == 0 {
+						child[gi] = pop[b][gi]
+					}
+				}
+			}
+			// Mutation: expected one gene reassignment per child.
+			for gi := range child {
+				if rng.Float64() < 1/float64(n) {
+					child[gi] = rng.Intn(len(p.coreClass))
+				}
+			}
+			next[i] = child
+		}
+		pop, next = next, pop
+		for i, ind := range pop {
+			fit[i] = p.makespan(ind)
+			if fit[i] < bestFit {
+				bestFit = fit[i]
+				best = append(best[:0], ind...)
+			}
+		}
+	}
+	res.MakespanNs = bestFit
+	if bestFit > 0 {
+		res.Speedup = p.seqNs / bestFit
+	}
+	res.Assignment = best
+	res.Generations = cfg.Generations
+	return res
+}
+
+// buildGAProblem flattens the root region into work units: every child
+// is one unit, except profitable DOALL loops, which split into one
+// chunk unit per core (the same granularity trick the exact backend's
+// chunk ILP exploits).
+func buildGAProblem(g *htg.Graph, pf *platform.Platform, mainClass int) *gaProblem {
+	p := &gaProblem{pf: pf}
+	for cls, pc := range pf.Classes {
+		for i := 0; i < pc.Count; i++ {
+			p.coreClass = append(p.coreClass, cls)
+		}
+	}
+	// The first core of the main class hosts the main task.
+	for ci, cls := range p.coreClass {
+		if cls == mainClass {
+			p.mainCore = ci
+			break
+		}
+	}
+	root := g.Root
+	p.seqNs = float64(root.TotalCount) * root.CostNanosOn(pf.Classes[mainClass])
+	nCores := len(p.coreClass)
+	for childIdx, child := range root.Children {
+		if child.Kind == htg.KindLoop && child.Loop != nil && child.Loop.Parallel && nCores > 1 {
+			frac := 1.0 / float64(nCores)
+			for k := 0; k < nCores; k++ {
+				p.units = append(p.units, gaUnit{node: child, frac: frac, child: childIdx})
+			}
+			continue
+		}
+		p.units = append(p.units, gaUnit{node: child, frac: 1, child: childIdx})
+	}
+	// Per-unit, per-class durations and boundary communication volumes.
+	p.costOf = make([][]float64, len(p.units))
+	p.inComm = make([]float64, len(p.units))
+	p.outComm = make([]float64, len(p.units))
+	for ui, u := range p.units {
+		p.costOf[ui] = make([]float64, len(pf.Classes))
+		for cls := range pf.Classes {
+			p.costOf[ui][cls] = float64(u.node.TotalCount) * u.node.CostNanosOn(pf.Classes[cls]) * u.frac
+		}
+		p.inComm[ui] = pf.CommCostNs(int(float64(u.node.InBytes) * u.frac))
+		p.outComm[ui] = pf.CommCostNs(int(float64(u.node.OutBytes) * u.frac))
+	}
+	// Dependences: data-flow edges between distinct root children; chunk
+	// units of one loop are mutually independent by construction.
+	unitsOfChild := map[int][]int{}
+	for ui, u := range p.units {
+		unitsOfChild[u.child] = append(unitsOfChild[u.child], ui)
+	}
+	p.deps = make([][]gaDep, len(p.units))
+	for fromIdx, child := range root.Children {
+		for _, e := range child.Edges {
+			toIdx := -1
+			for ci, sib := range root.Children {
+				if sib == e.To {
+					toIdx = ci
+					break
+				}
+			}
+			if toIdx < 0 || toIdx == fromIdx {
+				continue
+			}
+			comm := pf.CommCostNs(e.Bytes)
+			for _, to := range unitsOfChild[toIdx] {
+				for _, from := range unitsOfChild[fromIdx] {
+					p.deps[to] = append(p.deps[to], gaDep{unit: from, commNs: comm})
+				}
+			}
+		}
+	}
+	return p
+}
+
+// makespan list-schedules the units in program order under the given
+// core assignment and returns the estimated completion time, including
+// serialized task-creation overhead on the main core, boundary and
+// cross-core dependence communication on the shared bus, and per-class
+// execution times.
+func (p *gaProblem) makespan(assign []int) float64 {
+	nCores := len(p.coreClass)
+	used := make([]bool, nCores)
+	for _, c := range assign {
+		used[c] = true
+	}
+	extra := 0
+	for c, u := range used {
+		if u && c != p.mainCore {
+			extra++
+		}
+	}
+	forkDone := float64(extra) * p.pf.TaskCreateNs
+	coreFree := make([]float64, nCores)
+	for c := range coreFree {
+		coreFree[c] = forkDone
+	}
+	finish := make([]float64, len(p.units))
+	end := forkDone
+	for ui := range p.units {
+		core := assign[ui]
+		ready := coreFree[core]
+		for _, d := range p.deps[ui] {
+			arrive := finish[d.unit]
+			if assign[d.unit] != core {
+				arrive += d.commNs
+			}
+			if arrive > ready {
+				ready = arrive
+			}
+		}
+		dur := p.costOf[ui][p.coreClass[core]]
+		if core != p.mainCore {
+			dur += p.inComm[ui] + p.outComm[ui]
+		}
+		finish[ui] = ready + dur
+		coreFree[core] = finish[ui]
+		if finish[ui] > end {
+			end = finish[ui]
+		}
+	}
+	return end
+}
+
+// randomIndividual draws genes uniformly, or — with probability
+// BiasRate per gene — proportionally to class speed scores, biasing the
+// initial population toward fast cores.
+func (p *gaProblem) randomIndividual(rng *rand.Rand, biasRate float64) []int {
+	total := 0.0
+	for _, cls := range p.coreClass {
+		total += p.pf.Classes[cls].SpeedScore()
+	}
+	ind := make([]int, len(p.units))
+	for i := range ind {
+		if rng.Float64() < biasRate {
+			pick := rng.Float64() * total
+			acc := 0.0
+			ind[i] = len(p.coreClass) - 1
+			for c, cls := range p.coreClass {
+				acc += p.pf.Classes[cls].SpeedScore()
+				if pick <= acc {
+					ind[i] = c
+					break
+				}
+			}
+		} else {
+			ind[i] = rng.Intn(len(p.coreClass))
+		}
+	}
+	return ind
+}
+
+// greedyLPT assigns units in decreasing-cost order to the core that
+// finishes them earliest (longest processing time first), a classic
+// deterministic seed.
+func (p *gaProblem) greedyLPT() []int {
+	order := make([]int, len(p.units))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return p.costOf[order[a]][p.coreClass[p.mainCore]] > p.costOf[order[b]][p.coreClass[p.mainCore]]
+	})
+	coreFree := make([]float64, len(p.coreClass))
+	assign := make([]int, len(p.units))
+	for _, ui := range order {
+		best, bestEnd := 0, math.Inf(1)
+		for c, cls := range p.coreClass {
+			end := coreFree[c] + p.costOf[ui][cls]
+			if end < bestEnd {
+				best, bestEnd = c, end
+			}
+		}
+		assign[ui] = best
+		coreFree[best] = bestEnd
+	}
+	return assign
+}
+
+func (p *gaProblem) tournament(rng *rand.Rand, fit []float64, k int) int {
+	best := rng.Intn(len(fit))
+	for i := 1; i < k; i++ {
+		c := rng.Intn(len(fit))
+		if fit[c] < fit[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+func argmin(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// sortedByFitness returns population indices best-first, ties broken by
+// index for determinism.
+func sortedByFitness(fit []float64) []int {
+	order := make([]int, len(fit))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return fit[order[a]] < fit[order[b]] })
+	return order
+}

@@ -1,0 +1,78 @@
+package dse
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestGADeterministicForSeed(t *testing.T) {
+	g := buildGraph(t, tinyProgram)
+	pf := platform.Homogeneous("quad", 250, 4)
+	cfg := GAConfig{Population: 16, Generations: 20}
+
+	a := RunGA(g, pf, 0, cfg, 12345)
+	b := RunGA(g, pf, 0, cfg, 12345)
+	if a.MakespanNs != b.MakespanNs || a.Speedup != b.Speedup {
+		t.Fatalf("same seed diverged: %.3f/%.4f vs %.3f/%.4f",
+			a.MakespanNs, a.Speedup, b.MakespanNs, b.Speedup)
+	}
+	if !reflect.DeepEqual(a.Assignment, b.Assignment) {
+		t.Fatalf("same seed produced different assignments:\n%v\n%v", a.Assignment, b.Assignment)
+	}
+	if a.Generations != cfg.Generations {
+		t.Errorf("evolved %d generations, want %d", a.Generations, cfg.Generations)
+	}
+}
+
+func TestGANeverWorseThanSequential(t *testing.T) {
+	// The population is seeded with the all-sequential individual, so
+	// the elitist GA can never end below speedup 1.
+	g := buildGraph(t, tinyProgram)
+	pf := platform.Homogeneous("quad", 250, 4)
+	for _, seed := range []int64{1, 2, 3, 99} {
+		res := RunGA(g, pf, 0, GAConfig{Population: 12, Generations: 10}, seed)
+		if res.Speedup < 1 {
+			t.Errorf("seed %d: speedup %.4f < 1 despite sequential seed individual", seed, res.Speedup)
+		}
+		if res.Units < 2 {
+			t.Errorf("seed %d: only %d schedulable units; DOALL chunking missing", seed, res.Units)
+		}
+		if len(res.Assignment) != res.Units {
+			t.Errorf("seed %d: assignment length %d != units %d", seed, len(res.Assignment), res.Units)
+		}
+		for i, c := range res.Assignment {
+			if c < 0 || c >= pf.NumCores() {
+				t.Fatalf("seed %d: unit %d mapped to invalid core %d", seed, i, c)
+			}
+		}
+	}
+}
+
+func TestGAFindsParallelism(t *testing.T) {
+	// tinyProgram's two DOALL loops dominate its runtime; a working GA
+	// must beat sequential execution on a 4-core machine.
+	g := buildGraph(t, tinyProgram)
+	pf := platform.Homogeneous("quad", 250, 4)
+	res := RunGA(g, pf, 0, GAConfig{Population: 24, Generations: 40}, 7)
+	if res.Speedup <= 1.05 {
+		t.Errorf("GA speedup %.4f on 4 cores; expected > 1.05 for DOALL-dominated program", res.Speedup)
+	}
+}
+
+func TestGATrivialCases(t *testing.T) {
+	g := buildGraph(t, tinyProgram)
+	// Single core: nothing to search.
+	uni := platform.Homogeneous("uni", 250, 1)
+	res := RunGA(g, uni, 0, GAConfig{}, 1)
+	if res.Speedup != 1 || res.Generations != 0 {
+		t.Errorf("single-core GA = speedup %.4f after %d generations, want 1.0 after 0",
+			res.Speedup, res.Generations)
+	}
+	for _, c := range res.Assignment {
+		if c != 0 {
+			t.Errorf("single-core assignment uses core %d", c)
+		}
+	}
+}

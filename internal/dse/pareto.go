@@ -1,0 +1,74 @@
+package dse
+
+import (
+	"math"
+	"sort"
+)
+
+// dominates reports whether a is at least as good as b on every
+// objective (speedup up, cores down, energy down) and strictly better
+// on at least one.
+func dominates(a, b PointSummary) bool {
+	if a.GeoSpeedup < b.GeoSpeedup || a.Cores > b.Cores || a.MeanEnergyUJ > b.MeanEnergyUJ {
+		return false
+	}
+	return a.GeoSpeedup > b.GeoSpeedup || a.Cores < b.Cores || a.MeanEnergyUJ < b.MeanEnergyUJ
+}
+
+// ParetoFront extracts the non-dominated subset of summaries under
+// (maximize geometric-mean speedup, minimize total cores, minimize mean
+// energy). The result is deterministically ordered: best speedup first,
+// then fewer cores, then lower energy, then point ID. Duplicate
+// objective vectors all survive (none dominates the other), so equal
+// platforms reached through different scenarios stay distinguishable.
+func ParetoFront(summaries []PointSummary) []PointSummary {
+	var front []PointSummary
+	for i, s := range summaries {
+		dominated := false
+		for j, t := range summaries {
+			if i == j {
+				continue
+			}
+			if dominates(t, s) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			s.Pareto = true
+			front = append(front, s)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		a, b := front[i], front[j]
+		if a.GeoSpeedup != b.GeoSpeedup {
+			return a.GeoSpeedup > b.GeoSpeedup
+		}
+		if a.Cores != b.Cores {
+			return a.Cores < b.Cores
+		}
+		if a.MeanEnergyUJ != b.MeanEnergyUJ {
+			return a.MeanEnergyUJ < b.MeanEnergyUJ
+		}
+		return a.Point.ID < b.Point.ID
+	})
+	return front
+}
+
+// median returns the middle value (mean of the two middles for even
+// lengths); 0 for empty input.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func logOf(x float64) float64 { return math.Log(x) }
+func expOf(x float64) float64 { return math.Exp(x) }

@@ -1,0 +1,142 @@
+package dse
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Formats accepted by Render.
+const (
+	FormatCSV      = "csv"
+	FormatMarkdown = "md"
+	FormatJSON     = "json"
+)
+
+// ValidFormat reports whether Render accepts format. Callers that run
+// long sweeps should check it up front instead of failing after the fact.
+func ValidFormat(format string) bool {
+	switch format {
+	case FormatCSV, FormatMarkdown, FormatJSON:
+		return true
+	}
+	return false
+}
+
+// Render serializes the sweep result in the requested format. Output
+// is byte-identical for identical sweep inputs: rows follow the
+// deterministic (point ID, workload) job order, floats use fixed
+// precision, and run-dependent quantities (wall time, cache hits) are
+// excluded.
+func (r *SweepResult) Render(format string) (string, error) {
+	switch format {
+	case FormatCSV:
+		return r.renderCSV(), nil
+	case FormatMarkdown:
+		return r.renderMarkdown(), nil
+	case FormatJSON:
+		return r.renderJSON()
+	}
+	return "", fmt.Errorf("dse: unknown output format %q (want csv, md or json)", format)
+}
+
+func (r *SweepResult) renderCSV() string {
+	var sb strings.Builder
+	sb.WriteString("point,scenario,cores,benchmark,speedup,est_speedup,ga_speedup,ga_gap_pct,energy_uj,seq_energy_uj,tasks,ilps\n")
+	for _, row := range r.Rows {
+		o := row.Outcome
+		fmt.Fprintf(&sb, "%s,%s,%d,%s,%.4f,%.4f,%.4f,%.2f,%.3f,%.3f,%d,%d\n",
+			row.Point.Platform.Name, row.Point.Scenario, row.Point.Platform.NumCores(),
+			row.Bench, o.Speedup, o.EstimatedSpeedup, o.GASpeedup, o.GAGapPct,
+			o.EnergyUJ, o.SequentialEnergyUJ, o.NumTasks, o.NumILPs)
+	}
+	return sb.String()
+}
+
+func (r *SweepResult) renderMarkdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# Design-space exploration\n\n")
+	fmt.Fprintf(&sb, "%d points × %d benchmarks (%s), %d evaluations. Median GA-vs-ILP gap: %.1f%%.\n\n",
+		len(r.Summaries), len(r.Workloads), strings.Join(r.Workloads, ", "),
+		len(r.Rows), r.MedianGAGapPct())
+
+	sb.WriteString("## Pareto front (maximize speedup, minimize cores and energy)\n\n")
+	sb.WriteString("| platform | scenario | cores | geomean speedup | limit | mean energy (µJ) | median GA gap |\n")
+	sb.WriteString("|---|---|---:|---:|---:|---:|---:|\n")
+	for _, s := range r.Front {
+		fmt.Fprintf(&sb, "| %s | %s | %d | %.3f | %.2f | %.2f | %.1f%% |\n",
+			s.Point.Platform.Name, s.Point.Scenario, s.Cores, s.GeoSpeedup,
+			s.Limit, s.MeanEnergyUJ, s.MedianGAGapPct)
+	}
+
+	sb.WriteString("\n## All points\n\n")
+	sb.WriteString("| platform | scenario | cores | geomean speedup | limit | mean energy (µJ) | median GA gap | pareto |\n")
+	sb.WriteString("|---|---|---:|---:|---:|---:|---:|:---:|\n")
+	for _, s := range r.Summaries {
+		mark := ""
+		if s.Pareto {
+			mark = "★"
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %d | %.3f | %.2f | %.2f | %.1f%% | %s |\n",
+			s.Point.Platform.Name, s.Point.Scenario, s.Cores, s.GeoSpeedup,
+			s.Limit, s.MeanEnergyUJ, s.MedianGAGapPct, mark)
+	}
+	return sb.String()
+}
+
+// jsonReport is the JSON output shape (deterministic field order via
+// struct definition; no run-dependent fields).
+type jsonReport struct {
+	Workloads      []string         `json:"workloads"`
+	MedianGAGapPct float64          `json:"median_ga_gap_pct"`
+	Front          []jsonSummary    `json:"pareto_front"`
+	Points         []jsonSummary    `json:"points"`
+	Rows           []jsonReportLine `json:"rows"`
+}
+
+type jsonSummary struct {
+	Platform       string  `json:"platform"`
+	Scenario       string  `json:"scenario"`
+	Cores          int     `json:"cores"`
+	GeoSpeedup     float64 `json:"geomean_speedup"`
+	Limit          float64 `json:"theoretical_limit"`
+	MeanEnergyUJ   float64 `json:"mean_energy_uj"`
+	MedianGAGapPct float64 `json:"median_ga_gap_pct"`
+	Pareto         bool    `json:"pareto"`
+}
+
+type jsonReportLine struct {
+	Platform  string  `json:"platform"`
+	Scenario  string  `json:"scenario"`
+	Benchmark string  `json:"benchmark"`
+	Outcome   Outcome `json:"outcome"`
+}
+
+func (r *SweepResult) renderJSON() (string, error) {
+	rep := jsonReport{Workloads: r.Workloads, MedianGAGapPct: r.MedianGAGapPct()}
+	conv := func(s PointSummary) jsonSummary {
+		return jsonSummary{
+			Platform: s.Point.Platform.Name, Scenario: s.Point.Scenario.String(),
+			Cores: s.Cores, GeoSpeedup: s.GeoSpeedup, Limit: s.Limit,
+			MeanEnergyUJ: s.MeanEnergyUJ, MedianGAGapPct: s.MedianGAGapPct,
+			Pareto: s.Pareto,
+		}
+	}
+	for _, s := range r.Front {
+		rep.Front = append(rep.Front, conv(s))
+	}
+	for _, s := range r.Summaries {
+		rep.Points = append(rep.Points, conv(s))
+	}
+	for _, row := range r.Rows {
+		rep.Rows = append(rep.Rows, jsonReportLine{
+			Platform: row.Point.Platform.Name, Scenario: row.Point.Scenario.String(),
+			Benchmark: row.Bench, Outcome: row.Outcome,
+		})
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(data) + "\n", nil
+}

@@ -111,48 +111,78 @@ func (f *Figure) Averages() (homo, hetero float64) {
 	return homo / n, hetero / n
 }
 
-// figureSpec describes the four shipped figures.
-type figureSpec struct {
-	title    string
-	platform func() *platform.Platform
-	scenario platform.Scenario
+// FigureSpec describes one shipped evaluation figure: which platform
+// and scenario it is measured on. It is the single source of the
+// paper's platform/scenario pairings, shared by this package's figure
+// regeneration, cmd/paperrepro and the design-space exploration engine
+// (internal/dse), so Config A/B wiring exists exactly once.
+type FigureSpec struct {
+	// ID is the paper's figure identifier ("7a", "7b", "8a", "8b").
+	ID string
+	// Title is the human-readable description.
+	Title string
+	// Platform constructs a fresh platform instance for the figure.
+	Platform func() *platform.Platform
+	// Scenario selects the main-core class.
+	Scenario platform.Scenario
 }
 
-var figures = map[string]figureSpec{
-	"7a": {"Config (A) 100/250/500/500 MHz, accelerator scenario", platform.ConfigA, platform.ScenarioAccelerator},
-	"7b": {"Config (A) 100/250/500/500 MHz, slower-cores scenario", platform.ConfigA, platform.ScenarioSlowerCores},
-	"8a": {"Config (B) 200/200/500/500 MHz, accelerator scenario", platform.ConfigB, platform.ScenarioAccelerator},
-	"8b": {"Config (B) 200/200/500/500 MHz, slower-cores scenario", platform.ConfigB, platform.ScenarioSlowerCores},
+var figures = []FigureSpec{
+	{"7a", "Config (A) 100/250/500/500 MHz, accelerator scenario", platform.ConfigA, platform.ScenarioAccelerator},
+	{"7b", "Config (A) 100/250/500/500 MHz, slower-cores scenario", platform.ConfigA, platform.ScenarioSlowerCores},
+	{"8a", "Config (B) 200/200/500/500 MHz, accelerator scenario", platform.ConfigB, platform.ScenarioAccelerator},
+	{"8b", "Config (B) 200/200/500/500 MHz, slower-cores scenario", platform.ConfigB, platform.ScenarioSlowerCores},
+}
+
+// Figures returns the shipped figure specifications in paper order.
+func Figures() []FigureSpec {
+	return append([]FigureSpec(nil), figures...)
+}
+
+// FigureByID looks up one figure specification.
+func FigureByID(id string) (FigureSpec, bool) {
+	for _, spec := range figures {
+		if spec.ID == id {
+			return spec, true
+		}
+	}
+	return FigureSpec{}, false
 }
 
 // FigureIDs lists the valid figure identifiers in paper order.
-func FigureIDs() []string { return []string{"7a", "7b", "8a", "8b"} }
+func FigureIDs() []string {
+	ids := make([]string, len(figures))
+	for i, spec := range figures {
+		ids[i] = spec.ID
+	}
+	return ids
+}
 
 // RunFigure regenerates one figure over the given benchmarks (all when
 // names is empty).
 func RunFigure(id string, names []string, cfg core.Config) (*Figure, error) {
-	spec, ok := figures[id]
+	spec, ok := FigureByID(id)
 	if !ok {
 		return nil, fmt.Errorf("unknown figure %q (want one of %v)", id, FigureIDs())
 	}
-	pf := spec.platform()
+	pf := spec.Platform()
 	fig := &Figure{
 		ID:       id,
-		Title:    spec.title,
+		Title:    spec.Title,
 		Platform: pf,
-		Scenario: spec.scenario,
-		Limit:    pf.TheoreticalSpeedup(spec.scenario.MainClass(pf)),
+		Scenario: spec.Scenario,
+		Limit:    pf.TheoreticalSpeedup(spec.Scenario.MainClass(pf)),
 	}
 	for _, b := range selectBenchmarks(names) {
 		p, err := Prepare(b)
 		if err != nil {
 			return nil, err
 		}
-		hom, err := Evaluate(p, pf, spec.scenario, core.Homogeneous, cfg)
+		hom, err := Evaluate(p, pf, spec.Scenario, core.Homogeneous, cfg)
 		if err != nil {
 			return nil, err
 		}
-		het, err := Evaluate(p, pf, spec.scenario, core.Heterogeneous, cfg)
+		het, err := Evaluate(p, pf, spec.Scenario, core.Heterogeneous, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -205,6 +205,12 @@ func solve(mod *Model, opt Options) Result {
 	if dfsBudget < 200 {
 		dfsBudget = 200
 	}
+	if dfsBudget > opt.MaxNodes {
+		// Tiny node budgets (design-space sweeps run with MaxNodes ~20)
+		// must bound the incumbent dive too, or phase 1 alone costs 200
+		// LP solves per ILP regardless of the cap.
+		dfsBudget = opt.MaxNodes
+	}
 	dfsForIncumbent(mod, rootLo, rootHi, rootLP, opt, &res, dfsBudget)
 
 	// Phase 2: best-first search for optimality (or the requested gap).

@@ -154,6 +154,22 @@ func (h *Histogram) Mean() time.Duration {
 	return time.Duration(h.sumNs.Load() / n)
 }
 
+// Min returns the smallest observed duration (0 when empty).
+func (h *Histogram) Min() time.Duration {
+	if h.Count() == 0 {
+		return 0
+	}
+	return time.Duration(h.minNs.Load())
+}
+
+// Max returns the largest observed duration (0 when empty).
+func (h *Histogram) Max() time.Duration {
+	if h.Count() == 0 {
+		return 0
+	}
+	return time.Duration(h.maxNs.Load())
+}
+
 // Registry is a concurrency-safe collection of named metrics. A nil
 // *Registry hands out nil metrics whose methods all no-op, so
 // instrumented code needs no enabled/disabled branches.
@@ -250,8 +266,8 @@ func (r *Registry) RenderTable() string {
 			n, h.Count(),
 			h.Sum().Round(time.Microsecond),
 			h.Mean().Round(time.Microsecond),
-			time.Duration(h.minNs.Load()).Round(time.Microsecond),
-			time.Duration(h.maxNs.Load()).Round(time.Microsecond))
+			h.Min().Round(time.Microsecond),
+			h.Max().Round(time.Microsecond))
 	}
 	return sb.String()
 }

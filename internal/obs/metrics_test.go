@@ -114,3 +114,26 @@ func TestTracerConcurrentSlices(t *testing.T) {
 		t.Errorf("slices = %d, want %d", got, 8*200)
 	}
 }
+
+// TestHistogramMinMax covers the exported extrema accessors, including
+// the empty-histogram and nil-receiver cases.
+func TestHistogramMinMax(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t.minmax")
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("empty histogram extrema = %v/%v, want 0/0", h.Min(), h.Max())
+	}
+	h.Observe(5 * time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(9 * time.Millisecond)
+	if got := h.Min(); got != 2*time.Millisecond {
+		t.Errorf("min = %v, want 2ms", got)
+	}
+	if got := h.Max(); got != 9*time.Millisecond {
+		t.Errorf("max = %v, want 9ms", got)
+	}
+	var nilH *Histogram
+	if nilH.Min() != 0 || nilH.Max() != 0 {
+		t.Errorf("nil histogram extrema = %v/%v, want 0/0", nilH.Min(), nilH.Max())
+	}
+}

@@ -1,0 +1,140 @@
+package platform
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// platformJSON is the on-disk platform description. Field names are
+// stable and documented in README ("Custom platforms"); zero-valued
+// optional fields are filled with the library defaults on load.
+type platformJSON struct {
+	Name          string          `json:"name"`
+	Classes       []procClassJSON `json:"classes"`
+	BusLatencyNs  float64         `json:"bus_latency_ns,omitempty"`
+	BusBytesPerNs float64         `json:"bus_bytes_per_ns,omitempty"`
+	TaskCreateNs  float64         `json:"task_create_ns,omitempty"`
+}
+
+type procClassJSON struct {
+	Name      string  `json:"name"`
+	MHz       float64 `json:"mhz"`
+	Count     int     `json:"count"`
+	CPIFactor float64 `json:"cpi_factor,omitempty"`
+	ActiveMW  float64 `json:"active_mw,omitempty"`
+	IdleMW    float64 `json:"idle_mw,omitempty"`
+}
+
+// MarshalJSON renders the platform in the documented file format.
+func (p *Platform) MarshalJSON() ([]byte, error) {
+	out := platformJSON{
+		Name:          p.Name,
+		BusLatencyNs:  p.BusLatencyNs,
+		BusBytesPerNs: p.BusBytesPerNs,
+		TaskCreateNs:  p.TaskCreateNs,
+	}
+	for _, c := range p.Classes {
+		out.Classes = append(out.Classes, procClassJSON{
+			Name: c.Name, MHz: c.MHz, Count: c.Count,
+			CPIFactor: c.CPIFactor, ActiveMW: c.ActiveMW, IdleMW: c.IdleMW,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON parses the documented file format, applying defaults for
+// omitted optional fields (CPI factor 1.0, library bus/overhead figures).
+// It does not validate; FromJSON and LoadFile do.
+func (p *Platform) UnmarshalJSON(data []byte) error {
+	var in platformJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	p.Name = in.Name
+	p.Classes = nil
+	for _, c := range in.Classes {
+		if c.CPIFactor == 0 {
+			c.CPIFactor = 1
+		}
+		if c.Name == "" {
+			c.Name = fmt.Sprintf("ARM@%.0fMHz", c.MHz)
+		}
+		p.Classes = append(p.Classes, ProcClass{
+			Name: c.Name, MHz: c.MHz, Count: c.Count,
+			CPIFactor: c.CPIFactor, ActiveMW: c.ActiveMW, IdleMW: c.IdleMW,
+		})
+	}
+	p.BusLatencyNs = in.BusLatencyNs
+	p.BusBytesPerNs = in.BusBytesPerNs
+	p.TaskCreateNs = in.TaskCreateNs
+	if p.BusLatencyNs == 0 {
+		p.BusLatencyNs = defaultBusLatencyNs
+	}
+	if p.BusBytesPerNs == 0 {
+		p.BusBytesPerNs = defaultBusBytesPerNs
+	}
+	if p.TaskCreateNs == 0 {
+		p.TaskCreateNs = defaultTaskCreateNs
+	}
+	return nil
+}
+
+// FromJSON parses and validates a platform description.
+func FromJSON(data []byte) (*Platform, error) {
+	p := &Platform{}
+	if err := json.Unmarshal(data, p); err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// LoadFile reads and validates a JSON platform description from path.
+func LoadFile(path string) (*Platform, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+	p, err := FromJSON(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+// ToJSON renders the platform as indented JSON in the file format
+// LoadFile accepts.
+func (p *Platform) ToJSON() ([]byte, error) {
+	raw, err := json.Marshal(p)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, raw, "", "  "); err != nil {
+		return nil, err
+	}
+	buf.WriteByte('\n')
+	return buf.Bytes(), nil
+}
+
+// Fingerprint returns a short content hash of every field the
+// parallelizer and simulator consume (classes in declared order with
+// clocks, counts, CPI and power figures; bus parameters; overheads).
+// Platforms with equal fingerprints produce identical results for the
+// same input program, which makes the fingerprint a valid solution-cache
+// key component. The Name is deliberately excluded.
+func (p *Platform) Fingerprint() string {
+	var sb strings.Builder
+	for _, c := range p.Classes {
+		fmt.Fprintf(&sb, "c:%g:%d:%g:%g:%g;", c.MHz, c.Count, c.CPIFactor, c.ActiveMW, c.IdleMW)
+	}
+	fmt.Fprintf(&sb, "bus:%g:%g;tco:%g", p.BusLatencyNs, p.BusBytesPerNs, p.TaskCreateNs)
+	sum := sha256.Sum256([]byte(sb.String()))
+	return fmt.Sprintf("%x", sum[:8])
+}

@@ -1,0 +1,210 @@
+package platform
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, p := range []*Platform{ConfigA(), ConfigB(), Homogeneous("h2", 300, 2)} {
+		data, err := p.ToJSON()
+		if err != nil {
+			t.Fatalf("%s: ToJSON: %v", p.Name, err)
+		}
+		got, err := FromJSON(data)
+		if err != nil {
+			t.Fatalf("%s: FromJSON: %v", p.Name, err)
+		}
+		if got.Name != p.Name || len(got.Classes) != len(p.Classes) {
+			t.Fatalf("%s: round trip changed shape: %v", p.Name, got)
+		}
+		for i := range p.Classes {
+			if got.Classes[i] != p.Classes[i] {
+				t.Errorf("%s: class %d changed: %+v != %+v", p.Name, i, got.Classes[i], p.Classes[i])
+			}
+		}
+		if got.BusLatencyNs != p.BusLatencyNs || got.BusBytesPerNs != p.BusBytesPerNs ||
+			got.TaskCreateNs != p.TaskCreateNs {
+			t.Errorf("%s: bus/overhead fields changed", p.Name)
+		}
+		if got.Fingerprint() != p.Fingerprint() {
+			t.Errorf("%s: fingerprint changed across round trip", p.Name)
+		}
+	}
+}
+
+func TestFromJSONDefaultsAndValidation(t *testing.T) {
+	// Minimal description: optional fields filled with defaults.
+	p, err := FromJSON([]byte(`{"name":"mini","classes":[{"mhz":400,"count":2}]}`))
+	if err != nil {
+		t.Fatalf("FromJSON: %v", err)
+	}
+	if p.Classes[0].CPIFactor != 1 {
+		t.Errorf("CPI factor default = %g, want 1", p.Classes[0].CPIFactor)
+	}
+	if p.Classes[0].Name != "ARM@400MHz" {
+		t.Errorf("derived class name = %q", p.Classes[0].Name)
+	}
+	if p.BusLatencyNs != defaultBusLatencyNs || p.BusBytesPerNs != defaultBusBytesPerNs ||
+		p.TaskCreateNs != defaultTaskCreateNs {
+		t.Errorf("bus/overhead defaults not applied: %+v", p)
+	}
+
+	// Invalid platforms are rejected at load time.
+	if _, err := FromJSON([]byte(`{"name":"bad","classes":[]}`)); err == nil {
+		t.Errorf("empty class list accepted")
+	}
+	if _, err := FromJSON([]byte(`{"name":"bad","classes":[{"mhz":-5,"count":1}]}`)); err == nil {
+		t.Errorf("negative clock accepted")
+	}
+	if _, err := FromJSON([]byte(`{broken`)); err == nil {
+		t.Errorf("malformed JSON accepted")
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pf.json")
+	data, err := ConfigB().ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if p.Name != "config-B" || p.NumCores() != 4 {
+		t.Errorf("loaded platform wrong: %v", p)
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Errorf("missing file accepted")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	a, b := ConfigA(), ConfigA()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("identical platforms disagree")
+	}
+	// The name must NOT matter (cache keys are content-addressed).
+	b.Name = "renamed"
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("name changed the fingerprint")
+	}
+	// Every behavioural field must matter.
+	muts := []struct {
+		name string
+		mut  func(*Platform)
+	}{
+		{"clock", func(p *Platform) { p.Classes[0].MHz = 120 }},
+		{"count", func(p *Platform) { p.Classes[2].Count = 3 }},
+		{"cpi", func(p *Platform) { p.Classes[1].CPIFactor = 2 }},
+		{"power", func(p *Platform) { p.Classes[0].ActiveMW = 77 }},
+		{"bus latency", func(p *Platform) { p.BusLatencyNs = 10 }},
+		{"bus bandwidth", func(p *Platform) { p.BusBytesPerNs = 3.2 }},
+		{"tco", func(p *Platform) { p.TaskCreateNs = 1 }},
+	}
+	for _, m := range muts {
+		p := ConfigA()
+		m.mut(p)
+		if p.Fingerprint() == a.Fingerprint() {
+			t.Errorf("%s change did not change the fingerprint", m.name)
+		}
+	}
+	if n := len(a.Fingerprint()); n != 16 {
+		t.Errorf("fingerprint length = %d, want 16 hex chars", n)
+	}
+}
+
+// Tie-breaking of the class selectors: the sweep generator emits
+// platforms with equal-speed classes and single-class platforms, so the
+// documented "first index wins" behaviour must hold.
+func TestClassSelectionTieBreaking(t *testing.T) {
+	twins := &Platform{
+		Name: "twins",
+		Classes: []ProcClass{
+			{Name: "x0", MHz: 500, Count: 1, CPIFactor: 1},
+			{Name: "x1", MHz: 500, Count: 1, CPIFactor: 1},
+		},
+		BusLatencyNs: 1, BusBytesPerNs: 1, TaskCreateNs: 1,
+	}
+	if got := twins.FastestClass(); got != 0 {
+		t.Errorf("FastestClass on equal classes = %d, want first index 0", got)
+	}
+	if got := twins.SlowestClass(); got != 0 {
+		t.Errorf("SlowestClass on equal classes = %d, want first index 0", got)
+	}
+	// Equal SpeedScore through different (MHz, CPI) pairs ties too.
+	mixed := &Platform{
+		Name: "mixed",
+		Classes: []ProcClass{
+			{Name: "a", MHz: 500, Count: 1, CPIFactor: 2}, // score 250
+			{Name: "b", MHz: 250, Count: 1, CPIFactor: 1}, // score 250
+			{Name: "c", MHz: 100, Count: 1, CPIFactor: 1}, // score 100
+		},
+		BusLatencyNs: 1, BusBytesPerNs: 1, TaskCreateNs: 1,
+	}
+	if got := mixed.FastestClass(); got != 0 {
+		t.Errorf("FastestClass tie = %d, want 0", got)
+	}
+	if got := mixed.SlowestClass(); got != 2 {
+		t.Errorf("SlowestClass = %d, want 2", got)
+	}
+	single := Homogeneous("one", 200, 3)
+	if single.FastestClass() != 0 || single.SlowestClass() != 0 {
+		t.Errorf("single-class platform selectors must return 0")
+	}
+	// Scenarios resolve to the same main class on a single-class platform.
+	if ScenarioAccelerator.MainClass(single) != ScenarioSlowerCores.MainClass(single) {
+		t.Errorf("scenario main classes differ on a single-class platform")
+	}
+}
+
+func TestTheoreticalSpeedupEdgeCases(t *testing.T) {
+	// Equal-speed classes: limit is simply the core count from any class.
+	twins := &Platform{
+		Name: "twins",
+		Classes: []ProcClass{
+			{Name: "x0", MHz: 500, Count: 2, CPIFactor: 1},
+			{Name: "x1", MHz: 500, Count: 2, CPIFactor: 1},
+		},
+		BusLatencyNs: 1, BusBytesPerNs: 1, TaskCreateNs: 1,
+	}
+	for main := range twins.Classes {
+		if got := twins.TheoreticalSpeedup(main); math.Abs(got-4) > 1e-9 {
+			t.Errorf("equal-class limit from class %d = %g, want 4", main, got)
+		}
+	}
+	// Single-class platform: limit equals the core count.
+	single := Homogeneous("one", 150, 5)
+	if got := single.TheoreticalSpeedup(0); math.Abs(got-5) > 1e-9 {
+		t.Errorf("single-class limit = %g, want 5", got)
+	}
+	// CPI factors cancel against clocks in the score ratio.
+	mixed := &Platform{
+		Name: "mixed",
+		Classes: []ProcClass{
+			{Name: "a", MHz: 400, Count: 1, CPIFactor: 2}, // score 200
+			{Name: "b", MHz: 200, Count: 1, CPIFactor: 1}, // score 200
+		},
+		BusLatencyNs: 1, BusBytesPerNs: 1, TaskCreateNs: 1,
+	}
+	if got := mixed.TheoreticalSpeedup(0); math.Abs(got-2) > 1e-9 {
+		t.Errorf("CPI-adjusted limit = %g, want 2", got)
+	}
+}
+
+func TestStringMentionsAllClasses(t *testing.T) {
+	s := ConfigA().String()
+	for _, want := range []string{"ARM@100MHz", "ARM@250MHz", "ARM@500MHz"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %s: %s", want, s)
+		}
+	}
+}
