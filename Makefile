@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race
+.PHONY: check fmt vet build test race lint
 
-check: fmt vet build test race
+check: fmt vet lint build test race
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -10,6 +10,12 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Determinism lint: no wall-clock, global randomness or map-order
+# iteration in the packages whose outputs must be byte-identical across
+# runs (see cmd/repolint).
+lint:
+	$(GO) run ./cmd/repolint
 
 build:
 	$(GO) build ./...

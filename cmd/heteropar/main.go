@@ -18,6 +18,8 @@
 //	-bench name        use a bundled benchmark instead of a file
 //	-trace out.json    write a Chrome trace_event file of the run
 //	-stats             print per-region solver statistics and metrics
+//	-lint              run the static diagnostics and exit
+//	-verify            report the race-and-budget audit of every solution
 //	-v                 log spans to stderr as they complete
 package main
 
@@ -28,7 +30,9 @@ import (
 	"strings"
 
 	heteropar "repro"
+	"repro/internal/analysis"
 	"repro/internal/bench"
+	"repro/internal/minic"
 	"repro/internal/platform"
 )
 
@@ -46,6 +50,8 @@ func main() {
 		list         = flag.Bool("list", false, "list bundled benchmarks")
 		traceFlag    = flag.String("trace", "", "write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
 		statsFlag    = flag.Bool("stats", false, "print per-region ILP solver statistics and the metrics table")
+		lintFlag     = flag.Bool("lint", false, "run the static diagnostics (uninitialized use, array bounds, unused locals, unreachable code) and exit without parallelizing")
+		verifyFlag   = flag.Bool("verify", false, "re-run the race-and-budget verifier over every produced solution and print a report")
 		verbose      = flag.Bool("v", false, "log tracing spans to stderr as they complete")
 	)
 	flag.Parse()
@@ -81,6 +87,27 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *lintFlag {
+		diags, err := analysis.LintSource(source)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		errors := 0
+		for _, d := range diags {
+			fmt.Printf("%s: %s\n", name, d)
+			if d.Sev == minic.SevError {
+				errors++
+			}
+		}
+		if len(diags) == 0 {
+			fmt.Printf("%s: no findings\n", name)
+		}
+		if errors > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 
 	opts := heteropar.Options{}
@@ -140,6 +167,22 @@ func main() {
 	fmt.Printf("parallel:   %.0f ns measured on the MPSoC simulator\n", rep.MeasuredMakespanNs)
 	fmt.Printf("speedup:    %.2fx measured (%.2fx estimated, %.2fx theoretical limit)\n",
 		rep.MeasuredSpeedup, rep.EstimatedSpeedup, rep.TheoreticalLimit())
+
+	if *verifyFlag {
+		audited := 0
+		for _, set := range rep.Result.Sets {
+			audited += len(set.All())
+		}
+		violations := analysis.VerifyResult(rep.Result)
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "heteropar: verify: %s\n", v)
+		}
+		if len(violations) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("verified:   %d solution(s) across %d node set(s), no violations\n",
+			audited, len(rep.Result.Sets))
+	}
 
 	if *statsFlag {
 		fmt.Printf("\n--- solver statistics ---\n%s", rep.SolverStatsTable())

@@ -1,0 +1,316 @@
+// Command repolint is the repository's determinism lint. The parallelizer
+// must be a pure function of (program, platform, configuration): equal
+// inputs give byte-identical plans, costs and sweep reports. That property
+// is easy to lose through three innocuous Go idioms, so this tool walks the
+// deterministic packages (internal/core, internal/ilp, internal/dse,
+// internal/dataflow by default) with go/ast + go/types and reports:
+//
+//	timenow    — calls to time.Now (wall-clock leaks into results);
+//	globalrand — math/rand package-level calls, which draw from the
+//	             process-global, unseeded source (rand.New(rand.NewSource(
+//	             seed)) and *rand.Rand methods are fine);
+//	maprange   — range over a map, whose iteration order differs per run.
+//
+// Sites that are deliberately order-insensitive or wall-clock based (solver
+// deadlines, telemetry timestamps) carry an explicit waiver: a
+// `//repolint:allow <rule>` comment on the offending line or the line
+// directly above it.
+//
+// Exit status is 1 when any unwaived finding remains, so `make lint` gates
+// CI on determinism.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// defaultPackages are the deterministic core of the tool: the ILP solver,
+// the parallelization algorithm, the dataflow analysis and the
+// design-space-exploration engine (whose sweeps must be byte-identical
+// across runs and worker counts).
+var defaultPackages = []string{
+	"repro/internal/core",
+	"repro/internal/dataflow",
+	"repro/internal/dse",
+	"repro/internal/ilp",
+}
+
+const modulePath = "repro"
+
+// Finding is one determinism violation.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+}
+
+func main() {
+	root := flag.String("root", "", "module root (default: walk up from cwd to go.mod)")
+	flag.Parse()
+	dir := *root
+	if dir == "" {
+		var err error
+		dir, err = findRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			os.Exit(2)
+		}
+	}
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = defaultPackages
+	}
+	findings, err := Run(dir, pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func findRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// Run lints the named packages rooted at dir and returns the unwaived
+// findings sorted by position.
+func Run(dir string, pkgs []string) ([]Finding, error) {
+	l := &linter{
+		fset:  token.NewFileSet(),
+		root:  dir,
+		cache: map[string]*checked{},
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil).(types.ImporterFrom)
+	var findings []Finding
+	for _, path := range pkgs {
+		fs, err := l.lintPackage(path)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return findings, nil
+}
+
+// linter type-checks repo packages from source. It doubles as the
+// types.ImporterFrom the checker uses to resolve imports: module-internal
+// paths are mapped onto repo directories; everything else defers to the
+// stdlib source importer.
+type linter struct {
+	fset  *token.FileSet
+	root  string
+	std   types.ImporterFrom
+	cache map[string]*checked
+}
+
+// checked is one type-checked module package. Every module package is
+// checked exactly once — re-checking would mint a second *types.Package
+// and make identical types unassignable across import paths — so the
+// parsed files and use info are kept for the lint walk.
+type checked struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+func (l *linter) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+func (l *linter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path != modulePath && !strings.HasPrefix(path, modulePath+"/") {
+		return l.std.ImportFrom(path, srcDir, mode)
+	}
+	c, err := l.check(path)
+	if err != nil {
+		return nil, err
+	}
+	return c.pkg, nil
+}
+
+func (l *linter) check(path string) (*checked, error) {
+	if c, ok := l.cache[path]; ok {
+		return c, nil
+	}
+	files, err := l.parseDir(path, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Uses:  map[*ast.Ident]types.Object{},
+		Types: map[ast.Expr]types.TypeAndValue{},
+	}
+	cfg := types.Config{Importer: l}
+	pkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	c := &checked{pkg: pkg, files: files, info: info}
+	l.cache[path] = c
+	return c, nil
+}
+
+// pkgDir maps an import path inside the module to its directory.
+func (l *linter) pkgDir(path string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, modulePath), "/")
+	return filepath.Join(l.root, filepath.FromSlash(rel))
+}
+
+// parseDir parses every non-test Go file of the package.
+func (l *linter) parseDir(path string, mode parser.Mode) ([]*ast.File, error) {
+	dir := l.pkgDir(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, mode)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return files, nil
+}
+
+// lintPackage type-checks one target package and walks its files.
+func (l *linter) lintPackage(path string) ([]Finding, error) {
+	c, err := l.check(path)
+	if err != nil {
+		return nil, err
+	}
+	info := c.info
+	var findings []Finding
+	for _, f := range c.files {
+		waived := waivers(l.fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			var found *Finding
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				found = l.checkCall(n, info)
+			case *ast.RangeStmt:
+				found = l.checkRange(n, info)
+			}
+			if found != nil && !waived[found.Pos.Line][found.Rule] && !waived[found.Pos.Line-1][found.Rule] {
+				findings = append(findings, *found)
+			}
+			return true
+		})
+	}
+	return findings, nil
+}
+
+// waivers collects //repolint:allow directives: line -> waived rule set.
+func waivers(fset *token.FileSet, f *ast.File) map[int]map[string]bool {
+	out := map[int]map[string]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "repolint:allow") {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			if out[line] == nil {
+				out[line] = map[string]bool{}
+			}
+			for _, rule := range strings.Fields(strings.TrimPrefix(text, "repolint:allow")) {
+				out[line][strings.TrimSuffix(rule, ",")] = true
+			}
+		}
+	}
+	return out
+}
+
+func (l *linter) checkCall(call *ast.CallExpr, info *types.Info) *Finding {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return nil // methods (e.g. *rand.Rand drawn from a seeded source) are fine
+	}
+	switch {
+	case fn.Pkg().Path() == "time" && fn.Name() == "Now":
+		return &Finding{
+			Pos:  l.fset.Position(call.Pos()),
+			Rule: "timenow",
+			Msg:  "time.Now leaks wall-clock time into a deterministic package",
+		}
+	case fn.Pkg().Path() == "math/rand" && fn.Name() != "New" && fn.Name() != "NewSource":
+		return &Finding{
+			Pos:  l.fset.Position(call.Pos()),
+			Rule: "globalrand",
+			Msg:  fmt.Sprintf("rand.%s draws from the process-global source; use rand.New(rand.NewSource(seed))", fn.Name()),
+		}
+	}
+	return nil
+}
+
+func (l *linter) checkRange(rs *ast.RangeStmt, info *types.Info) *Finding {
+	tv, ok := info.Types[rs.X]
+	if !ok {
+		return nil
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return nil
+	}
+	return &Finding{
+		Pos:  l.fset.Position(rs.Pos()),
+		Rule: "maprange",
+		Msg:  "map iteration order varies per run; sort the keys or waive if provably order-insensitive",
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/htg"
@@ -116,6 +117,10 @@ type Options struct {
 	// Observer, when non-nil, records phase spans, per-solve solver
 	// telemetry and simulator occupancy for the -trace/-stats tooling.
 	Observer *Observer
+	// SkipAudit disables the static race-and-budget audit that otherwise
+	// checks every produced solution against the dependence sets, the
+	// platform core budgets and the cost model (see internal/analysis).
+	SkipAudit bool
 }
 
 // Report is the result of parallelizing one program.
@@ -197,6 +202,9 @@ func Parallelize(source string, opts Options) (*Report, error) {
 		EnablePipelining: opts.EnablePipelining,
 		Tracer:           tr,
 		Metrics:          opts.Observer.M(),
+	}
+	if !opts.SkipAudit {
+		cfg.Audit = analysis.AuditResult
 	}
 	span = tr.Start("parallelize", obs.Int("main_class", mainClass))
 	res, err := core.Parallelize(g, opts.Platform, mainClass, opts.Approach, cfg)

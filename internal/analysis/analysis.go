@@ -1,0 +1,23 @@
+// Package analysis is the repo's correctness net: static diagnostics over
+// mini-C programs and structural verification of parallelization solutions.
+//
+// It bundles two independent layers:
+//
+//   - Lint: advisory, position-sorted warnings over a type-checked program
+//     (use of uninitialized variables, constant out-of-bounds indexing via
+//     interval analysis over induction variables, unused locals, unreachable
+//     statements). Invalid programs are rejected earlier by minic.CheckAll;
+//     Lint assumes a checked AST.
+//
+//   - Verify: a post-hoc audit of every solution the ILP (or GA) layer
+//     produces. For each pair of items with a conflicting access
+//     (write/read, write/write on the same symbol per dataflow def/use
+//     sets) there must be an ordering the simulator actually enforces; the
+//     audit also re-checks cycle-freeness of the induced task dependence
+//     graph, per-class core budgets (Eq. 12-16 of the source paper), and
+//     that each solution's claimed critical-path cost matches an
+//     independent recomputation from the platform cost model. Violations
+//     are hard errors in -verify mode and in tests, and the audit runs by
+//     default inside core.Parallelize via the Config.Audit hook so cached
+//     DSE solutions are covered too.
+package analysis

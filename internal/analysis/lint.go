@@ -1,0 +1,667 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataflow"
+	"repro/internal/minic"
+)
+
+// Lint runs the advisory passes over a checked program and returns
+// positioned warnings ordered by source position. The program must have
+// passed minic.Check (symbols resolved); running Lint on an unchecked AST
+// panics on nil symbols.
+func Lint(prog *minic.Program) []minic.Diagnostic {
+	sums := dataflow.Summarize(prog)
+	l := &linter{prog: prog, sums: sums}
+	for _, f := range prog.Funcs {
+		l.lintFunc(f)
+	}
+	sort.SliceStable(l.diags, func(i, j int) bool {
+		a, b := l.diags[i].Pos, l.diags[j].Pos
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+	return l.diags
+}
+
+// LintSource parses, checks and lints src. Semantic errors are returned as
+// error-severity diagnostics (the program is invalid and must be rejected);
+// otherwise the lint warnings are returned. The error return is non-nil
+// only for syntax errors, where no AST exists to report on.
+func LintSource(src string) ([]minic.Diagnostic, error) {
+	prog, err := minic.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if diags := minic.CheckAll(prog); len(diags) > 0 {
+		return diags, nil
+	}
+	return Lint(prog), nil
+}
+
+type linter struct {
+	prog  *minic.Program
+	sums  dataflow.Summaries
+	diags []minic.Diagnostic
+}
+
+func (l *linter) warnf(pos minic.Pos, code, format string, args ...any) {
+	l.diags = append(l.diags, minic.Diagnostic{
+		Pos: pos, Sev: minic.SevWarning, Code: code, Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+func (l *linter) lintFunc(f *minic.FuncDecl) {
+	l.checkUninit(f)
+	l.checkBounds(f)
+	l.checkUnused(f)
+	l.checkUnreachable(f.Body)
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: use of uninitialized variables (definite-assignment analysis).
+
+// assignState tracks, per local symbol, whether it is definitely assigned
+// (on every path) or maybe assigned (on some path) at the current point.
+type assignState map[*minic.Symbol]uint8
+
+const (
+	maybeAssigned uint8 = 1 << iota
+	defAssigned
+)
+
+func (s assignState) clone() assignState {
+	c := make(assignState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// mergeBranches folds the two successor states of an if/else back into s:
+// definitely assigned only where both branches assign, maybe assigned
+// where either does.
+func (s assignState) mergeBranches(a, b assignState) {
+	for sym, av := range a {
+		v := s[sym] | (av & maybeAssigned) | (av >> 1) // definite implies maybe
+		if av&defAssigned != 0 && b[sym]&defAssigned != 0 {
+			v |= defAssigned
+		}
+		s[sym] = v
+	}
+	for sym, bv := range b {
+		s[sym] |= (bv & maybeAssigned) | (bv >> 1)
+	}
+}
+
+// mergeMaybe folds a state reached on some-but-not-all paths (a loop body)
+// into s, demoting its assignments to maybe.
+func (s assignState) mergeMaybe(a assignState) {
+	for sym, av := range a {
+		if av != 0 {
+			s[sym] |= maybeAssigned
+		}
+	}
+}
+
+// uninitChecker walks one function in execution order. Only reads of
+// locals that are neither definitely nor maybe assigned are reported: a
+// variable assigned on some earlier path is given the benefit of the
+// doubt, which keeps the pass quiet on the common
+// "declare; assign in loop; use after" shape while still catching reads
+// that no execution can have initialized.
+type uninitChecker struct {
+	l        *linter
+	locals   map[*minic.Symbol]bool
+	reported map[*minic.Symbol]bool
+}
+
+func (l *linter) checkUninit(f *minic.FuncDecl) {
+	u := &uninitChecker{
+		l:        l,
+		locals:   map[*minic.Symbol]bool{},
+		reported: map[*minic.Symbol]bool{},
+	}
+	state := assignState{}
+	u.block(f.Body, state)
+}
+
+func (u *uninitChecker) block(b *minic.BlockStmt, state assignState) {
+	for _, s := range b.Stmts {
+		u.stmt(s, state)
+	}
+}
+
+func (u *uninitChecker) stmt(s minic.Stmt, state assignState) {
+	switch st := s.(type) {
+	case *minic.DeclStmt:
+		if st.Init != nil {
+			u.expr(st.Init, state)
+		}
+		for _, e := range st.List {
+			u.expr(e, state)
+		}
+		if st.Sym != nil {
+			u.locals[st.Sym] = true
+			if st.Init != nil || len(st.List) > 0 {
+				state[st.Sym] = defAssigned | maybeAssigned
+			} else {
+				state[st.Sym] = 0
+			}
+		}
+	case *minic.ExprStmt:
+		u.expr(st.X, state)
+	case *minic.BlockStmt:
+		u.block(st, state)
+	case *minic.IfStmt:
+		u.expr(st.Cond, state)
+		thenSt := state.clone()
+		u.block(st.Then, thenSt)
+		elseSt := state.clone()
+		if st.Else != nil {
+			u.stmt(st.Else, elseSt)
+		}
+		state.mergeBranches(thenSt, elseSt)
+	case *minic.ForStmt:
+		if st.Init != nil {
+			u.stmt(st.Init, state)
+		}
+		if st.Cond != nil {
+			u.expr(st.Cond, state)
+		}
+		bodySt := state.clone()
+		u.block(st.Body, bodySt)
+		if st.Post != nil {
+			u.expr(st.Post, bodySt)
+		}
+		state.mergeMaybe(bodySt)
+	case *minic.WhileStmt:
+		if st.DoWhile {
+			// The body runs at least once: its assignments stay definite.
+			u.block(st.Body, state)
+			u.expr(st.Cond, state)
+			return
+		}
+		u.expr(st.Cond, state)
+		bodySt := state.clone()
+		u.block(st.Body, bodySt)
+		state.mergeMaybe(bodySt)
+	case *minic.ReturnStmt:
+		if st.Value != nil {
+			u.expr(st.Value, state)
+		}
+	case *minic.BreakStmt, *minic.ContinueStmt:
+	}
+}
+
+func (u *uninitChecker) expr(e minic.Expr, state assignState) {
+	switch ex := e.(type) {
+	case *minic.IntLit, *minic.FloatLit:
+	case *minic.VarRef:
+		u.read(ex.Sym, ex.Pos, state)
+	case *minic.IndexExpr:
+		for _, ix := range ex.Indices {
+			u.expr(ix, state)
+		}
+		u.read(ex.Array.Sym, ex.Pos, state)
+	case *minic.UnaryExpr:
+		u.expr(ex.X, state)
+	case *minic.BinaryExpr:
+		u.expr(ex.X, state)
+		u.expr(ex.Y, state)
+	case *minic.CondExpr:
+		u.expr(ex.Cond, state)
+		thenSt := state.clone()
+		u.expr(ex.Then, thenSt)
+		elseSt := state.clone()
+		u.expr(ex.Else, elseSt)
+		state.mergeBranches(thenSt, elseSt)
+	case *minic.CallExpr:
+		u.call(ex, state)
+	case *minic.AssignExpr:
+		// RHS and any index expressions of the LHS are evaluated first.
+		u.expr(ex.RHS, state)
+		switch lhs := ex.LHS.(type) {
+		case *minic.VarRef:
+			if ex.Op != minic.TokAssign {
+				u.read(lhs.Sym, lhs.Pos, state) // compound assignment reads first
+			}
+			u.assign(lhs.Sym, state)
+		case *minic.IndexExpr:
+			for _, ix := range lhs.Indices {
+				u.expr(ix, state)
+			}
+			if ex.Op != minic.TokAssign {
+				u.read(lhs.Array.Sym, lhs.Pos, state)
+			}
+			// An element write initializes "the array" for this
+			// conservative, element-insensitive pass.
+			u.assign(lhs.Array.Sym, state)
+		}
+	case *minic.IncDecExpr:
+		switch x := ex.X.(type) {
+		case *minic.VarRef:
+			u.read(x.Sym, x.Pos, state)
+			u.assign(x.Sym, state)
+		case *minic.IndexExpr:
+			for _, ix := range x.Indices {
+				u.expr(ix, state)
+			}
+			u.read(x.Array.Sym, x.Pos, state)
+			u.assign(x.Array.Sym, state)
+		}
+	case *minic.CastExpr:
+		u.expr(ex.X, state)
+	}
+}
+
+// call applies a callee's effect summary to array arguments: a read-effect
+// parameter reads the argument array, a write-effect parameter initializes
+// it. Scalar arguments are plain reads.
+func (u *uninitChecker) call(ex *minic.CallExpr, state assignState) {
+	if ex.Builtin != "" || ex.Fn == nil {
+		for _, a := range ex.Args {
+			u.expr(a, state)
+		}
+		return
+	}
+	eff := u.l.sums[ex.Fn]
+	for i, a := range ex.Args {
+		if i >= len(ex.Fn.Params) || !ex.Fn.Params[i].Type.IsArray() {
+			u.expr(a, state)
+			continue
+		}
+		var sym *minic.Symbol
+		pos := a.NodePos()
+		switch arg := a.(type) {
+		case *minic.VarRef:
+			sym = arg.Sym
+		case *minic.IndexExpr:
+			sym = arg.Array.Sym
+			for _, ix := range arg.Indices {
+				u.expr(ix, state)
+			}
+		}
+		if sym == nil {
+			continue
+		}
+		if eff == nil || eff.ParamRead[i] {
+			u.read(sym, pos, state)
+		}
+		if eff == nil || eff.ParamWrite[i] {
+			u.assign(sym, state)
+		}
+	}
+}
+
+func (u *uninitChecker) read(sym *minic.Symbol, pos minic.Pos, state assignState) {
+	if sym == nil || !u.locals[sym] || state[sym] != 0 || u.reported[sym] {
+		return
+	}
+	u.reported[sym] = true
+	noun := "variable"
+	if sym.Type.IsArray() {
+		noun = "array"
+	}
+	u.l.warnf(pos, "uninit", "%s %s is used before it is assigned", noun, sym.Name)
+}
+
+func (u *uninitChecker) assign(sym *minic.Symbol, state assignState) {
+	if sym == nil || !u.locals[sym] {
+		return
+	}
+	state[sym] = defAssigned | maybeAssigned
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: constant out-of-bounds indexing (interval analysis).
+
+// interval is an inclusive integer range.
+type interval struct{ lo, hi int64 }
+
+type boundsChecker struct {
+	l *linter
+	// env maps induction variables in scope to their value range.
+	env map[*minic.Symbol]interval
+}
+
+func (l *linter) checkBounds(f *minic.FuncDecl) {
+	b := &boundsChecker{l: l, env: map[*minic.Symbol]interval{}}
+	b.stmt(f.Body)
+}
+
+func (b *boundsChecker) stmt(s minic.Stmt) {
+	switch st := s.(type) {
+	case *minic.DeclStmt:
+		if st.Init != nil {
+			b.expr(st.Init)
+		}
+		for _, e := range st.List {
+			b.expr(e)
+		}
+	case *minic.ExprStmt:
+		b.expr(st.X)
+	case *minic.BlockStmt:
+		for _, inner := range st.Stmts {
+			b.stmt(inner)
+		}
+	case *minic.IfStmt:
+		b.expr(st.Cond)
+		b.stmt(st.Then)
+		if st.Else != nil {
+			b.stmt(st.Else)
+		}
+	case *minic.ForStmt:
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			b.expr(st.Cond)
+		}
+		ind, iv, ok := b.loopInterval(st)
+		if ok {
+			prev, had := b.env[ind]
+			b.env[ind] = iv
+			b.stmt(st.Body)
+			if st.Post != nil {
+				b.expr(st.Post)
+			}
+			if had {
+				b.env[ind] = prev
+			} else {
+				delete(b.env, ind)
+			}
+			return
+		}
+		b.stmt(st.Body)
+		if st.Post != nil {
+			b.expr(st.Post)
+		}
+	case *minic.WhileStmt:
+		b.expr(st.Cond)
+		b.stmt(st.Body)
+	case *minic.ReturnStmt:
+		if st.Value != nil {
+			b.expr(st.Value)
+		}
+	case *minic.BreakStmt, *minic.ContinueStmt:
+	}
+}
+
+// loopInterval derives the value range of st's induction variable when the
+// loop has a recognizable induction with constant init and bound and the
+// body does not reassign it.
+func (b *boundsChecker) loopInterval(st *minic.ForStmt) (*minic.Symbol, interval, bool) {
+	ind, step := dataflow.InductionVar(st)
+	if ind == nil {
+		return nil, interval{}, false
+	}
+	init, ok := initConst(st.Init)
+	if !ok {
+		return nil, interval{}, false
+	}
+	cond, ok := st.Cond.(*minic.BinaryExpr)
+	if !ok {
+		return nil, interval{}, false
+	}
+	bound, ok := exprConst(cond.Y)
+	if !ok {
+		return nil, interval{}, false
+	}
+	// A body that writes the induction variable invalidates the range.
+	if dataflow.StmtAccesses(st.Body, b.l.sums).Writes.Has(ind) {
+		return nil, interval{}, false
+	}
+	var iv interval
+	switch {
+	case step > 0:
+		iv.lo = init
+		switch cond.Op {
+		case minic.TokLt:
+			iv.hi = bound - 1
+		case minic.TokLe:
+			iv.hi = bound
+		case minic.TokNeq:
+			if step != 1 {
+				return nil, interval{}, false
+			}
+			iv.hi = bound - 1
+		default:
+			return nil, interval{}, false
+		}
+		// Non-unit steps stop at the last reachable value.
+		if step > 1 && iv.hi >= iv.lo {
+			iv.hi = iv.lo + (iv.hi-iv.lo)/step*step
+		}
+	case step < 0:
+		iv.hi = init
+		switch cond.Op {
+		case minic.TokGt:
+			iv.lo = bound + 1
+		case minic.TokGe:
+			iv.lo = bound
+		case minic.TokNeq:
+			if step != -1 {
+				return nil, interval{}, false
+			}
+			iv.lo = bound + 1
+		default:
+			return nil, interval{}, false
+		}
+		if step < -1 && iv.hi >= iv.lo {
+			iv.lo = iv.hi - (iv.hi-iv.lo)/(-step)*(-step)
+		}
+	default:
+		return nil, interval{}, false
+	}
+	if iv.lo > iv.hi {
+		return nil, interval{}, false // loop body never runs
+	}
+	return ind, iv, true
+}
+
+func (b *boundsChecker) expr(e minic.Expr) {
+	switch ex := e.(type) {
+	case *minic.IntLit, *minic.FloatLit, *minic.VarRef:
+	case *minic.IndexExpr:
+		b.checkIndex(ex)
+		for _, ix := range ex.Indices {
+			b.expr(ix)
+		}
+	case *minic.UnaryExpr:
+		b.expr(ex.X)
+	case *minic.BinaryExpr:
+		b.expr(ex.X)
+		b.expr(ex.Y)
+	case *minic.CondExpr:
+		b.expr(ex.Cond)
+		b.expr(ex.Then)
+		b.expr(ex.Else)
+	case *minic.CallExpr:
+		for _, a := range ex.Args {
+			b.expr(a)
+		}
+	case *minic.AssignExpr:
+		b.expr(ex.LHS)
+		b.expr(ex.RHS)
+	case *minic.IncDecExpr:
+		b.expr(ex.X)
+	case *minic.CastExpr:
+		b.expr(ex.X)
+	}
+}
+
+// checkIndex bounds every dimension of one array access whose index is
+// affine in interval-known symbols.
+func (b *boundsChecker) checkIndex(ex *minic.IndexExpr) {
+	sym := ex.Array.Sym
+	if sym == nil || !sym.Type.IsArray() {
+		return
+	}
+	for d, ixExpr := range ex.Indices {
+		if d >= len(sym.Type.Dims) {
+			return
+		}
+		extent := int64(sym.Type.Dims[d])
+		if extent <= 0 {
+			continue // unsized parameter dimension
+		}
+		af := dataflow.ToAffine(ixExpr)
+		if !af.OK {
+			continue
+		}
+		lo, hi := af.Const, af.Const
+		known := true
+		for s, c := range af.Coeffs {
+			if c == 0 {
+				continue
+			}
+			iv, ok := b.env[s]
+			if !ok {
+				known = false
+				break
+			}
+			if c > 0 {
+				lo += c * iv.lo
+				hi += c * iv.hi
+			} else {
+				lo += c * iv.hi
+				hi += c * iv.lo
+			}
+		}
+		if !known {
+			continue
+		}
+		if lo >= 0 && hi < extent {
+			continue
+		}
+		if lo == hi {
+			b.l.warnf(ex.Pos, "bounds",
+				"index %d of %s dimension %d is out of bounds [0, %d)", lo, sym.Name, d, extent)
+		} else {
+			b.l.warnf(ex.Pos, "bounds",
+				"index of %s dimension %d ranges %d..%d, outside [0, %d)", sym.Name, d, lo, hi, extent)
+		}
+	}
+}
+
+// initConst extracts the constant initial value of a for-init clause.
+func initConst(s minic.Stmt) (int64, bool) {
+	switch init := s.(type) {
+	case *minic.DeclStmt:
+		if init.Init != nil {
+			return exprConst(init.Init)
+		}
+	case *minic.ExprStmt:
+		if asn, ok := init.X.(*minic.AssignExpr); ok && asn.Op == minic.TokAssign {
+			return exprConst(asn.RHS)
+		}
+	}
+	return 0, false
+}
+
+// exprConst evaluates integer constant expressions (literals and unary
+// minus; the affine machinery handles the rest).
+func exprConst(e minic.Expr) (int64, bool) {
+	af := dataflow.ToAffine(e)
+	if !af.OK {
+		return 0, false
+	}
+	for _, c := range af.Coeffs {
+		if c != 0 {
+			return 0, false
+		}
+	}
+	return af.Const, true
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: unused locals.
+
+func (l *linter) checkUnused(f *minic.FuncDecl) {
+	reads := dataflow.StmtAccesses(f.Body, l.sums).Reads
+	var walk func(s minic.Stmt)
+	walk = func(s minic.Stmt) {
+		switch st := s.(type) {
+		case *minic.DeclStmt:
+			if st.Sym != nil && !reads.Has(st.Sym) {
+				l.warnf(st.Pos, "unused", "local %s is declared but never read", st.Name)
+			}
+		case *minic.BlockStmt:
+			for _, inner := range st.Stmts {
+				walk(inner)
+			}
+		case *minic.IfStmt:
+			walk(st.Then)
+			if st.Else != nil {
+				walk(st.Else)
+			}
+		case *minic.ForStmt:
+			if st.Init != nil {
+				walk(st.Init)
+			}
+			walk(st.Body)
+		case *minic.WhileStmt:
+			walk(st.Body)
+		}
+	}
+	walk(f.Body)
+}
+
+// ---------------------------------------------------------------------------
+// Pass 4: unreachable statements.
+
+// checkUnreachable reports the first statement in each block that follows
+// a terminating statement.
+func (l *linter) checkUnreachable(b *minic.BlockStmt) {
+	terminated := false
+	for _, s := range b.Stmts {
+		if terminated {
+			l.warnf(s.NodePos(), "unreachable", "unreachable statement")
+			terminated = false // one report per dead region
+		}
+		if terminates(s) {
+			terminated = true
+		}
+		switch st := s.(type) {
+		case *minic.BlockStmt:
+			l.checkUnreachable(st)
+		case *minic.IfStmt:
+			l.checkUnreachable(st.Then)
+			if st.Else != nil {
+				switch e := st.Else.(type) {
+				case *minic.BlockStmt:
+					l.checkUnreachable(e)
+				case *minic.IfStmt:
+					l.checkUnreachable(&minic.BlockStmt{Stmts: []minic.Stmt{e}})
+				}
+			}
+		case *minic.ForStmt:
+			l.checkUnreachable(st.Body)
+		case *minic.WhileStmt:
+			l.checkUnreachable(st.Body)
+		}
+	}
+}
+
+// terminates reports whether control never flows past s.
+func terminates(s minic.Stmt) bool {
+	switch st := s.(type) {
+	case *minic.ReturnStmt, *minic.BreakStmt, *minic.ContinueStmt:
+		return true
+	case *minic.BlockStmt:
+		for _, inner := range st.Stmts {
+			if terminates(inner) {
+				return true
+			}
+		}
+		return false
+	case *minic.IfStmt:
+		return st.Else != nil && terminates(st.Then) && terminates(st.Else)
+	}
+	return false
+}

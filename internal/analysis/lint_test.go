@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/minic"
+)
+
+func lintSrc(t *testing.T, src string) []minic.Diagnostic {
+	t.Helper()
+	prog, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return Lint(prog)
+}
+
+func hasDiag(diags []minic.Diagnostic, code, substr string) bool {
+	for _, d := range diags {
+		if d.Code == code && strings.Contains(d.Msg, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func countCode(diags []minic.Diagnostic, code string) int {
+	n := 0
+	for _, d := range diags {
+		if d.Code == code {
+			n++
+		}
+	}
+	return n
+}
+
+func TestLintUninitStraightLine(t *testing.T) {
+	diags := lintSrc(t, `
+void main(void) {
+    int x;
+    int y = x + 1;
+    x = 2;
+    y = y + x;
+}
+`)
+	if !hasDiag(diags, "uninit", "variable x is used before it is assigned") {
+		t.Fatalf("missing uninit warning for x: %v", diags)
+	}
+	if countCode(diags, "uninit") != 1 {
+		t.Errorf("want exactly 1 uninit warning, got %v", diags)
+	}
+}
+
+func TestLintUninitBranchesAndLoops(t *testing.T) {
+	// x assigned only in one branch and read after: maybe-assigned, no
+	// warning (the pass only reports reads no path can have initialized).
+	// z assigned in the loop and read after: also quiet. w is never
+	// assigned anywhere before its read: warned.
+	diags := lintSrc(t, `
+int c;
+void main(void) {
+    int x; int z; int w;
+    if (c > 0) { x = 1; }
+    c = x;
+    for (int i = 0; i < 4; i++) { z = i; }
+    c = c + z;
+    c = c + w;
+    w = 0;
+}
+`)
+	if hasDiag(diags, "uninit", "variable x") {
+		t.Errorf("x is maybe-assigned, should not be reported: %v", diags)
+	}
+	if hasDiag(diags, "uninit", "variable z") {
+		t.Errorf("z is assigned in the loop, should not be reported: %v", diags)
+	}
+	if !hasDiag(diags, "uninit", "variable w is used before it is assigned") {
+		t.Errorf("missing uninit warning for w: %v", diags)
+	}
+}
+
+func TestLintUninitArrayThroughCall(t *testing.T) {
+	// fill writes its parameter: calling it initializes the array, so the
+	// later read is fine. scan only reads: calling it first warns.
+	diags := lintSrc(t, `
+float acc;
+void fill(float v[8]) { for (int i = 0; i < 8; i++) { v[i] = 0.0; } }
+void scan(float v[8]) { for (int i = 0; i < 8; i++) { acc += v[i]; } }
+void main(void) {
+    float a[8]; float b[8];
+    fill(a);
+    scan(a);
+    scan(b);
+}
+`)
+	if hasDiag(diags, "uninit", "array a") {
+		t.Errorf("a is initialized by fill: %v", diags)
+	}
+	if !hasDiag(diags, "uninit", "array b is used before it is assigned") {
+		t.Errorf("missing uninit warning for b: %v", diags)
+	}
+}
+
+func TestLintBoundsConstant(t *testing.T) {
+	diags := lintSrc(t, `
+float a[64];
+void main(void) {
+    a[64] = 1.0;
+    a[63] = 2.0;
+}
+`)
+	if !hasDiag(diags, "bounds", "index 64 of a dimension 0 is out of bounds [0, 64)") {
+		t.Fatalf("missing constant bounds warning: %v", diags)
+	}
+	if countCode(diags, "bounds") != 1 {
+		t.Errorf("a[63] is in bounds, want exactly 1 bounds warning: %v", diags)
+	}
+}
+
+func TestLintBoundsInduction(t *testing.T) {
+	// i ranges 0..64: a[i] overruns on the last iteration; b[i+1] is the
+	// classic off-by-one; c[i-1] underruns on the first iteration.
+	diags := lintSrc(t, `
+float a[64]; float b[64]; float c[64];
+void main(void) {
+    for (int i = 0; i <= 64; i++) {
+        a[i] = 1.0;
+    }
+    for (int j = 0; j < 64; j++) {
+        b[j + 1] = 1.0;
+        c[j - 1] = 1.0;
+    }
+}
+`)
+	if !hasDiag(diags, "bounds", "index of a dimension 0 ranges 0..64") {
+		t.Errorf("missing overrun warning for a: %v", diags)
+	}
+	if !hasDiag(diags, "bounds", "index of b dimension 0 ranges 1..64") {
+		t.Errorf("missing off-by-one warning for b: %v", diags)
+	}
+	if !hasDiag(diags, "bounds", "index of c dimension 0 ranges -1..62") {
+		t.Errorf("missing underrun warning for c: %v", diags)
+	}
+}
+
+func TestLintBoundsQuietOnValidLoops(t *testing.T) {
+	diags := lintSrc(t, `
+float a[8][8]; float b[8][8];
+void main(void) {
+    for (int i = 0; i < 8; i++) {
+        for (int j = 0; j < 8; j++) {
+            a[i][j] = b[7 - i][j] * 2.0;
+        }
+    }
+    for (int k = 62; k >= 0; k--) {
+        a[0][k / 8] = 0.0;
+    }
+}
+`)
+	if n := countCode(diags, "bounds"); n != 0 {
+		t.Fatalf("valid accesses flagged: %v", diags)
+	}
+}
+
+func TestLintBoundsNonUnitStride(t *testing.T) {
+	// i takes 0,2,...,62: i+1 peaks at 63, in bounds for a[64].
+	diags := lintSrc(t, `
+float a[64];
+void main(void) {
+    for (int i = 0; i < 64; i += 2) {
+        a[i + 1] = 1.0;
+    }
+}
+`)
+	if n := countCode(diags, "bounds"); n != 0 {
+		t.Fatalf("stride-2 access wrongly flagged: %v", diags)
+	}
+}
+
+func TestLintUnusedLocal(t *testing.T) {
+	diags := lintSrc(t, `
+int g;
+void main(void) {
+    int dead;
+    int sink = 0;
+    sink = sink + g;
+    g = sink;
+}
+`)
+	if !hasDiag(diags, "unused", "local dead is declared but never read") {
+		t.Fatalf("missing unused warning: %v", diags)
+	}
+	if hasDiag(diags, "unused", "sink") {
+		t.Errorf("sink is read, should not be reported: %v", diags)
+	}
+}
+
+func TestLintUnreachable(t *testing.T) {
+	diags := lintSrc(t, `
+int g;
+void main(void) {
+    for (int i = 0; i < 4; i++) {
+        if (g > 0) {
+            break;
+            g = 1;
+        }
+    }
+    return;
+    g = 2;
+}
+`)
+	if countCode(diags, "unreachable") != 2 {
+		t.Fatalf("want 2 unreachable warnings (after break, after return): %v", diags)
+	}
+}
+
+func TestLintDiagnosticsSorted(t *testing.T) {
+	diags := lintSrc(t, `
+float a[4];
+void main(void) {
+    int dead;
+    a[9] = 1.0;
+    return;
+    a[0] = 0.0;
+}
+`)
+	if len(diags) < 3 {
+		t.Fatalf("expected at least 3 warnings, got %v", diags)
+	}
+	for i := 1; i < len(diags); i++ {
+		prev, cur := diags[i-1].Pos, diags[i].Pos
+		if cur.Line < prev.Line || (cur.Line == prev.Line && cur.Col < prev.Col) {
+			t.Fatalf("diagnostics not sorted by position: %v", diags)
+		}
+	}
+	for _, d := range diags {
+		if d.Sev != minic.SevWarning {
+			t.Errorf("lint must emit warnings, got %v", d)
+		}
+	}
+}
+
+func TestLintSourceReportsSemanticErrors(t *testing.T) {
+	diags, err := LintSource(`void main(void) { x = 1; y = 2; }`)
+	if err != nil {
+		t.Fatalf("unexpected syntax error: %v", err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("want both semantic errors, got %v", diags)
+	}
+	for _, d := range diags {
+		if d.Sev != minic.SevError {
+			t.Errorf("semantic problems must be errors: %v", d)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/htg"
+	"repro/internal/minic"
+	"repro/internal/platform"
+)
+
+// testPlatform: one main core (class 0) and one faster helper (class 1).
+func testPlatform() *platform.Platform {
+	return &platform.Platform{
+		Name: "verify-test",
+		Classes: []platform.ProcClass{
+			{Name: "main@100", MHz: 100, Count: 1, CPIFactor: 1},
+			{Name: "help@500", MHz: 500, Count: 1, CPIFactor: 1},
+		},
+		BusLatencyNs:  50,
+		BusBytesPerNs: 1,
+		TaskCreateNs:  100,
+	}
+}
+
+func globalInt(name string) *minic.Symbol {
+	return &minic.Symbol{Name: name, Kind: minic.SymGlobal, Type: minic.ScalarType(minic.Int)}
+}
+
+// fixture builds a two-child region: A writes x, B reads x (flow
+// dependence A -> B with a matching HTG edge), plus the fork-join plan
+// that runs A on the main core and B on the helper.
+type fixture struct {
+	root, a, b *htg.Node
+	sol        *core.Solution
+}
+
+func makeFixture() *fixture {
+	x := globalInt("x")
+	a := &htg.Node{
+		ID: 1, Kind: htg.KindSimple, Label: "A",
+		Count: 1, TotalCount: 1, SelfCycles: 1000, SubtreeCycles: 1000,
+		Acc: &dataflow.Accesses{Reads: dataflow.SymSet{}, Writes: dataflow.SymSet{x: true}},
+	}
+	b := &htg.Node{
+		ID: 2, Kind: htg.KindSimple, Label: "B",
+		Count: 1, TotalCount: 1, SelfCycles: 2000, SubtreeCycles: 2000,
+		Acc:     &dataflow.Accesses{Reads: dataflow.SymSet{x: true}, Writes: dataflow.SymSet{}},
+		InBytes: 4, OutBytes: 4,
+	}
+	a.Edges = []*htg.Edge{{From: a, To: b, Kind: dataflow.DepFlow, Bytes: 4}}
+	root := &htg.Node{
+		ID: 0, Kind: htg.KindRoot, Label: "main",
+		Count: 1, TotalCount: 1, SubtreeCycles: 3000,
+		Children: []*htg.Node{a, b},
+	}
+	a.Parent, b.Parent = root, root
+	sol := &core.Solution{
+		Node:      root,
+		Kind:      core.KindTaskParallel,
+		MainClass: 0,
+		// Generously above any recomputation: the audit only rejects
+		// claims *below* what the cost model supports.
+		TimeNs:    1e12,
+		ProcsUsed: []int{1, 1},
+		NumTasks:  2,
+		Tasks: []*core.TaskPlan{
+			{Class: 0, Items: []*core.ItemPlan{{Child: a}}},
+			{Class: 1, Items: []*core.ItemPlan{{Child: b}}},
+		},
+	}
+	return &fixture{root: root, a: a, b: b, sol: sol}
+}
+
+func hasViolation(vs []Violation, kind string) bool {
+	for _, v := range vs {
+		if v.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func TestVerifyCleanPlan(t *testing.T) {
+	f := makeFixture()
+	if vs := VerifySolution(f.sol, testPlatform()); len(vs) != 0 {
+		t.Fatalf("clean plan flagged: %v", vs)
+	}
+}
+
+// Dropping the ordering edge leaves the conflicting pair unsynchronized:
+// the simulator would never wait for A before running B.
+func TestVerifyCatchesDroppedOrderingEdge(t *testing.T) {
+	f := makeFixture()
+	f.a.Edges = nil
+	vs := VerifySolution(f.sol, testPlatform())
+	if !hasViolation(vs, "race") {
+		t.Fatalf("dropped edge not reported as race: %v", vs)
+	}
+}
+
+// Swapping the tasks puts the producer in a later task than the consumer:
+// the simulator runs tasks in index order, so B would read stale data.
+func TestVerifyCatchesProducerAfterConsumer(t *testing.T) {
+	f := makeFixture()
+	f.sol.Tasks = []*core.TaskPlan{
+		{Class: 0, Items: []*core.ItemPlan{{Child: f.b}}},
+		{Class: 1, Items: []*core.ItemPlan{{Child: f.a}}},
+	}
+	vs := VerifySolution(f.sol, testPlatform())
+	if !hasViolation(vs, "race") {
+		t.Fatalf("producer-after-consumer not reported: %v", vs)
+	}
+}
+
+// Within one task, items must appear in dependence order.
+func TestVerifyCatchesSameTaskOrder(t *testing.T) {
+	f := makeFixture()
+	f.sol.Tasks = []*core.TaskPlan{
+		{Class: 0, Items: []*core.ItemPlan{{Child: f.b}, {Child: f.a}}},
+	}
+	f.sol.NumTasks = 1
+	f.sol.ProcsUsed = []int{1, 0}
+	vs := VerifySolution(f.sol, testPlatform())
+	if !hasViolation(vs, "order") {
+		t.Fatalf("same-task misordering not reported: %v", vs)
+	}
+}
+
+// Mapping two extracted tasks onto a class with a single unit overdraws
+// the Eq. 16 budget.
+func TestVerifyCatchesOverBudgetMapping(t *testing.T) {
+	f := makeFixture()
+	c := &htg.Node{
+		ID: 3, Kind: htg.KindSimple, Label: "C",
+		Count: 1, TotalCount: 1, SubtreeCycles: 500,
+		Acc:    &dataflow.Accesses{Reads: dataflow.SymSet{}, Writes: dataflow.SymSet{}},
+		Parent: f.root,
+	}
+	f.root.Children = append(f.root.Children, c)
+	f.sol.Tasks = append(f.sol.Tasks, &core.TaskPlan{
+		Class: 1, Items: []*core.ItemPlan{{Child: c}},
+	})
+	f.sol.NumTasks = 3
+	f.sol.ProcsUsed = []int{1, 2} // honest accounting; still over budget
+	vs := VerifySolution(f.sol, testPlatform())
+	if !hasViolation(vs, "budget") {
+		t.Fatalf("over-budget class mapping not reported: %v", vs)
+	}
+}
+
+// Under-reporting the processor allocation is caught even when the real
+// allocation would fit the budget.
+func TestVerifyCatchesProcsMismatch(t *testing.T) {
+	f := makeFixture()
+	f.sol.ProcsUsed = []int{1, 0}
+	vs := VerifySolution(f.sol, testPlatform())
+	if !hasViolation(vs, "procs") {
+		t.Fatalf("processor accounting mismatch not reported: %v", vs)
+	}
+}
+
+// A claimed makespan below the cost-model recomputation is rejected.
+func TestVerifyCatchesUnderstatedCost(t *testing.T) {
+	f := makeFixture()
+	f.sol.TimeNs = 1
+	vs := VerifySolution(f.sol, testPlatform())
+	if !hasViolation(vs, "cost") {
+		t.Fatalf("understated cost not reported: %v", vs)
+	}
+}
+
+// Splitting the iteration space of a loop that carries dependences is a
+// race regardless of the bookkeeping.
+func TestVerifyCatchesChunkedNonDOALL(t *testing.T) {
+	loop := &htg.Node{
+		ID: 1, Kind: htg.KindLoop, Label: "for_1",
+		Count: 1, TotalCount: 1, SubtreeCycles: 10000,
+		Loop: &dataflow.LoopInfo{Parallel: false, Reason: "loop carries a dependence across iterations"},
+	}
+	body := &htg.Node{
+		ID: 2, Kind: htg.KindSimple, Label: "body",
+		Count: 64, TotalCount: 64, SubtreeCycles: 150,
+		Acc:    &dataflow.Accesses{Reads: dataflow.SymSet{}, Writes: dataflow.SymSet{}},
+		Parent: loop,
+	}
+	loop.Children = []*htg.Node{body}
+	sol := &core.Solution{
+		Node: loop, Kind: core.KindChunked, MainClass: 0,
+		TimeNs: 1e12, ProcsUsed: []int{1, 1}, NumTasks: 2,
+		Tasks: []*core.TaskPlan{
+			{Class: 0, Items: []*core.ItemPlan{{Child: loop, ChunkFrac: 0.5}}},
+			{Class: 1, Items: []*core.ItemPlan{{Child: loop, ChunkFrac: 0.5}}},
+		},
+	}
+	vs := VerifySolution(sol, testPlatform())
+	if !hasViolation(vs, "race") {
+		t.Fatalf("chunked non-DOALL loop not reported: %v", vs)
+	}
+	// With the parallelism proven, the same plan is clean.
+	loop.Loop = &dataflow.LoopInfo{Parallel: true}
+	if vs := VerifySolution(sol, testPlatform()); len(vs) != 0 {
+		t.Fatalf("clean chunked plan flagged: %v", vs)
+	}
+	// ...unless the fractions fail to cover the iteration space.
+	sol.Tasks[1].Items[0].ChunkFrac = 0.25
+	if vs := VerifySolution(sol, testPlatform()); !hasViolation(vs, "structure") {
+		t.Fatalf("short chunk coverage not reported: %v", vs)
+	}
+}
+
+// AuditResult adapts violations into a hard error for the Audit hook.
+func TestAuditResultReportsError(t *testing.T) {
+	f := makeFixture()
+	f.a.Edges = nil
+	res := &core.Result{
+		Best:     f.sol,
+		Sets:     map[*htg.Node]*core.SolutionSet{},
+		Platform: testPlatform(),
+	}
+	err := AuditResult(res)
+	if err == nil {
+		t.Fatal("corrupted result passed the audit")
+	}
+}

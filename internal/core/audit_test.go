@@ -1,0 +1,36 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+// The Audit hook receives the finished Result and can veto the whole run:
+// this is the seam the static race checker (internal/analysis) plugs into.
+func TestAuditHookReceivesResultAndPropagatesError(t *testing.T) {
+	g := buildGraph(t, hotLoopSrc)
+	pf := platform.ConfigA()
+
+	calls := 0
+	cfg := Config{Audit: func(res *Result) error {
+		calls++
+		if res.Best == nil || res.Sets == nil || res.Platform == nil {
+			t.Errorf("audit saw incomplete result: %+v", res)
+		}
+		return nil
+	}}
+	if _, err := Parallelize(g, pf, 0, Heterogeneous, cfg); err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("audit hook called %d times, want 1", calls)
+	}
+
+	veto := errors.New("audit veto")
+	cfg.Audit = func(*Result) error { return veto }
+	if _, err := Parallelize(g, pf, 0, Heterogeneous, cfg); !errors.Is(err, veto) {
+		t.Fatalf("audit error not propagated, got %v", err)
+	}
+}

@@ -534,7 +534,7 @@ func (p *Parallelizer) solveWithIncumbent(m *ilp.Model, incumbent []float64, met
 		obs.Int("tasks", meta.tasks),
 		obs.Int("vars", m.NumVars()),
 		obs.Int("cons", m.NumCons()))
-	start := time.Now()
+	start := time.Now() //repolint:allow timenow (solve-time telemetry only)
 	opt := ilp.Options{MaxNodes: p.cfg.MaxILPNodes, RelGap: p.cfg.ILPRelGap, Incumbent: incumbent}
 	if p.cfg.ILPTimeout > 0 {
 		opt.Deadline = start.Add(p.cfg.ILPTimeout)

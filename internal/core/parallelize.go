@@ -68,13 +68,22 @@ type Config struct {
 	// bound progress hook: B&B nodes, LP iterations, incumbent updates,
 	// gaps, timeout and node-cap hits, and solve durations.
 	Metrics *obs.Registry
+	// Audit, when non-nil, receives the finished Result before Parallelize
+	// returns; a non-nil error fails the whole run with it. The analysis
+	// package provides an auditor (analysis.AuditResult) that structurally
+	// verifies every solution: conflicting-access ordering, cycle-freeness,
+	// per-class core budgets and cost recomputation. Both public entry
+	// points (heteropar.Parallelize and the DSE engine) install it by
+	// default.
+	Audit func(*Result) error
 }
 
 // Fingerprint returns a canonical string of every field that influences
 // which solutions the parallelizer produces, with defaults applied, so
 // two configs with equal fingerprints are interchangeable for caching.
-// The observability sinks (Tracer, Metrics) are deliberately excluded:
-// they never change results.
+// The observability sinks (Tracer, Metrics) and the Audit hook are
+// deliberately excluded: they never change which solutions are produced,
+// only whether defective ones are reported.
 func (c Config) Fingerprint() string {
 	d := c.withDefaults()
 	return fmt.Sprintf("items:%d;cands:%d;tasks:%d;nodes:%d;timeout:%s;gap:%g;chunk:%t;pipe:%t;hier:%t",
@@ -283,14 +292,20 @@ func Parallelize(g *htg.Graph, pf *platform.Platform, mainClass int, approach Ap
 	if best == nil {
 		best = sequentialSolution(g.Root, workPF, workMain)
 	}
-	return &Result{
+	res := &Result{
 		Best:      best,
 		Sets:      sets,
 		Approach:  approach,
 		MainClass: workMain,
 		Platform:  workPF,
 		Stats:     p.stats,
-	}, nil
+	}
+	if cfg.Audit != nil {
+		if err := cfg.Audit(res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
 }
 
 // parallelizeNode implements the PARALLELIZE function of Algorithm 1:

@@ -249,12 +249,15 @@ func (it *regionItem) nodeOr(fallback *htg.Node) *htg.Node {
 	return fallback
 }
 
-// seqCandOn returns the item's sequential candidate on class c (the last
-// entry of a pruned Pareto front is the leanest; sequential candidates use
-// exactly one processor).
+// seqCandOn returns the item's purely sequential candidate on class c.
+// Matching on Kind matters: a single-task candidate can still carry an
+// inner-parallel sub-solution (extra processors), and the callers here —
+// pipeline stages, chunk costs, merged super-items — all budget exactly one
+// unit for the item. The pruned front always retains the sequential
+// candidate (it is the unique one-processor point, hence the leanest end).
 func seqCandOn(it *regionItem, c int) *Solution {
 	for _, s := range it.cands[c] {
-		if s.NumTasks == 1 {
+		if s.Kind == KindSequential {
 			return s
 		}
 	}

@@ -8,6 +8,8 @@
 package dataflow
 
 import (
+	"sort"
+
 	"repro/internal/minic"
 )
 
@@ -20,15 +22,43 @@ func (ss SymSet) Add(s *minic.Symbol) { ss[s] = true }
 // Has reports membership.
 func (ss SymSet) Has(s *minic.Symbol) bool { return ss[s] }
 
-// Intersect returns the symbols present in both sets.
+// Sorted returns the set's symbols in a stable order (by name, then by
+// declaration ID for same-named symbols from different scopes). Every
+// consumer that turns a SymSet into a slice, a report line, or an edge
+// annotation must go through here so equal inputs yield byte-identical
+// outputs across runs.
+func (ss SymSet) Sorted() []*minic.Symbol {
+	out := make([]*minic.Symbol, 0, len(ss))
+	//repolint:allow maprange — order restored by the sort below.
+	for s := range ss {
+		out = append(out, s)
+	}
+	sortSyms(out)
+	return out
+}
+
+// Intersect returns the symbols present in both sets, in stable order.
 func (ss SymSet) Intersect(other SymSet) []*minic.Symbol {
 	var out []*minic.Symbol
+	//repolint:allow maprange — order restored by the sort below.
 	for s := range ss {
 		if other[s] {
 			out = append(out, s)
 		}
 	}
+	sortSyms(out)
 	return out
+}
+
+// sortSyms orders symbols by (Name, ID); names alone can collide across
+// scopes, the allocation ID breaks the tie deterministically.
+func sortSyms(syms []*minic.Symbol) {
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].Name != syms[j].Name {
+			return syms[i].Name < syms[j].Name
+		}
+		return syms[i].ID < syms[j].ID
+	})
 }
 
 // Effects summarizes what a function reads and writes beyond its own
@@ -79,7 +109,7 @@ func updateSummary(f *minic.FuncDecl, sums Summaries) bool {
 	collectStmt(f.Body, acc, sums)
 	grew := false
 	record := func(set SymSet, isWrite bool) {
-		for sym := range set {
+		for sym := range set { //repolint:allow maprange (set union, order-insensitive)
 			if i, ok := paramIdx[sym]; ok {
 				if isWrite && !eff.ParamWrite[i] {
 					eff.ParamWrite[i] = true
@@ -290,10 +320,10 @@ func collectCall(ex *minic.CallExpr, acc *Accesses, sums Summaries) {
 		}
 	}
 	if eff != nil {
-		for g := range eff.GlobalRead {
+		for g := range eff.GlobalRead { //repolint:allow maprange (set union, order-insensitive)
 			acc.Reads.Add(g)
 		}
-		for g := range eff.GlobalWrite {
+		for g := range eff.GlobalWrite { //repolint:allow maprange (set union, order-insensitive)
 			acc.Writes.Add(g)
 		}
 	}

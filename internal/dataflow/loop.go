@@ -21,12 +21,12 @@ func (a Affine) EqualModulo(b Affine) bool {
 	if !a.OK || !b.OK || a.Const != b.Const {
 		return false
 	}
-	for s, c := range a.Coeffs {
+	for s, c := range a.Coeffs { //repolint:allow maprange (pure equality predicate)
 		if c != 0 && b.Coeffs[s] != c {
 			return false
 		}
 	}
-	for s, c := range b.Coeffs {
+	for s, c := range b.Coeffs { //repolint:allow maprange (pure equality predicate)
 		if c != 0 && a.Coeffs[s] != c {
 			return false
 		}
@@ -165,7 +165,9 @@ func AnalyzeLoop(fs *minic.ForStmt, sums Summaries) *LoopInfo {
 	// Classify written scalars.
 	declared := declaredVars(fs.Body)
 	reductions, redSyms, nonRed := findReductions(fs.Body, sums)
-	for sym := range acc.Writes {
+	// Iterate sorted so Private ordering and the first-reported Reason are
+	// stable across runs.
+	for _, sym := range acc.Writes.Sorted() {
 		if !sym.Type.IsScalar() {
 			continue
 		}
@@ -201,12 +203,12 @@ func AnalyzeLoop(fs *minic.ForStmt, sums Summaries) *LoopInfo {
 			written.Add(aa.Sym)
 		}
 	}
-	for sym := range declared {
+	for _, sym := range declared.Sorted() {
 		if sym.Type.IsArray() {
 			info.Private = append(info.Private, sym)
 		}
 	}
-	for sym := range acc.Writes {
+	for _, sym := range acc.Writes.Sorted() {
 		if sym.Type.IsScalar() || declared.Has(sym) {
 			continue
 		}
@@ -223,7 +225,7 @@ func AnalyzeLoop(fs *minic.ForStmt, sums Summaries) *LoopInfo {
 	}
 	// Per written array: all writes and all reads must share one affine
 	// index form with a nonzero induction coefficient (first dimension).
-	for sym := range written {
+	for _, sym := range written.Sorted() {
 		var ref Affine
 		haveRef := false
 		for _, aa := range acc.Arrays {
@@ -252,6 +254,11 @@ func AnalyzeLoop(fs *minic.ForStmt, sums Summaries) *LoopInfo {
 	info.Parallel = true
 	return info
 }
+
+// InductionVar recognizes "for (int i = e0; i < e1; i++)" patterns and
+// returns the induction symbol and step (nil, 0 if unrecognized). Exported
+// for the analysis package's interval-based bounds checking.
+func InductionVar(fs *minic.ForStmt) (*minic.Symbol, int64) { return inductionVar(fs) }
 
 // inductionVar recognizes "for (int i = e0; i < e1; i++)" patterns and
 // returns the induction symbol and step.
@@ -554,7 +561,7 @@ func findReductions(b *minic.BlockStmt, sums Summaries) ([]Reduction, SymSet, Sy
 			continue
 		}
 		acc := StmtAccesses(s, sums)
-		for sym := range redSyms {
+		for sym := range redSyms { //repolint:allow maprange (set union, order-insensitive)
 			if acc.Reads.Has(sym) || acc.Writes.Has(sym) {
 				nonRed.Add(sym)
 			}
@@ -580,7 +587,7 @@ func isReductionStmt(s minic.Stmt, redSyms SymSet, sums Summaries) bool {
 	}
 	// The RHS must not touch other reduction symbols.
 	rhsAcc := ExprAccesses(asn.RHS, sums)
-	for sym := range redSyms {
+	for sym := range redSyms { //repolint:allow maprange (pure predicate, order-insensitive)
 		if sym != vr.Sym && (rhsAcc.Reads.Has(sym) || rhsAcc.Writes.Has(sym)) {
 			return false
 		}

@@ -1,0 +1,162 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/minic"
+)
+
+// TestPrivateScalarReadAfterLoop: a scalar that is privatizable inside the
+// body but also read after the loop. Body-local analysis still classifies
+// the loop as DOALL with the scalar private — the value flowing out of the
+// loop is the transform's last-value copy-out concern, not a carried
+// dependence between iterations.
+func TestPrivateScalarReadAfterLoop(t *testing.T) {
+	fs, sums := loopOf(t, `
+float a[64]; float t;
+void main(void) {
+    for (int i = 0; i < 64; i++) {
+        t = a[i] * 2.0;
+        a[i] = t + 1.0;
+    }
+    a[0] = t;
+}
+`)
+	info := AnalyzeLoop(fs, sums)
+	if !info.Parallel {
+		t.Fatalf("loop should be parallel: %s", info.Reason)
+	}
+	if len(info.Private) != 1 || info.Private[0].Name != "t" {
+		t.Errorf("t should be the single private scalar, got %v", info.Private)
+	}
+	if info.Private[0].Kind != minic.SymGlobal {
+		t.Errorf("privatized symbol should be the global t, got kind %v", info.Private[0].Kind)
+	}
+}
+
+// TestReductionOnGlobal: a global accumulated with the s = s + e form is a
+// recognized reduction, not a private and not a carried-dependence failure.
+func TestReductionOnGlobal(t *testing.T) {
+	fs, sums := loopOf(t, `
+float a[64]; float sum;
+void main(void) {
+    for (int i = 0; i < 64; i++) {
+        sum = sum + a[i];
+    }
+}
+`)
+	info := AnalyzeLoop(fs, sums)
+	if !info.Parallel {
+		t.Fatalf("global reduction loop should be parallel: %s", info.Reason)
+	}
+	if len(info.Reductions) != 1 || info.Reductions[0].Sym.Name != "sum" || info.Reductions[0].Op != ReduceAdd {
+		t.Fatalf("reductions: %+v", info.Reductions)
+	}
+	if info.Reductions[0].Sym.Kind != minic.SymGlobal {
+		t.Errorf("reduction symbol should be global, got kind %v", info.Reductions[0].Sym.Kind)
+	}
+	for _, p := range info.Private {
+		if p.Name == "sum" {
+			t.Errorf("reduction accumulator must not also be privatized")
+		}
+	}
+}
+
+// TestReductionGlobalAlsoReadElsewhere: the same global used both as a
+// reduction accumulator and as a plain operand in another statement of the
+// body is disqualified — the loop carries a real dependence.
+func TestReductionGlobalAlsoReadElsewhere(t *testing.T) {
+	fs, sums := loopOf(t, `
+float a[64]; float b[64]; float sum;
+void main(void) {
+    for (int i = 0; i < 64; i++) {
+        sum = sum + a[i];
+        b[i] = sum;
+    }
+}
+`)
+	info := AnalyzeLoop(fs, sums)
+	if info.Parallel {
+		t.Fatalf("loop reading the accumulator mid-iteration must not be parallel")
+	}
+	if !strings.Contains(info.Reason, "sum") {
+		t.Errorf("reason should name the accumulator: %q", info.Reason)
+	}
+}
+
+// TestNegativeStrideCarriedDep: a countdown loop whose body reads the
+// element the previous iteration wrote (a[i] = f(a[i+1])) carries a flow
+// dependence across iterations and must be rejected as shifted indices.
+func TestNegativeStrideCarriedDep(t *testing.T) {
+	fs, sums := loopOf(t, `
+float a[64];
+void main(void) {
+    for (int i = 62; i >= 0; i--) {
+        a[i] = a[i + 1] * 0.5;
+    }
+}
+`)
+	info := AnalyzeLoop(fs, sums)
+	if info.IndVar == nil || info.IndVar.Name != "i" || info.Step != -1 {
+		t.Fatalf("negative-stride induction not recognized: %+v", info)
+	}
+	if info.Parallel {
+		t.Fatalf("carried dependence with negative stride must not be parallel")
+	}
+	if !strings.Contains(info.Reason, "shifted indices") {
+		t.Errorf("reason should report shifted indices: %q", info.Reason)
+	}
+}
+
+// TestNegativeStrideIndependent: the same countdown shape without the
+// shift is a DOALL — direction of traversal alone is no dependence.
+func TestNegativeStrideIndependent(t *testing.T) {
+	fs, sums := loopOf(t, `
+float a[64]; float b[64];
+void main(void) {
+    for (int i = 63; i >= 0; i--) {
+        a[i] = b[i] + 1.0;
+    }
+}
+`)
+	info := AnalyzeLoop(fs, sums)
+	if !info.Parallel {
+		t.Fatalf("independent countdown loop should be parallel: %s", info.Reason)
+	}
+	if info.Step != -1 {
+		t.Errorf("step: got %d, want -1", info.Step)
+	}
+}
+
+// TestIntersectAndSortedDeterministic: set-to-slice conversions come back
+// ordered by (Name, ID) regardless of insertion order.
+func TestIntersectAndSortedDeterministic(t *testing.T) {
+	syms := []*minic.Symbol{
+		{Name: "z", ID: 0, Type: minic.ScalarType(minic.Int)},
+		{Name: "a", ID: 3, Type: minic.ScalarType(minic.Int)},
+		{Name: "a", ID: 1, Type: minic.ScalarType(minic.Int)},
+		{Name: "m", ID: 2, Type: minic.ScalarType(minic.Int)},
+	}
+	sa, sb := SymSet{}, SymSet{}
+	for _, s := range syms {
+		sa.Add(s)
+		sb.Add(s)
+	}
+	wantOrder := []*minic.Symbol{syms[2], syms[1], syms[3], syms[0]} // a#1, a#3, m, z
+	check := func(label string, got []*minic.Symbol) {
+		t.Helper()
+		if len(got) != len(wantOrder) {
+			t.Fatalf("%s: got %d symbols, want %d", label, len(got), len(wantOrder))
+		}
+		for i := range got {
+			if got[i] != wantOrder[i] {
+				t.Fatalf("%s: position %d: got %v, want %v", label, i, got[i], wantOrder[i])
+			}
+		}
+	}
+	for run := 0; run < 20; run++ {
+		check("Intersect", sa.Intersect(sb))
+		check("Sorted", sa.Sorted())
+	}
+}

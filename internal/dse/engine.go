@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mpsoc"
@@ -64,6 +65,10 @@ type Engine struct {
 	Cache *Cache
 	// Obs receives phase spans and solver/cache metrics (may be nil).
 	Obs *obs.Observer
+	// SkipAudit disables the per-evaluation race-and-budget audit of every
+	// produced solution (internal/analysis); cached rows are re-audited on
+	// recall only through their original evaluation.
+	SkipAudit bool
 }
 
 // Row is one evaluated (point, workload) pair.
@@ -240,10 +245,13 @@ func (e *Engine) evaluate(pt Point, w *Workload, cache *Cache) (Row, error) {
 	span := e.Obs.T().Start("dse-point",
 		obs.String("point", pt.ID), obs.String("bench", w.Name))
 	defer span.End()
-	start := time.Now()
+	start := time.Now() //repolint:allow timenow (row-duration telemetry only)
 
 	cfg := e.Config
 	cfg.Metrics = e.Obs.M()
+	if !e.SkipAudit {
+		cfg.Audit = analysis.AuditResult
+	}
 	res, err := core.Parallelize(w.Prepared.Graph, pt.Platform, mainClass, core.Heterogeneous, cfg)
 	if err != nil {
 		return Row{}, fmt.Errorf("dse: %s on %s: %w", w.Name, pt.ID, err)

@@ -1,0 +1,74 @@
+package dse
+
+import (
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/platform"
+)
+
+// TestGAProblemCoversAllConflicts is the race audit for the GA baseline.
+// The GA never emits a core.Solution (its result is a unit-to-core
+// assignment scheduled with list order), so the task-plan verifier in
+// internal/analysis cannot inspect it; instead this test checks the
+// scheduling problem itself: every pair of root statements with
+// conflicting accesses (a flow, anti or output dependence between their
+// def/use sets) must induce a dependence between every pair of their
+// work units, otherwise the list scheduler is free to run them
+// unordered — a race by construction.
+func TestGAProblemCoversAllConflicts(t *testing.T) {
+	g := buildGraph(t, tinyProgram)
+	pf := platform.ConfigA()
+	p := buildGAProblem(g, pf, 0)
+
+	unitsOfChild := map[int][]int{}
+	for ui, u := range p.units {
+		unitsOfChild[u.child] = append(unitsOfChild[u.child], ui)
+	}
+	depOn := func(to, from int) bool {
+		for _, d := range p.deps[to] {
+			if d.unit == from {
+				return true
+			}
+		}
+		return false
+	}
+
+	kids := g.Root.Children
+	conflicts := 0
+	for i := 0; i < len(kids); i++ {
+		for j := i + 1; j < len(kids); j++ {
+			if kids[i].Acc == nil || kids[j].Acc == nil {
+				continue
+			}
+			if !dataflow.DependsOn(kids[i].Acc, kids[j].Acc).Exists() {
+				continue
+			}
+			conflicts++
+			for _, to := range unitsOfChild[j] {
+				for _, from := range unitsOfChild[i] {
+					if !depOn(to, from) {
+						t.Errorf("conflicting statements %q -> %q: unit %d does not depend on unit %d",
+							kids[i].Label, kids[j].Label, to, from)
+					}
+				}
+			}
+		}
+	}
+	if conflicts == 0 {
+		t.Fatal("fixture has no conflicting statement pairs; the audit checked nothing")
+	}
+
+	// Chunk units of one DOALL loop must stay mutually independent —
+	// that independence is what the GA's speedup comes from, and a
+	// spurious dependence here would mask missing ones above.
+	for _, units := range unitsOfChild {
+		for _, a := range units {
+			for _, b := range units {
+				if a != b && depOn(a, b) {
+					t.Errorf("chunk units %d and %d of one DOALL loop depend on each other", a, b)
+				}
+			}
+		}
+	}
+}

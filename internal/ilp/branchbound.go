@@ -232,7 +232,7 @@ func solve(mod *Model, opt Options) Result {
 			res.NodeCapped = true
 			break
 		}
-		if !opt.Deadline.IsZero() && time.Now().After(opt.Deadline) {
+		if !opt.Deadline.IsZero() && time.Now().After(opt.Deadline) { //repolint:allow timenow (solver deadline check)
 			truncated = true
 			res.TimedOut = true
 			break
@@ -317,7 +317,7 @@ func dfsForIncumbent(mod *Model, rootLo, rootHi []float64, rootLP LPResult,
 	}
 	stack := []dfsNode{{lo: rootLo, hi: rootHi, lp: &rootLP}}
 	for len(stack) > 0 && budget > 0 {
-		if !opt.Deadline.IsZero() && time.Now().After(opt.Deadline) {
+		if !opt.Deadline.IsZero() && time.Now().After(opt.Deadline) { //repolint:allow timenow (solver deadline check)
 			return
 		}
 		node := stack[len(stack)-1]

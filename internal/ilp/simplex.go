@@ -121,14 +121,14 @@ func solveLP(mod *Model, loOv, hiOv []float64, deadline time.Time) LPResult {
 	// coefficients meet the same tolerances.
 	for i := range rows {
 		maxc := 0.0
-		for _, c := range rows[i].coeff {
+		for _, c := range rows[i].coeff { //repolint:allow maprange (max reduction, order-insensitive)
 			if a := math.Abs(c); a > maxc {
 				maxc = a
 			}
 		}
 		if maxc > 0 && (maxc > 16 || maxc < 1.0/16) {
 			inv := 1 / maxc
-			for j := range rows[i].coeff {
+			for j := range rows[i].coeff { //repolint:allow maprange (uniform scaling, order-insensitive)
 				rows[i].coeff[j] *= inv
 			}
 			rows[i].rhs *= inv
@@ -137,7 +137,7 @@ func solveLP(mod *Model, loOv, hiOv []float64, deadline time.Time) LPResult {
 	// Normalize rhs >= 0.
 	for i := range rows {
 		if rows[i].rhs < 0 {
-			for j := range rows[i].coeff {
+			for j := range rows[i].coeff { //repolint:allow maprange (uniform negation, order-insensitive)
 				rows[i].coeff[j] = -rows[i].coeff[j]
 			}
 			rows[i].rhs = -rows[i].rhs
@@ -187,7 +187,7 @@ func solveLP(mod *Model, loOv, hiOv []float64, deadline time.Time) LPResult {
 	artAt := nOrig + nSlack
 	for i, r := range rows {
 		t := make([]float64, n)
-		for j, c := range r.coeff {
+		for j, c := range r.coeff { //repolint:allow maprange (scatter to dense row, order-insensitive)
 			t[j] = c
 		}
 		switch r.sense {
@@ -304,7 +304,7 @@ func (sx *simplex) run(cost []float64) LPStatus {
 		if localIters > maxIters {
 			return LPIterLimit
 		}
-		if localIters%256 == 0 && !sx.deadline.IsZero() && time.Now().After(sx.deadline) {
+		if localIters%256 == 0 && !sx.deadline.IsZero() && time.Now().After(sx.deadline) { //repolint:allow timenow (solver deadline check)
 			return LPIterLimit
 		}
 		if localIters > blandAfter {

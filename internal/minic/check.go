@@ -18,71 +18,96 @@ type checker struct {
 	nextID int
 	fn     *FuncDecl
 	loop   int // loop nesting depth
+	diags  []Diagnostic
+	// undefVars / undefFuncs suppress repeated reports for the same unknown
+	// name; badSyms marks the synthesized placeholder symbols so later
+	// passes can avoid piling type errors onto an already-reported name.
+	undefVars  map[string]*Symbol
+	undefFuncs map[string]bool
+	badSyms    map[*Symbol]bool
 }
 
 // Check resolves all names, assigns Symbols and verifies types in place.
+// All semantic errors are reported together: the returned error, when
+// non-nil, is an ErrorList with one positioned Diagnostic per problem.
 func Check(prog *Program) error {
-	c := &checker{prog: prog}
+	diags := CheckAll(prog)
+	if len(diags) == 0 {
+		return nil
+	}
+	return ErrorList(diags)
+}
+
+// CheckAll runs the full semantic check and returns every diagnostic found
+// (empty for a valid program). After an error the checker keeps going with
+// a placeholder symbol or type so one mistake yields one report, not a
+// cascade, and the rest of the program is still checked.
+func CheckAll(prog *Program) []Diagnostic {
+	c := &checker{
+		prog:       prog,
+		undefVars:  map[string]*Symbol{},
+		undefFuncs: map[string]bool{},
+		badSyms:    map[*Symbol]bool{},
+	}
 	c.push()
 	defer c.pop()
 	// Globals first (in order; forward references between globals are not
 	// allowed, matching C initializer rules).
 	for _, g := range prog.Globals {
 		if g.Init != nil {
-			if _, err := c.exprType(g.Init); err != nil {
-				return err
-			}
+			c.exprType(g.Init)
 		}
 		for _, e := range g.List {
-			if _, err := c.exprType(e); err != nil {
-				return err
-			}
+			c.exprType(e)
 		}
 		if g.Type.IsArray() && g.Init != nil {
-			return errf(g.Pos, "array %s needs a brace initializer", g.Name)
+			c.errorf(g.Pos, "type", "array %s needs a brace initializer", g.Name)
 		}
 		if len(g.List) > g.Type.NumElems() {
-			return errf(g.Pos, "too many initializers for %s", g.Name)
+			c.errorf(g.Pos, "type", "too many initializers for %s", g.Name)
 		}
-		sym, err := c.declare(g.Pos, g.Name, SymGlobal, g.Type)
-		if err != nil {
-			return err
-		}
-		g.Sym = sym
+		g.Sym = c.declare(g.Pos, g.Name, SymGlobal, g.Type)
 	}
-	// Check for duplicate function names and that main exists when the
-	// program is a whole application (library use may omit it; callers that
-	// need main check separately).
+	// Check for duplicate function names and builtin shadowing.
 	seen := map[string]bool{}
 	for _, f := range prog.Funcs {
 		if seen[f.Name] {
-			return errf(f.Pos, "function %s redefined", f.Name)
+			c.errorf(f.Pos, "redeclared", "function %s redefined", f.Name)
 		}
 		seen[f.Name] = true
 		if _, isBuiltin := Builtins[f.Name]; isBuiltin {
-			return errf(f.Pos, "function %s shadows a builtin", f.Name)
+			c.errorf(f.Pos, "redeclared", "function %s shadows a builtin", f.Name)
 		}
 	}
 	for _, f := range prog.Funcs {
-		if err := c.checkFunc(f); err != nil {
-			return err
-		}
+		c.checkFunc(f)
 	}
-	return nil
+	return c.diags
+}
+
+// errorf records one semantic error.
+func (c *checker) errorf(pos Pos, code, format string, args ...any) {
+	c.diags = append(c.diags, Diagnostic{
+		Pos: pos, Sev: SevError, Code: code, Msg: fmt.Sprintf(format, args...),
+	})
 }
 
 func (c *checker) push() { c.scopes = append(c.scopes, map[string]*Symbol{}) }
 func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
 
-func (c *checker) declare(pos Pos, name string, kind SymbolKind, t Type) (*Symbol, error) {
+// declare binds name in the innermost scope. A redeclaration is reported
+// and the original symbol is returned so every reference keeps resolving
+// to one consistent symbol.
+func (c *checker) declare(pos Pos, name string, kind SymbolKind, t Type) *Symbol {
 	top := c.scopes[len(c.scopes)-1]
-	if _, dup := top[name]; dup {
-		return nil, errf(pos, "%s redeclared in this scope", name)
+	if prev, dup := top[name]; dup {
+		c.errorf(pos, "redeclared", "%s redeclared in this scope", name)
+		return prev
 	}
 	sym := &Symbol{Name: name, Kind: kind, Type: t, ID: c.nextID}
 	c.nextID++
 	top[name] = sym
-	return sym, nil
+	return sym
 }
 
 func (c *checker) lookup(name string) *Symbol {
@@ -94,7 +119,21 @@ func (c *checker) lookup(name string) *Symbol {
 	return nil
 }
 
-func (c *checker) checkFunc(f *FuncDecl) error {
+// undefined reports an unknown variable (once per name) and returns a
+// placeholder int symbol so the rest of the expression still checks.
+func (c *checker) undefined(pos Pos, name string) *Symbol {
+	if sym, ok := c.undefVars[name]; ok {
+		return sym
+	}
+	c.errorf(pos, "undefined", "undefined variable %s", name)
+	sym := &Symbol{Name: name, Kind: SymLocal, Type: ScalarType(Int), ID: c.nextID}
+	c.nextID++
+	c.undefVars[name] = sym
+	c.badSyms[sym] = true
+	return sym
+}
+
+func (c *checker) checkFunc(f *FuncDecl) {
 	c.fn = f
 	c.push()
 	defer c.pop()
@@ -102,289 +141,221 @@ func (c *checker) checkFunc(f *FuncDecl) error {
 		p := &f.Params[i]
 		// Unsized leading dimension: keep 0; the interpreter passes arrays
 		// by reference so the callee only needs trailing dims for indexing.
-		sym, err := c.declare(f.Pos, p.Name, SymParam, p.Type)
-		if err != nil {
-			return err
-		}
-		p.Sym = sym
+		p.Sym = c.declare(f.Pos, p.Name, SymParam, p.Type)
 	}
-	return c.checkBlock(f.Body, false)
+	c.checkBlock(f.Body, false)
 }
 
-func (c *checker) checkBlock(b *BlockStmt, newScope bool) error {
+func (c *checker) checkBlock(b *BlockStmt, newScope bool) {
 	if newScope {
 		c.push()
 		defer c.pop()
 	}
 	for _, s := range b.Stmts {
-		if err := c.checkStmt(s); err != nil {
-			return err
-		}
+		c.checkStmt(s)
 	}
-	return nil
 }
 
-func (c *checker) checkStmt(s Stmt) error {
+func (c *checker) checkStmt(s Stmt) {
 	switch st := s.(type) {
 	case *DeclStmt:
 		if st.Init != nil {
-			t, err := c.exprType(st.Init)
-			if err != nil {
-				return err
-			}
-			if !t.IsScalar() {
-				return errf(st.Pos, "cannot initialize %s with an array value", st.Name)
+			if t := c.exprType(st.Init); !t.IsScalar() {
+				c.errorf(st.Pos, "type", "cannot initialize %s with an array value", st.Name)
 			}
 		}
 		for _, e := range st.List {
-			if _, err := c.exprType(e); err != nil {
-				return err
-			}
+			c.exprType(e)
 		}
 		if len(st.List) > st.Type.NumElems() {
-			return errf(st.Pos, "too many initializers for %s", st.Name)
+			c.errorf(st.Pos, "type", "too many initializers for %s", st.Name)
 		}
-		sym, err := c.declare(st.Pos, st.Name, SymLocal, st.Type)
-		if err != nil {
-			return err
-		}
-		st.Sym = sym
-		return nil
+		st.Sym = c.declare(st.Pos, st.Name, SymLocal, st.Type)
 	case *ExprStmt:
-		_, err := c.exprType(st.X)
-		return err
+		c.exprType(st.X)
 	case *BlockStmt:
-		return c.checkBlock(st, true)
+		c.checkBlock(st, true)
 	case *IfStmt:
-		if _, err := c.exprType(st.Cond); err != nil {
-			return err
-		}
-		if err := c.checkBlock(st.Then, true); err != nil {
-			return err
-		}
+		c.exprType(st.Cond)
+		c.checkBlock(st.Then, true)
 		if st.Else != nil {
-			return c.checkStmt(st.Else)
+			c.checkStmt(st.Else)
 		}
-		return nil
 	case *ForStmt:
 		c.push()
 		defer c.pop()
 		if st.Init != nil {
-			if err := c.checkStmt(st.Init); err != nil {
-				return err
-			}
+			c.checkStmt(st.Init)
 		}
 		if st.Cond != nil {
-			if _, err := c.exprType(st.Cond); err != nil {
-				return err
-			}
+			c.exprType(st.Cond)
 		}
 		if st.Post != nil {
-			if _, err := c.exprType(st.Post); err != nil {
-				return err
-			}
+			c.exprType(st.Post)
 		}
 		c.loop++
 		defer func() { c.loop-- }()
-		return c.checkBlock(st.Body, true)
+		c.checkBlock(st.Body, true)
 	case *WhileStmt:
-		if _, err := c.exprType(st.Cond); err != nil {
-			return err
-		}
+		c.exprType(st.Cond)
 		c.loop++
 		defer func() { c.loop-- }()
-		return c.checkBlock(st.Body, true)
+		c.checkBlock(st.Body, true)
 	case *ReturnStmt:
 		if st.Value == nil {
 			if c.fn.Result.Base != Void {
-				return errf(st.Pos, "function %s must return a %s value", c.fn.Name, c.fn.Result)
+				c.errorf(st.Pos, "type", "function %s must return a %s value", c.fn.Name, c.fn.Result)
 			}
-			return nil
+			return
 		}
-		t, err := c.exprType(st.Value)
-		if err != nil {
-			return err
-		}
+		t := c.exprType(st.Value)
 		if c.fn.Result.Base == Void {
-			return errf(st.Pos, "void function %s cannot return a value", c.fn.Name)
+			c.errorf(st.Pos, "type", "void function %s cannot return a value", c.fn.Name)
+		} else if !t.IsScalar() {
+			c.errorf(st.Pos, "type", "cannot return an array value")
 		}
-		if !t.IsScalar() {
-			return errf(st.Pos, "cannot return an array value")
-		}
-		return nil
 	case *BreakStmt:
 		if c.loop == 0 {
-			return errf(st.Pos, "break outside a loop")
+			c.errorf(st.Pos, "control", "break outside a loop")
 		}
-		return nil
 	case *ContinueStmt:
 		if c.loop == 0 {
-			return errf(st.Pos, "continue outside a loop")
+			c.errorf(st.Pos, "control", "continue outside a loop")
 		}
-		return nil
+	default:
+		c.errorf(Pos{}, "internal", "unhandled statement %T", s)
 	}
-	return fmt.Errorf("unhandled statement %T", s)
 }
 
-// exprType resolves names inside e and returns its type.
-func (c *checker) exprType(e Expr) (Type, error) {
+// exprType resolves names inside e and returns its type. Errors are
+// recorded on the checker; the returned type is a scalar placeholder that
+// lets checking continue.
+func (c *checker) exprType(e Expr) Type {
 	switch ex := e.(type) {
 	case *IntLit:
-		return ScalarType(Int), nil
+		return ScalarType(Int)
 	case *FloatLit:
-		return ScalarType(Float), nil
+		return ScalarType(Float)
 	case *VarRef:
 		sym := c.lookup(ex.Name)
 		if sym == nil {
-			return Type{}, errf(ex.Pos, "undefined variable %s", ex.Name)
+			sym = c.undefined(ex.Pos, ex.Name)
 		}
 		ex.Sym = sym
-		return sym.Type, nil
+		return sym.Type
 	case *IndexExpr:
-		t, err := c.exprType(ex.Array)
-		if err != nil {
-			return Type{}, err
-		}
+		t := c.exprType(ex.Array)
+		elem := ScalarType(t.Base)
 		if !t.IsArray() {
-			return Type{}, errf(ex.Pos, "%s is not an array", ex.Array.Name)
-		}
-		if len(ex.Indices) > len(t.Dims) {
-			return Type{}, errf(ex.Pos, "too many indices for %s (%s)", ex.Array.Name, t)
+			// Suppress the follow-up when the base name was already reported
+			// as undefined.
+			if ex.Array.Sym == nil || !c.badSyms[ex.Array.Sym] {
+				c.errorf(ex.Pos, "type", "%s is not an array", ex.Array.Name)
+			}
+		} else if len(ex.Indices) > len(t.Dims) {
+			c.errorf(ex.Pos, "type", "too many indices for %s (%s)", ex.Array.Name, t)
 		}
 		for _, ix := range ex.Indices {
-			it, err := c.exprType(ix)
-			if err != nil {
-				return Type{}, err
-			}
-			if !it.IsScalar() {
-				return Type{}, errf(ix.NodePos(), "array index must be scalar")
+			if it := c.exprType(ix); !it.IsScalar() {
+				c.errorf(ix.NodePos(), "type", "array index must be scalar")
 			}
 		}
-		if len(ex.Indices) == len(t.Dims) {
-			return ScalarType(t.Base), nil
+		if !t.IsArray() || len(ex.Indices) >= len(t.Dims) {
+			return elem
 		}
 		// Partial indexing of a 2-D array yields a row view (only valid as a
 		// call argument); represent as 1-D array of the trailing dim.
-		return Type{Base: t.Base, Dims: t.Dims[len(ex.Indices):]}, nil
+		return Type{Base: t.Base, Dims: t.Dims[len(ex.Indices):]}
 	case *UnaryExpr:
-		t, err := c.exprType(ex.X)
-		if err != nil {
-			return Type{}, err
-		}
+		t := c.exprType(ex.X)
 		if !t.IsScalar() {
-			return Type{}, errf(ex.Pos, "unary %s requires a scalar operand", ex.Op)
+			c.errorf(ex.Pos, "type", "unary %s requires a scalar operand", ex.Op)
+			t = ScalarType(Int)
 		}
 		if ex.Op == TokNot || ex.Op == TokTilde {
-			return ScalarType(Int), nil
+			return ScalarType(Int)
 		}
-		return t, nil
+		return t
 	case *BinaryExpr:
-		xt, err := c.exprType(ex.X)
-		if err != nil {
-			return Type{}, err
-		}
-		yt, err := c.exprType(ex.Y)
-		if err != nil {
-			return Type{}, err
-		}
+		xt := c.exprType(ex.X)
+		yt := c.exprType(ex.Y)
 		if !xt.IsScalar() || !yt.IsScalar() {
-			return Type{}, errf(ex.Pos, "binary %s requires scalar operands", ex.Op)
+			c.errorf(ex.Pos, "type", "binary %s requires scalar operands", ex.Op)
+			return ScalarType(Int)
 		}
 		switch ex.Op {
 		case TokEq, TokNeq, TokLt, TokGt, TokLe, TokGe, TokAndAnd, TokOrOr:
-			return ScalarType(Int), nil
+			return ScalarType(Int)
 		case TokPercent, TokAmp, TokPipe, TokCaret, TokShl, TokShr:
 			if xt.Base != Int || yt.Base != Int {
-				return Type{}, errf(ex.Pos, "operator %s requires int operands", ex.Op)
+				c.errorf(ex.Pos, "type", "operator %s requires int operands", ex.Op)
 			}
-			return ScalarType(Int), nil
+			return ScalarType(Int)
 		default:
 			if xt.Base == Float || yt.Base == Float {
-				return ScalarType(Float), nil
+				return ScalarType(Float)
 			}
-			return ScalarType(Int), nil
+			return ScalarType(Int)
 		}
 	case *CondExpr:
-		if _, err := c.exprType(ex.Cond); err != nil {
-			return Type{}, err
-		}
-		tt, err := c.exprType(ex.Then)
-		if err != nil {
-			return Type{}, err
-		}
-		et, err := c.exprType(ex.Else)
-		if err != nil {
-			return Type{}, err
-		}
+		c.exprType(ex.Cond)
+		tt := c.exprType(ex.Then)
+		et := c.exprType(ex.Else)
 		if tt.Base == Float || et.Base == Float {
-			return ScalarType(Float), nil
+			return ScalarType(Float)
 		}
-		return tt, nil
+		return tt
 	case *CallExpr:
 		return c.callType(ex)
 	case *AssignExpr:
-		lt, err := c.exprType(ex.LHS)
-		if err != nil {
-			return Type{}, err
-		}
+		lt := c.exprType(ex.LHS)
 		if !lt.IsScalar() {
-			return Type{}, errf(ex.Pos, "cannot assign to an array as a whole")
+			c.errorf(ex.Pos, "type", "cannot assign to an array as a whole")
+			lt = ScalarType(Int)
 		}
-		rt, err := c.exprType(ex.RHS)
-		if err != nil {
-			return Type{}, err
-		}
-		if !rt.IsScalar() {
-			return Type{}, errf(ex.Pos, "cannot assign an array value")
-		}
-		if ex.Op != TokAssign && ex.Op != TokPlusEq && ex.Op != TokMinusEq &&
+		if rt := c.exprType(ex.RHS); !rt.IsScalar() {
+			c.errorf(ex.Pos, "type", "cannot assign an array value")
+		} else if ex.Op != TokAssign && ex.Op != TokPlusEq && ex.Op != TokMinusEq &&
 			ex.Op != TokStarEq && ex.Op != TokSlashEq {
 			if lt.Base != Int || rt.Base != Int {
-				return Type{}, errf(ex.Pos, "compound operator %s requires int operands", ex.Op)
+				c.errorf(ex.Pos, "type", "compound operator %s requires int operands", ex.Op)
 			}
 		}
-		return lt, nil
+		return lt
 	case *IncDecExpr:
-		t, err := c.exprType(ex.X)
-		if err != nil {
-			return Type{}, err
-		}
+		t := c.exprType(ex.X)
 		switch ex.X.(type) {
 		case *VarRef, *IndexExpr:
 		default:
-			return Type{}, errf(ex.Pos, "%s requires a variable or array element", ex.Op)
+			c.errorf(ex.Pos, "type", "%s requires a variable or array element", ex.Op)
 		}
 		if !t.IsScalar() {
-			return Type{}, errf(ex.Pos, "%s requires a scalar operand", ex.Op)
+			c.errorf(ex.Pos, "type", "%s requires a scalar operand", ex.Op)
+			t = ScalarType(Int)
 		}
-		return t, nil
+		return t
 	case *CastExpr:
-		t, err := c.exprType(ex.X)
-		if err != nil {
-			return Type{}, err
+		if t := c.exprType(ex.X); !t.IsScalar() {
+			c.errorf(ex.Pos, "type", "cannot cast an array value")
 		}
-		if !t.IsScalar() {
-			return Type{}, errf(ex.Pos, "cannot cast an array value")
-		}
-		return ScalarType(ex.To), nil
+		return ScalarType(ex.To)
 	}
-	return Type{}, fmt.Errorf("unhandled expression %T", e)
+	c.errorf(Pos{}, "internal", "unhandled expression %T", e)
+	return ScalarType(Int)
 }
 
-func (c *checker) callType(ex *CallExpr) (Type, error) {
+func (c *checker) callType(ex *CallExpr) Type {
 	if arity, ok := Builtins[ex.Name]; ok {
 		ex.Builtin = ex.Name
 		if len(ex.Args) != arity {
-			return Type{}, errf(ex.Pos, "builtin %s expects %d argument(s), got %d", ex.Name, arity, len(ex.Args))
+			c.errorf(ex.Pos, "arity", "builtin %s expects %d argument(s), got %d", ex.Name, arity, len(ex.Args))
 		}
 		allInt := true
 		for _, a := range ex.Args {
-			t, err := c.exprType(a)
-			if err != nil {
-				return Type{}, err
-			}
+			t := c.exprType(a)
 			if !t.IsScalar() {
-				return Type{}, errf(a.NodePos(), "builtin %s requires scalar arguments", ex.Name)
+				c.errorf(a.NodePos(), "type", "builtin %s requires scalar arguments", ex.Name)
+				continue
 			}
 			if t.Base != Int {
 				allInt = false
@@ -393,44 +364,52 @@ func (c *checker) callType(ex *CallExpr) (Type, error) {
 		switch ex.Name {
 		case "abs", "min", "max":
 			if allInt {
-				return ScalarType(Int), nil
+				return ScalarType(Int)
 			}
-			return ScalarType(Float), nil
-		case "floor", "ceil":
-			return ScalarType(Float), nil
+			return ScalarType(Float)
 		default:
-			return ScalarType(Float), nil
+			return ScalarType(Float)
 		}
 	}
 	fn := c.prog.Func(ex.Name)
 	if fn == nil {
-		return Type{}, errf(ex.Pos, "call to undefined function %s", ex.Name)
+		if !c.undefFuncs[ex.Name] {
+			c.errorf(ex.Pos, "undefined", "call to undefined function %s", ex.Name)
+			c.undefFuncs[ex.Name] = true
+		}
+		for _, a := range ex.Args {
+			c.exprType(a)
+		}
+		return ScalarType(Int)
 	}
 	ex.Fn = fn
 	if len(ex.Args) != len(fn.Params) {
-		return Type{}, errf(ex.Pos, "function %s expects %d argument(s), got %d", ex.Name, len(fn.Params), len(ex.Args))
+		c.errorf(ex.Pos, "arity", "function %s expects %d argument(s), got %d", ex.Name, len(fn.Params), len(ex.Args))
 	}
 	for i, a := range ex.Args {
-		at, err := c.exprType(a)
-		if err != nil {
-			return Type{}, err
+		at := c.exprType(a)
+		if i >= len(fn.Params) {
+			continue
 		}
 		pt := fn.Params[i].Type
 		if pt.IsArray() != at.IsArray() {
-			return Type{}, errf(a.NodePos(), "argument %d of %s: have %s, want %s", i+1, ex.Name, at, pt)
+			c.errorf(a.NodePos(), "type", "argument %d of %s: have %s, want %s", i+1, ex.Name, at, pt)
+			continue
 		}
 		if pt.IsArray() {
 			if pt.Base != at.Base {
-				return Type{}, errf(a.NodePos(), "argument %d of %s: element type mismatch (%s vs %s)", i+1, ex.Name, at, pt)
+				c.errorf(a.NodePos(), "type", "argument %d of %s: element type mismatch (%s vs %s)", i+1, ex.Name, at, pt)
 			}
 			if len(pt.Dims) != len(at.Dims) {
-				return Type{}, errf(a.NodePos(), "argument %d of %s: rank mismatch (%s vs %s)", i+1, ex.Name, at, pt)
-			}
-			// Trailing dims must match exactly; a 0 (unsized) param dim
-			// accepts any extent.
-			for d := range pt.Dims {
-				if pt.Dims[d] != 0 && pt.Dims[d] != at.Dims[d] {
-					return Type{}, errf(a.NodePos(), "argument %d of %s: extent mismatch (%s vs %s)", i+1, ex.Name, at, pt)
+				c.errorf(a.NodePos(), "type", "argument %d of %s: rank mismatch (%s vs %s)", i+1, ex.Name, at, pt)
+			} else {
+				// Trailing dims must match exactly; a 0 (unsized) param dim
+				// accepts any extent.
+				for d := range pt.Dims {
+					if pt.Dims[d] != 0 && pt.Dims[d] != at.Dims[d] {
+						c.errorf(a.NodePos(), "type", "argument %d of %s: extent mismatch (%s vs %s)", i+1, ex.Name, at, pt)
+						break
+					}
 				}
 			}
 			// Array arguments must be direct variable or row references so
@@ -438,9 +417,9 @@ func (c *checker) callType(ex *CallExpr) (Type, error) {
 			switch a.(type) {
 			case *VarRef, *IndexExpr:
 			default:
-				return Type{}, errf(a.NodePos(), "array argument %d of %s must be a variable", i+1, ex.Name)
+				c.errorf(a.NodePos(), "type", "array argument %d of %s must be a variable", i+1, ex.Name)
 			}
 		}
 	}
-	return fn.Result, nil
+	return fn.Result
 }

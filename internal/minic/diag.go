@@ -1,0 +1,52 @@
+package minic
+
+import "strings"
+
+// Severity classifies a diagnostic.
+type Severity int
+
+// Severity levels. The checker only emits errors; the analysis package's
+// lint passes reuse Diagnostic with SevWarning for advisory findings.
+const (
+	SevWarning Severity = iota
+	SevError
+)
+
+// String renders the severity for report lines.
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diagnostic is one positioned finding about a program: a semantic error
+// from the checker or a warning from a lint pass.
+type Diagnostic struct {
+	Pos Pos
+	Sev Severity
+	// Code is a short stable category slug ("undefined", "redeclared",
+	// "type", "arity", "uninit", "bounds", "unused", "unreachable", ...)
+	// usable for filtering without parsing Msg.
+	Code string
+	Msg  string
+}
+
+// String renders the diagnostic as "line:col: severity: message".
+func (d Diagnostic) String() string {
+	return d.Pos.String() + ": " + d.Sev.String() + ": " + d.Msg
+}
+
+// ErrorList is a non-empty list of checker diagnostics wrapped as a single
+// error so Compile callers keep a plain error API while seeing every
+// problem, not just the first.
+type ErrorList []Diagnostic
+
+// Error joins all diagnostics, one per line.
+func (el ErrorList) Error() string {
+	lines := make([]string, len(el))
+	for i, d := range el {
+		lines[i] = d.String()
+	}
+	return strings.Join(lines, "\n")
+}

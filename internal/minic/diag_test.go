@@ -1,0 +1,110 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCheckAllCollectsMultipleErrors: one pass reports every distinct
+// problem with its position instead of stopping at the first.
+func TestCheckAllCollectsMultipleErrors(t *testing.T) {
+	prog, err := Parse(`
+int a;
+void main(void) {
+    x = 1;
+    int a; int a;
+    break;
+    g(2);
+}
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	diags := CheckAll(prog)
+	wants := []string{
+		"undefined variable x",
+		"a redeclared in this scope",
+		"break outside a loop",
+		"call to undefined function g",
+	}
+	if len(diags) != len(wants) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(diags), len(wants), ErrorList(diags).Error())
+	}
+	for i, want := range wants {
+		if !strings.Contains(diags[i].Msg, want) {
+			t.Errorf("diag %d = %q, want containing %q", i, diags[i].Msg, want)
+		}
+		if diags[i].Sev != SevError {
+			t.Errorf("diag %d severity = %v, want error", i, diags[i].Sev)
+		}
+		if diags[i].Pos.Line == 0 {
+			t.Errorf("diag %d has no position: %+v", i, diags[i])
+		}
+	}
+}
+
+// TestCheckAllSuppressesCascades: an undefined name is reported once even
+// when used repeatedly, and indexing it does not add a bogus type error.
+func TestCheckAllSuppressesCascades(t *testing.T) {
+	prog, err := Parse(`
+void main(void) {
+    y = x + x;
+    x[0] = 2;
+}
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	diags := CheckAll(prog)
+	var undefinedX, undefinedY, other int
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Msg, "undefined variable x"):
+			undefinedX++
+		case strings.Contains(d.Msg, "undefined variable y"):
+			undefinedY++
+		default:
+			other++
+		}
+	}
+	if undefinedX != 1 || undefinedY != 1 {
+		t.Errorf("undefined reports: x=%d y=%d, want 1 each\n%s", undefinedX, undefinedY, ErrorList(diags).Error())
+	}
+	if other != 0 {
+		t.Errorf("unexpected cascade diagnostics:\n%s", ErrorList(diags).Error())
+	}
+}
+
+// TestCheckErrorListFormat: Check wraps all diagnostics as an ErrorList
+// whose message carries every line:col-prefixed report.
+func TestCheckErrorListFormat(t *testing.T) {
+	_, err := Compile(`void main(void) { x = 1; break; }`)
+	if err != nil {
+		var el ErrorList
+		if !strings.Contains(err.Error(), "undefined variable x") ||
+			!strings.Contains(err.Error(), "break outside a loop") {
+			t.Fatalf("error should carry both problems: %v", err)
+		}
+		var ok bool
+		if el, ok = err.(ErrorList); !ok {
+			t.Fatalf("Check should return an ErrorList, got %T", err)
+		}
+		if len(el) != 2 {
+			t.Fatalf("want 2 diagnostics, got %d", len(el))
+		}
+		return
+	}
+	t.Fatal("expected an error")
+}
+
+// TestCheckAllValidProgramEmpty: a valid program yields no diagnostics and
+// Check returns nil.
+func TestCheckAllValidProgramEmpty(t *testing.T) {
+	prog, err := Parse(`int g; void main(void) { g = 1; }`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if diags := CheckAll(prog); len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %s", ErrorList(diags).Error())
+	}
+}
