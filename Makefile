@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race lint
+.PHONY: check fmt vet build test race lint bench-json
 
 check: fmt vet lint build test race
 
@@ -25,6 +25,12 @@ test:
 
 # -short keeps the race gate under ~30s: the full multi-point sweep test
 # is skipped (plain `make test` still runs it race-free); the worker-pool
-# and cache concurrency paths stay covered by the unguarded dse tests.
+# and cache concurrency paths stay covered by the unguarded dse tests,
+# and the parallel branch-and-bound search by the ilp determinism tests.
 race:
-	$(GO) test -race -short ./internal/obs/... ./internal/dse/...
+	$(GO) test -race -short ./internal/obs/... ./internal/dse/... ./internal/ilp/...
+
+# Perf trajectory: run the figure benches and the ILP microbench suite,
+# refresh BENCH_ilp.json (schema documented in EXPERIMENTS.md).
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_ilp.json

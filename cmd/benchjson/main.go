@@ -1,0 +1,186 @@
+// Command benchjson runs the repository's benchmark suites and writes
+// the results as a machine-readable JSON file, so the performance
+// trajectory of the solver and the figure pipeline is tracked in-repo
+// from one PR to the next.
+//
+// Two suites are collected:
+//
+//   - figures: the paper-reproduction benches in the root package
+//     (BenchmarkFig7a/7b/8a/8b, BenchmarkTableI) on the default
+//     three-benchmark subset, one iteration each — these measure the
+//     end-to-end pipeline including every ILP solve.
+//   - ilp: the solver microbenches in internal/ilp (root relaxation,
+//     warm vs cold MILP, knapsack node throughput, cut separation,
+//     parallel search), run under the normal benchtime so ns/op is
+//     stable.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson [-o BENCH_ilp.json] [-suite figures|ilp|all]
+//
+// The output schema is documented in EXPERIMENTS.md.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result. NsPerOp is wall time; Metrics holds
+// every custom testing.B metric the bench reported (lp-iters/op,
+// nodes/op, warm-hit-%, homo-x, ...) plus B/op and allocs/op.
+type Record struct {
+	Suite   string             `json:"suite"`
+	Op      string             `json:"op"`
+	Iters   int64              `json:"iters"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the top-level BENCH_ilp.json document.
+type File struct {
+	Schema     string   `json:"schema"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+type suite struct {
+	name  string
+	pkg   string
+	bench string
+	extra []string
+}
+
+var suites = []suite{
+	{
+		name:  "figures",
+		pkg:   ".",
+		bench: "^Benchmark(Fig7a|Fig7b|Fig8a|Fig8b|TableI)$",
+		extra: []string{"-benchtime", "1x"},
+	},
+	{
+		name:  "ilp",
+		pkg:   "./internal/ilp/",
+		bench: "^Benchmark",
+	},
+}
+
+func main() {
+	out := flag.String("o", "BENCH_ilp.json", "output file")
+	only := flag.String("suite", "all", "suite to run: figures, ilp or all")
+	flag.Parse()
+
+	doc := File{
+		Schema:    "repro-bench/v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, s := range suites {
+		if *only != "all" && *only != s.name {
+			continue
+		}
+		recs, err := runSuite(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: suite %s: %v\n", s.name, err)
+			os.Exit(1)
+		}
+		doc.Benchmarks = append(doc.Benchmarks, recs...)
+	}
+	buf, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d results to %s\n", len(doc.Benchmarks), *out)
+}
+
+func runSuite(s suite) ([]Record, error) {
+	args := []string{"test", "-run", "^$", "-bench", s.bench, "-benchmem"}
+	args = append(args, s.extra...)
+	args = append(args, s.pkg)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	fmt.Printf("benchjson: go %s\n", strings.Join(args, " "))
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go test: %w\n%s", err, buf.String())
+	}
+	return parseBench(s.name, buf.Bytes())
+}
+
+// trimProcSuffix drops the trailing -GOMAXPROCS go test appends to
+// benchmark names, so records compare across machines.
+func trimProcSuffix(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// parseBench reads standard `go test -bench` output lines:
+//
+//	BenchmarkName-8   100   12345 ns/op   67 lp-iters/op   8 B/op   2 allocs/op
+func parseBench(suiteName string, out []byte) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		rec := Record{
+			Suite:   suiteName,
+			Op:      trimProcSuffix(fields[0]),
+			Iters:   iters,
+			Metrics: map[string]float64{},
+		}
+		// Remaining fields come in (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				rec.NsPerOp = v
+			default:
+				rec.Metrics[unit] = v
+			}
+		}
+		if len(rec.Metrics) == 0 {
+			rec.Metrics = nil
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("no benchmark lines in output:\n%s", out)
+	}
+	return recs, nil
+}

@@ -20,6 +20,7 @@
 //	-o file            write the report to file instead of stdout
 //	-workers n         worker-pool size (default NumCPU)
 //	-ilp-nodes n       per-ILP branch-and-bound node budget (default 60; ~20 for big sweeps)
+//	-ilp-workers n     concurrent node relaxations per ILP search round (default 1 = serial)
 //	-max-tasks n       per-region task-bound cap (default 4)
 //	-stats             print cache and solver statistics to stderr
 //	-trace out.json    write a Chrome trace_event file of the sweep
@@ -52,6 +53,7 @@ func main() {
 		oFlag      = flag.String("o", "", "write the report to this file instead of stdout")
 		workers    = flag.Int("workers", 0, "worker-pool size (0 = NumCPU)")
 		ilpNodes   = flag.Int("ilp-nodes", 0, "per-ILP branch-and-bound node budget (0 = sweep default 60)")
+		ilpWorkers = flag.Int("ilp-workers", 0, "concurrent node relaxations per ILP search round (0/1 = serial; deterministic per width)")
 		maxTasks   = flag.Int("max-tasks", 0, "per-region task-bound cap (0 = sweep default 4; raise for better plans on big platforms, at steep solve cost)")
 		statsFlag  = flag.Bool("stats", false, "print cache and solver statistics to stderr")
 		traceFlag  = flag.String("trace", "", "write a Chrome trace_event JSON file of the sweep")
@@ -131,6 +133,9 @@ func main() {
 	}
 	if *maxTasks > 0 {
 		cfg.MaxTasksPerRegion = *maxTasks
+	}
+	if *ilpWorkers > 0 {
+		cfg.ILPWorkers = *ilpWorkers
 	}
 	eng := &dse.Engine{
 		Workers: *workers,

@@ -9,7 +9,10 @@
 //	globalrand — math/rand package-level calls, which draw from the
 //	             process-global, unseeded source (rand.New(rand.NewSource(
 //	             seed)) and *rand.Rand methods are fine);
-//	maprange   — range over a map, whose iteration order differs per run.
+//	maprange   — range over a map, whose iteration order differs per run;
+//	numcpu     — runtime.NumCPU / runtime.GOMAXPROCS, which silently tie
+//	             search width (and with it solver trajectories) to the
+//	             host machine instead of explicit configuration.
 //
 // Sites that are deliberately order-insensitive or wall-clock based (solver
 // deadlines, telemetry timestamps) carry an explicit waiver: a
@@ -295,6 +298,12 @@ func (l *linter) checkCall(call *ast.CallExpr, info *types.Info) *Finding {
 			Pos:  l.fset.Position(call.Pos()),
 			Rule: "globalrand",
 			Msg:  fmt.Sprintf("rand.%s draws from the process-global source; use rand.New(rand.NewSource(seed))", fn.Name()),
+		}
+	case fn.Pkg().Path() == "runtime" && (fn.Name() == "NumCPU" || fn.Name() == "GOMAXPROCS"):
+		return &Finding{
+			Pos:  l.fset.Position(call.Pos()),
+			Rule: "numcpu",
+			Msg:  fmt.Sprintf("runtime.%s makes behavior depend on the host machine; take widths from explicit configuration (e.g. ilp.Options.Workers) or waive if results stay machine-independent", fn.Name()),
 		}
 	}
 	return nil

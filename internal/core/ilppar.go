@@ -535,7 +535,13 @@ func (p *Parallelizer) solveWithIncumbent(m *ilp.Model, incumbent []float64, met
 		obs.Int("vars", m.NumVars()),
 		obs.Int("cons", m.NumCons()))
 	start := time.Now() //repolint:allow timenow (solve-time telemetry only)
-	opt := ilp.Options{MaxNodes: p.cfg.MaxILPNodes, RelGap: p.cfg.ILPRelGap, Incumbent: incumbent}
+	opt := ilp.Options{
+		MaxNodes:  p.cfg.MaxILPNodes,
+		RelGap:    p.cfg.ILPRelGap,
+		Incumbent: incumbent,
+		Workers:   p.cfg.ILPWorkers,
+		Seed:      p.cfg.ILPSeed,
+	}
 	if p.cfg.ILPTimeout > 0 {
 		opt.Deadline = start.Add(p.cfg.ILPTimeout)
 	}
@@ -565,6 +571,9 @@ func (p *Parallelizer) solveWithIncumbent(m *ilp.Model, incumbent []float64, met
 		LPIters:    res.LPIters,
 		Incumbents: res.Incumbents,
 		Gap:        res.Gap,
+		Cuts:       res.Cuts,
+		WarmStarts: res.WarmStarts,
+		WarmHits:   res.WarmHits,
 		TimedOut:   res.TimedOut,
 		NodeCapped: res.NodeCapped,
 		Time:       dur,
@@ -572,6 +581,9 @@ func (p *Parallelizer) solveWithIncumbent(m *ilp.Model, incumbent []float64, met
 	if reg := p.cfg.Metrics; reg != nil {
 		reg.Counter("ilp.solves").Inc()
 		reg.Histogram("ilp.solve_time").Observe(dur)
+		reg.Counter("ilp.cuts").Add(int64(res.Cuts))
+		reg.Counter("ilp.warm_starts").Add(int64(res.WarmStarts))
+		reg.Counter("ilp.warm_hits").Add(int64(res.WarmHits))
 		if res.TimedOut {
 			reg.Counter("ilp.timeouts").Inc()
 		}

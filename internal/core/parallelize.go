@@ -52,6 +52,16 @@ type Config struct {
 	// ILPRelGap accepts incumbents within this relative optimality gap
 	// (default 1%); tightening it trades compile time for solution quality.
 	ILPRelGap float64
+	// ILPWorkers widens the branch-and-bound best-first search: up to this
+	// many node relaxations are solved concurrently per round, folded back
+	// in deterministic frontier order (0 or 1 = serial). The search
+	// trajectory depends on the width — equally-optimal plans may differ
+	// between widths — so the field is part of the cache fingerprint; for
+	// a fixed width results are bit-reproducible.
+	ILPWorkers int
+	// ILPSeed perturbs tie-breaking among equal-bound search nodes.
+	// Deterministic for any fixed value (including the 0 default).
+	ILPSeed int64
 	// DisableChunking turns DOALL iteration splitting off (ablation).
 	DisableChunking bool
 	// EnablePipelining turns on the decoupled-software-pipelining extension
@@ -86,9 +96,10 @@ type Config struct {
 // only whether defective ones are reported.
 func (c Config) Fingerprint() string {
 	d := c.withDefaults()
-	return fmt.Sprintf("items:%d;cands:%d;tasks:%d;nodes:%d;timeout:%s;gap:%g;chunk:%t;pipe:%t;hier:%t",
+	return fmt.Sprintf("items:%d;cands:%d;tasks:%d;nodes:%d;timeout:%s;gap:%g;chunk:%t;pipe:%t;hier:%t;workers:%d;seed:%d",
 		d.MaxItemsPerILP, d.MaxCandsPerClass, d.MaxTasksPerRegion, d.MaxILPNodes,
-		d.ILPTimeout, d.ILPRelGap, !d.DisableChunking, d.EnablePipelining, !d.DisableHierarchy)
+		d.ILPTimeout, d.ILPRelGap, !d.DisableChunking, d.EnablePipelining, !d.DisableHierarchy,
+		d.ILPWorkers, d.ILPSeed)
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +117,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ILPRelGap == 0 {
 		c.ILPRelGap = 0.01
+	}
+	if c.ILPWorkers == 0 {
+		c.ILPWorkers = 1
 	}
 	return c
 }
@@ -133,6 +147,12 @@ type SolveRecord struct {
 	LPIters    int
 	Incumbents int
 	Gap        float64
+	// Cuts counts root cutting planes; WarmStarts the node relaxations
+	// attempted from the parent basis and WarmHits those that succeeded
+	// without a cold fallback.
+	Cuts       int
+	WarmStarts int
+	WarmHits   int
 	// TimedOut / NodeCapped mark truncated searches.
 	TimedOut   bool
 	NodeCapped bool
@@ -155,6 +175,11 @@ type Stats struct {
 	// the integral improvements found.
 	LPIters    int
 	Incumbents int
+	// Cuts, WarmStarts and WarmHits aggregate the revised-simplex engine
+	// counters across all solves.
+	Cuts       int
+	WarmStarts int
+	WarmHits   int
 	// Timeouts and NodeCapHits count truncated solves; ProvedOptimal the
 	// solves that closed the gap completely. MaxGap is the worst final
 	// relative optimality gap over all solves that found a solution.
@@ -175,6 +200,9 @@ func (s *Stats) record(rec SolveRecord) {
 	s.BBNodes += rec.Nodes
 	s.LPIters += rec.LPIters
 	s.Incumbents += rec.Incumbents
+	s.Cuts += rec.Cuts
+	s.WarmStarts += rec.WarmStarts
+	s.WarmHits += rec.WarmHits
 	if rec.TimedOut {
 		s.Timeouts++
 	}
@@ -220,6 +248,12 @@ func (s *Stats) SolveTable() string {
 		s.NumILPs, s.BBNodes, s.LPIters, s.Incumbents, s.SolveTime.Round(time.Millisecond))
 	fmt.Fprintf(&sb, "       %d proved optimal, %d timeouts, %d node-cap hits, worst gap %.2f%%\n",
 		s.ProvedOptimal, s.Timeouts, s.NodeCapHits, s.MaxGap*100)
+	warmPct := 0.0
+	if s.WarmStarts > 0 {
+		warmPct = 100 * float64(s.WarmHits) / float64(s.WarmStarts)
+	}
+	fmt.Fprintf(&sb, "       %d root cuts, %d/%d warm starts hit (%.1f%%)\n",
+		s.Cuts, s.WarmHits, s.WarmStarts, warmPct)
 	return sb.String()
 }
 

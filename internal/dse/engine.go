@@ -141,7 +141,7 @@ func (e *Engine) Run(ctx context.Context, points []Point, workloads []*Workload)
 	}
 	workers := e.Workers
 	if workers <= 0 {
-		workers = runtime.NumCPU()
+		workers = runtime.NumCPU() //repolint:allow numcpu (pool width only: points are independent and folded in point order)
 	}
 	cache := e.Cache
 	if cache == nil {

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -73,6 +74,21 @@ type Options struct {
 	// RelGap terminates the search once the relative optimality gap of the
 	// incumbent drops to or below this value (0 = prove optimality).
 	RelGap float64
+	// Workers sets the width of the best-first search rounds: up to
+	// Workers nodes are taken from the frontier per round and their LP
+	// relaxations solved concurrently on a bounded pool, results folded
+	// back in deterministic frontier order. 0 or 1 = serial. The search
+	// trajectory (and therefore Result) depends on Workers and Seed but
+	// never on scheduling: equal options give byte-identical results.
+	Workers int
+	// Seed perturbs the tie order among equal-bound frontier nodes. Any
+	// fixed seed (including the 0 default) is deterministic.
+	Seed int64
+	// DisableCuts skips root cover/clique cut separation.
+	DisableCuts bool
+	// DisableWarmStart forces every node relaxation to solve from
+	// scratch (benchmark baseline; warm starts are on by default).
+	DisableWarmStart bool
 	// Progress, when non-nil, receives one event per incumbent improvement
 	// and a final summary event. The hook runs inline on the solve loop and
 	// must be cheap; a nil hook costs a single pointer test (nothing is
@@ -89,7 +105,22 @@ type Result struct {
 	// iterations across relaxations.
 	Nodes   int
 	LPIters int
-	// Gap is the final relative optimality gap (0 when proven optimal).
+	// LPItersRoot, LPItersDive and LPItersSearch split LPIters across the
+	// solve phases: root relaxation (plus cut re-solves), the
+	// depth-first incumbent dive, and the best-first search.
+	LPItersRoot   int
+	LPItersDive   int
+	LPItersSearch int
+	// Cuts counts root cutting planes added to the relaxation.
+	Cuts int
+	// WarmStarts counts node relaxations attempted from the parent basis;
+	// WarmHits those that succeeded without falling back to a cold solve.
+	WarmStarts int
+	WarmHits   int
+	// Gap is the final relative optimality gap: 0 when proven optimal,
+	// otherwise recomputed from the best remaining frontier bound on
+	// every truncated exit (it is only meaningful once an incumbent
+	// exists).
 	Gap float64
 	// Incumbents counts integral improvements found during the search
 	// (seeded Options.Incumbent points are not counted).
@@ -100,11 +131,16 @@ type Result struct {
 	NodeCapped bool
 }
 
-// bbNode is one open branch-and-bound subproblem.
+// bbNode is one open branch-and-bound subproblem. The bound slices and
+// the parent basis are shared, never mutated.
 type bbNode struct {
 	lo, hi []float64
 	bound  float64 // LP relaxation value (lower bound for minimization)
 	depth  int
+	seq    int64  // creation order: the final deterministic tie-break
+	prio   uint64 // seeded tie-break among equal bounds
+	basis  []int32
+	stat   []int8
 }
 
 type nodeHeap []*bbNode
@@ -115,7 +151,13 @@ func (h nodeHeap) Less(i, j int) bool {
 	if h[i].bound != h[j].bound {
 		return h[i].bound < h[j].bound
 	}
-	return h[i].depth > h[j].depth // deeper first among equal bounds
+	if h[i].depth != h[j].depth {
+		return h[i].depth > h[j].depth // deeper first among equal bounds
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
 }
 func (h *nodeHeap) Push(x any) { *h = append(*h, x.(*bbNode)) }
 func (h *nodeHeap) Pop() any {
@@ -124,6 +166,14 @@ func (h *nodeHeap) Pop() any {
 	it := old[n-1]
 	*h = old[:n-1]
 	return it
+}
+
+// mix64 is splitmix64: the seeded tie-break hash.
+func mix64(v uint64) uint64 {
+	v += 0x9e3779b97f4a7c15
+	v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
+	v = (v ^ (v >> 27)) * 0x94d049bb133111eb
+	return v ^ (v >> 31)
 }
 
 // Solve minimizes the model's objective subject to its constraints, bounds
@@ -156,6 +206,78 @@ func noteIncumbent(opt *Options, res *Result) {
 	}
 }
 
+// nodeIterCap bounds the simplex iterations of one node relaxation.
+// Node solves are disposable — an IterLimit node is pruned and its bound
+// folded into the final gap — so a modest deterministic budget stops
+// degenerate or infeasible relaxations from grinding through the full
+// maxIters allowance. Typical warm-started nodes use a few dozen
+// iterations; the cap only bites on pathological ones.
+const nodeIterCap = 2000
+
+// searcher carries the per-solve state: the compiled problem, the worker
+// solvers and the node sequence counter.
+type searcher struct {
+	mod     *Model
+	p       *prob
+	opt     Options
+	solvers []*lpSolver
+	seq     int64
+	// prunedBound is the minimum known lower bound among subtrees pruned
+	// by the node iteration cap (not by infeasibility or cutoff). Any
+	// optimality or infeasibility claim must account for it.
+	prunedBound float64
+}
+
+func (sc *searcher) newNode(lo, hi []float64, bound float64, depth int, basis []int32, stat []int8) *bbNode {
+	sc.seq++
+	return &bbNode{
+		lo: lo, hi: hi, bound: bound, depth: depth,
+		seq:   sc.seq,
+		prio:  mix64(uint64(sc.seq) ^ uint64(sc.opt.Seed)),
+		basis: basis, stat: stat,
+	}
+}
+
+// nodeLP is the outcome of one node relaxation.
+type nodeLP struct {
+	res     LPResult
+	basis   []int32
+	stat    []int8
+	warm    bool
+	warmHit bool
+}
+
+// solveNode solves one node's relaxation on solver s, warm-starting from
+// the parent basis when available. cutoff is the incumbent objective at
+// round start: the dual simplex abandons the node as soon as its rising
+// lower bound crosses it.
+func (sc *searcher) solveNode(s *lpSolver, nd *bbNode, cutoff float64) nodeLP {
+	s.setBounds(nd.lo, nd.hi)
+	s.deadline = sc.opt.Deadline
+	s.iterCap = nodeIterCap
+	s.cutoff = cutoff
+	s.iters = 0
+	out := nodeLP{}
+	st := lpFailed
+	if nd.basis != nil && !sc.opt.DisableWarmStart {
+		out.warm = true
+		st = s.solveWarm(nd.basis, nd.stat)
+	}
+	if st == lpFailed {
+		st = s.solveCold()
+	} else if out.warm {
+		out.warmHit = true
+	}
+	if st == lpFailed {
+		st = LPIterLimit
+	}
+	out.res = s.result(st)
+	if st == LPOptimal {
+		out.basis, out.stat = s.saveBasis()
+	}
+	return out
+}
+
 func solve(mod *Model, opt Options) Result {
 	if err := mod.Validate(); err != nil {
 		return Result{Status: StatusInfeasible}
@@ -166,6 +288,9 @@ func solve(mod *Model, opt Options) Result {
 	if opt.IntTol == 0 {
 		opt.IntTol = 1e-6
 	}
+	if opt.Workers < 1 {
+		opt.Workers = 1
+	}
 	res := Result{Status: StatusNoSolution, Obj: math.Inf(1)}
 	if opt.Incumbent != nil {
 		if err := mod.Feasible(opt.Incumbent, 1e-6); err == nil {
@@ -175,14 +300,25 @@ func solve(mod *Model, opt Options) Result {
 		}
 	}
 
-	n := len(mod.Vars)
-	rootLo := make([]float64, n)
-	rootHi := make([]float64, n)
-	for i, v := range mod.Vars {
-		rootLo[i], rootHi[i] = v.Lo, v.Hi
+	rootLo, rootHi, ok := mergeBounds(mod, nil, nil)
+	if !ok {
+		if res.Status == StatusFeasible {
+			return res
+		}
+		res.Status = StatusInfeasible
+		return res
 	}
-	rootLP := solveLP(mod, rootLo, rootHi, opt.Deadline)
+	sc := &searcher{mod: mod, p: compile(mod), opt: opt, prunedBound: math.Inf(1)}
+	root := newLPSolver(sc.p)
+	root.deadline = opt.Deadline
+	root.setBounds(rootLo, rootHi)
+	st := root.solveCold()
+	if st == lpFailed {
+		st = LPIterLimit
+	}
+	rootLP := root.result(st)
 	res.LPIters += rootLP.Iters
+	res.LPItersRoot += rootLP.Iters
 	switch rootLP.Status {
 	case LPInfeasible:
 		if res.Status == StatusFeasible {
@@ -196,11 +332,59 @@ func solve(mod *Model, opt Options) Result {
 	case LPIterLimit:
 		return res
 	}
+	relGap := func(bound float64) float64 {
+		g := (res.Obj - bound) / math.Max(1e-9, math.Abs(res.Obj))
+		if g < 0 {
+			g = 0
+		}
+		return g
+	}
+	if !opt.Deadline.IsZero() && time.Now().After(opt.Deadline) { //repolint:allow timenow (solver deadline check)
+		// Out of time before the search even started: report the seeded
+		// incumbent (if any) against the root bound.
+		res.TimedOut = true
+		if res.Status == StatusFeasible {
+			res.Gap = relGap(rootLP.Obj)
+		}
+		return res
+	}
 
-	// Phase 1: depth-first search until a first incumbent exists. DFS with
+	// Root cut separation: cover/clique cuts are globally valid, so they
+	// tighten every node relaxation of the search.
+	if !opt.DisableCuts && mod.NumIntegral() > 0 {
+		for round := 0; round < cutRounds; round++ {
+			if pickBranchVar(mod, rootLP.X, opt.IntTol) < 0 {
+				break // integral already
+			}
+			cuts := genCuts(mod, rootLP.X)
+			if len(cuts) == 0 {
+				break
+			}
+			sc.p = sc.p.appendCuts(cuts)
+			res.Cuts += len(cuts)
+			root = newLPSolver(sc.p)
+			root.deadline = opt.Deadline
+			root.setBounds(rootLo, rootHi)
+			st = root.solveCold()
+			if st != LPOptimal {
+				break // numerical trouble: keep the last good relaxation
+			}
+			lp := root.result(st)
+			res.LPIters += lp.Iters
+			res.LPItersRoot += lp.Iters
+			rootLP = lp
+		}
+	}
+
+	sc.solvers = make([]*lpSolver, opt.Workers)
+	for i := range sc.solvers {
+		sc.solvers[i] = newLPSolver(sc.p)
+	}
+
+	// Phase 1: depth-first dive until a first incumbent exists. DFS with
 	// backtracking reaches integral leaves quickly, unlike pure best-first
 	// which can spread across an exponential frontier when the relaxation
-	// is symmetric.
+	// is symmetric. Each step warm-starts from its parent's basis.
 	dfsBudget := opt.MaxNodes / 4
 	if dfsBudget < 200 {
 		dfsBudget = 200
@@ -211,21 +395,33 @@ func solve(mod *Model, opt Options) Result {
 		// LP solves per ILP regardless of the cap.
 		dfsBudget = opt.MaxNodes
 	}
-	dfsForIncumbent(mod, rootLo, rootHi, rootLP, opt, &res, dfsBudget)
+	rootBasis, rootStat := root.saveBasis()
+	sc.dive(rootLo, rootHi, rootLP, rootBasis, rootStat, &res, dfsBudget)
 
-	// Phase 2: best-first search for optimality (or the requested gap).
-	open := &nodeHeap{{lo: rootLo, hi: rootHi, bound: rootLP.Obj}}
+	// Phase 2: best-first search for optimality (or the requested gap),
+	// Workers nodes per round.
+	open := &nodeHeap{}
 	heap.Init(open)
-
-	gapOK := func(bound float64) bool {
-		if res.Status != StatusFeasible {
-			return false
+	if frac := pickBranchVar(mod, rootLP.X, opt.IntTol); frac < 0 {
+		// Integral root: the dive already recorded it (or failed to snap,
+		// in which case no better point exists below the root).
+		if res.Status == StatusFeasible {
+			res.Status = StatusOptimal
+			res.Gap = 0
+			return res
 		}
-		gap := (res.Obj - bound) / math.Max(1e-9, math.Abs(res.Obj))
-		return gap <= opt.RelGap
+		if res.Status == StatusNoSolution {
+			res.Status = StatusInfeasible
+		}
+		return res
 	}
+	sc.branch(open, &bbNode{lo: rootLo, hi: rootHi, depth: 0, basis: rootBasis, stat: rootStat}, rootLP)
+
+	gap := relGap
 
 	truncated := false
+	batch := make([]*bbNode, 0, opt.Workers)
+	lps := make([]nodeLP, opt.Workers)
 	for open.Len() > 0 {
 		if res.Nodes >= opt.MaxNodes {
 			truncated = true
@@ -237,123 +433,210 @@ func solve(mod *Model, opt Options) Result {
 			res.TimedOut = true
 			break
 		}
-		node := heap.Pop(open).(*bbNode)
-		if node.bound >= res.Obj-1e-9 {
-			continue // pruned by incumbent
+		// Fill the round: up to Workers nodes in frontier order, bounded
+		// by the remaining node budget; prune against the incumbent as
+		// they come off the heap.
+		batch = batch[:0]
+		width := opt.Workers
+		if left := opt.MaxNodes - res.Nodes; left < width {
+			width = left
 		}
-		if gapOK(node.bound) {
-			// node.bound is the minimum over the frontier (heap order), so
-			// the global bound proves the incumbent is within RelGap.
-			res.Gap = (res.Obj - node.bound) / math.Max(1e-9, math.Abs(res.Obj))
+		for len(batch) < width && open.Len() > 0 {
+			nd := heap.Pop(open).(*bbNode)
+			if nd.bound >= res.Obj-1e-9 {
+				continue // pruned by incumbent
+			}
+			batch = append(batch, nd)
+		}
+		if len(batch) == 0 {
+			break
+		}
+		// The first batch node holds the global frontier minimum: batch
+		// fill pops in bound order and children only weaken bounds.
+		lb := batch[0].bound
+		if sc.prunedBound < lb {
+			lb = sc.prunedBound
+		}
+		if res.Status == StatusFeasible && gap(lb) <= opt.RelGap {
+			res.Gap = gap(lb)
 			return res
 		}
-		res.Nodes++
-		lp := solveLP(mod, node.lo, node.hi, opt.Deadline)
-		res.LPIters += lp.Iters
-		if lp.Status != LPOptimal {
-			continue // infeasible/limit: prune
+		// Solve the round's relaxations concurrently. Batch item k is
+		// pinned to solver k (the batch never exceeds the worker count),
+		// so each solver sees the same node sequence on every run: a
+		// solver's numerical state (LU factors, eta file) feeds the
+		// warm-start shortcut, and racy work assignment would leak
+		// scheduling into pivot choices. The cutoff is fixed at round
+		// start, so the folded outcome is reproducible bit for bit.
+		cutoff := res.Obj - 1e-9
+		if opt.Workers > 1 && len(batch) > 1 {
+			var wg sync.WaitGroup
+			wg.Add(len(batch))
+			for k := range batch {
+				go func(k int) {
+					defer wg.Done()
+					lps[k] = sc.solveNode(sc.solvers[k], batch[k], cutoff)
+				}(k)
+			}
+			wg.Wait()
+		} else {
+			for k, nd := range batch {
+				lps[k] = sc.solveNode(sc.solvers[0], nd, cutoff)
+			}
 		}
-		if lp.Obj >= res.Obj-1e-9 {
-			continue
-		}
-		frac := pickBranchVar(mod, lp.X, opt.IntTol)
-		if frac < 0 {
-			// Integral: new incumbent. Snap to exact integers first.
-			x := snap(mod, lp.X, opt.IntTol)
-			if err := mod.Feasible(x, 1e-5); err == nil {
-				obj := mod.Objective(x)
-				if obj < res.Obj {
-					res.Obj = obj
-					res.X = x
-					res.Status = StatusFeasible
-					noteIncumbent(&opt, &res)
+		// Fold the round in frontier order: deterministic incumbent and
+		// branching sequence regardless of goroutine scheduling.
+		for k, nd := range batch {
+			out := &lps[k]
+			res.Nodes++
+			res.LPIters += out.res.Iters
+			res.LPItersSearch += out.res.Iters
+			if out.warm {
+				res.WarmStarts++
+				if out.warmHit {
+					res.WarmHits++
 				}
 			}
-			continue
+			if out.res.Status != LPOptimal {
+				// Infeasible or cutoff nodes prune soundly; iteration-
+				// limited ones surrender their parent bound to the gap.
+				if out.res.Status == LPIterLimit && nd.bound < sc.prunedBound {
+					sc.prunedBound = nd.bound
+				}
+				continue
+			}
+			if out.res.Obj >= res.Obj-1e-9 {
+				continue
+			}
+			frac := pickBranchVar(mod, out.res.X, opt.IntTol)
+			if frac < 0 {
+				// Integral: new incumbent. Snap to exact integers first.
+				x := snap(mod, out.res.X, opt.IntTol)
+				if err := mod.Feasible(x, 1e-5); err == nil {
+					obj := mod.Objective(x)
+					if obj < res.Obj {
+						res.Obj = obj
+						res.X = x
+						res.Status = StatusFeasible
+						noteIncumbent(&opt, &res)
+					}
+				}
+				continue
+			}
+			nd.basis, nd.stat = out.basis, out.stat
+			sc.branch(open, nd, out.res)
 		}
-		v := lp.X[frac]
-		floorV := math.Floor(v)
-		// Down branch: x <= floor(v).
-		dnHi := append([]float64(nil), node.hi...)
-		dnHi[frac] = floorV
-		heap.Push(open, &bbNode{lo: node.lo, hi: dnHi, bound: lp.Obj, depth: node.depth + 1})
-		// Up branch: x >= ceil(v).
-		upLo := append([]float64(nil), node.lo...)
-		upLo[frac] = floorV + 1
-		heap.Push(open, &bbNode{lo: upLo, hi: node.hi, bound: lp.Obj, depth: node.depth + 1})
 	}
 
-	if !truncated && open.Len() == 0 && res.Status == StatusFeasible {
-		res.Status = StatusOptimal
-		res.Gap = 0
-		return res
+	// Every exit path recomputes the final gap from the best remaining
+	// bound: the frontier minimum and the bounds of iteration-pruned
+	// subtrees. An empty frontier with no such prunes proves the
+	// incumbent optimal (or the model integrally infeasible).
+	remaining := sc.prunedBound
+	if open.Len() > 0 && (*open)[0].bound < remaining {
+		remaining = (*open)[0].bound
 	}
-	if !truncated && res.Status == StatusNoSolution && open.Len() == 0 {
-		res.Status = StatusInfeasible
-		return res
-	}
-	// Truncated: compute the remaining gap.
-	if open.Len() > 0 && res.Status == StatusFeasible && math.Abs(res.Obj) > 1e-12 {
-		bestBound := (*open)[0].bound
-		res.Gap = (res.Obj - bestBound) / math.Max(1e-9, math.Abs(res.Obj))
-		if res.Gap < 0 {
+	switch {
+	case res.Status == StatusFeasible:
+		if !truncated && remaining >= res.Obj-1e-9 {
+			res.Status = StatusOptimal
 			res.Gap = 0
+		} else if remaining >= res.Obj-1e-9 {
+			res.Gap = 0
+		} else {
+			res.Gap = gap(remaining)
 		}
+	case res.Status == StatusNoSolution && !truncated &&
+		open.Len() == 0 && math.IsInf(sc.prunedBound, 1):
+		res.Status = StatusInfeasible
 	}
 	return res
 }
 
-// dfsForIncumbent explores depth-first (rounding-guided child first) until
-// it finds one integral feasible point or exhausts its LP-solve budget.
-func dfsForIncumbent(mod *Model, rootLo, rootHi []float64, rootLP LPResult,
-	opt Options, res *Result, budget int) {
+// branch splits nd on the most fractional variable of lp and pushes both
+// children, sharing the parent's bound slices and basis.
+func (sc *searcher) branch(open *nodeHeap, nd *bbNode, lp LPResult) {
+	frac := pickBranchVar(sc.mod, lp.X, sc.opt.IntTol)
+	if frac < 0 {
+		return
+	}
+	v := lp.X[frac]
+	floorV := math.Floor(v)
+	dnHi := append([]float64(nil), nd.hi...)
+	dnHi[frac] = floorV
+	upLo := append([]float64(nil), nd.lo...)
+	upLo[frac] = floorV + 1
+	heap.Push(open, sc.newNode(nd.lo, dnHi, lp.Obj, nd.depth+1, nd.basis, nd.stat))
+	heap.Push(open, sc.newNode(upLo, nd.hi, lp.Obj, nd.depth+1, nd.basis, nd.stat))
+}
+
+// dive explores depth-first (rounding-guided child first) until it finds
+// one integral feasible point or exhausts its LP-solve budget. Every node
+// warm-starts from its parent's basis, so a dive of depth d costs d short
+// dual-simplex re-solves instead of d cold two-phase solves.
+func (sc *searcher) dive(rootLo, rootHi []float64, rootLP LPResult,
+	rootBasis []int32, rootStat []int8, res *Result, budget int) {
 	if res.Status == StatusFeasible {
 		return // caller-provided incumbent suffices
 	}
+	opt := &sc.opt
 	type dfsNode struct {
-		lo, hi []float64
+		nd *bbNode
 		// lp, when non-nil, is the already-solved relaxation of this node.
-		lp *LPResult
+		lp *nodeLP
 	}
-	stack := []dfsNode{{lo: rootLo, hi: rootHi, lp: &rootLP}}
+	rootNode := &bbNode{lo: rootLo, hi: rootHi, bound: rootLP.Obj, basis: rootBasis, stat: rootStat}
+	rootOut := nodeLP{res: rootLP, basis: rootBasis, stat: rootStat}
+	stack := []dfsNode{{nd: rootNode, lp: &rootOut}}
+	s := sc.solvers[0]
 	for len(stack) > 0 && budget > 0 {
 		if !opt.Deadline.IsZero() && time.Now().After(opt.Deadline) { //repolint:allow timenow (solver deadline check)
 			return
 		}
 		node := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		lp := node.lp
-		if lp == nil {
+		out := node.lp
+		if out == nil {
 			budget--
-			solved := solveLP(mod, node.lo, node.hi, opt.Deadline)
-			res.LPIters += solved.Iters
-			lp = &solved
+			solved := sc.solveNode(s, node.nd, res.Obj-1e-9)
+			res.LPIters += solved.res.Iters
+			res.LPItersDive += solved.res.Iters
+			if solved.warm {
+				res.WarmStarts++
+				if solved.warmHit {
+					res.WarmHits++
+				}
+			}
+			out = &solved
 		}
-		if lp.Status != LPOptimal || lp.Obj >= res.Obj-1e-9 {
+		if out.res.Status == LPIterLimit && node.nd.bound < sc.prunedBound {
+			sc.prunedBound = node.nd.bound
+		}
+		if out.res.Status != LPOptimal || out.res.Obj >= res.Obj-1e-9 {
 			continue
 		}
-		frac := pickBranchVar(mod, lp.X, opt.IntTol)
+		frac := pickBranchVar(sc.mod, out.res.X, opt.IntTol)
 		if frac < 0 {
-			x := snap(mod, lp.X, opt.IntTol)
-			if err := mod.Feasible(x, 1e-5); err == nil {
-				if obj := mod.Objective(x); obj < res.Obj {
+			x := snap(sc.mod, out.res.X, opt.IntTol)
+			if err := sc.mod.Feasible(x, 1e-5); err == nil {
+				if obj := sc.mod.Objective(x); obj < res.Obj {
 					res.Obj = obj
 					res.X = x
 					res.Status = StatusFeasible
-					noteIncumbent(&opt, res)
+					noteIncumbent(opt, res)
 				}
 				return
 			}
 			continue
 		}
-		v := lp.X[frac]
+		v := out.res.X[frac]
 		floorV := math.Floor(v)
-		dnHi := append([]float64(nil), node.hi...)
+		dnHi := append([]float64(nil), node.nd.hi...)
 		dnHi[frac] = floorV
-		upLo := append([]float64(nil), node.lo...)
+		upLo := append([]float64(nil), node.nd.lo...)
 		upLo[frac] = floorV + 1
-		down := dfsNode{lo: node.lo, hi: dnHi}
-		up := dfsNode{lo: upLo, hi: node.hi}
+		down := dfsNode{nd: &bbNode{lo: node.nd.lo, hi: dnHi, bound: out.res.Obj, basis: out.basis, stat: out.stat}}
+		up := dfsNode{nd: &bbNode{lo: upLo, hi: node.nd.hi, bound: out.res.Obj, basis: out.basis, stat: out.stat}}
 		// Push the less likely child first so the rounding-preferred child
 		// is explored next (LIFO).
 		if v-floorV >= 0.5 {

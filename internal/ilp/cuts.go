@@ -1,0 +1,250 @@
+package ilp
+
+import (
+	"math"
+	"sort"
+)
+
+// cut is one globally valid inequality  Σ coeff·x ≤ rhs  over structural
+// columns, generated at the branch-and-bound root to tighten the
+// relaxation before the search starts.
+type cut struct {
+	terms []cutTerm
+	rhs   float64
+}
+
+type cutTerm struct {
+	v     int32
+	coeff float64
+}
+
+// Cut-generation limits: the generator is deliberately lightweight — it
+// only fires on clearly violated, cheaply detectable structures.
+const (
+	cutMinViol     = 0.02 // minimum fractional violation to emit a cut
+	cutMaxPerKind  = 32   // covers / cliques per round
+	cutMaxRowTerms = 64   // widest row examined
+	cutRounds      = 3    // root separation rounds
+)
+
+// genCuts separates cover and clique cuts from the fractional root point
+// x. Everything is deterministic: rows are scanned in model order,
+// candidates sorted with index tie-breaks.
+func genCuts(mod *Model, x []float64) []cut {
+	cuts := coverCuts(mod, x)
+	cuts = append(cuts, cliqueCuts(mod, x)...)
+	return cuts
+}
+
+// binaryLERow extracts constraint i as a pure-binary ≤ row with positive
+// coefficients when it has that shape (GE rows with all-negative
+// coefficients are negated into it).
+func binaryLERow(mod *Model, c *Constraint) ([]Term, float64, bool) {
+	if len(c.Terms) < 2 || len(c.Terms) > cutMaxRowTerms || c.Sense == EQ {
+		return nil, 0, false
+	}
+	sign := 1.0
+	if c.Sense == GE {
+		sign = -1
+	}
+	terms := make([]Term, 0, len(c.Terms))
+	for _, t := range c.Terms {
+		v := &mod.Vars[t.Var]
+		if v.Kind != Binary {
+			return nil, 0, false
+		}
+		co := sign * t.Coeff
+		if co <= 0 {
+			return nil, 0, false
+		}
+		terms = append(terms, Term{Var: t.Var, Coeff: co})
+	}
+	return terms, sign * c.RHS, true
+}
+
+// coverCuts separates minimal-cover inequalities from binary knapsack
+// rows: for a cover C with Σ_{C} a_j > b, at most |C|−1 of its variables
+// can be 1 simultaneously.
+func coverCuts(mod *Model, x []float64) []cut {
+	var out []cut
+	for i := range mod.Cons {
+		if len(out) >= cutMaxPerKind {
+			break
+		}
+		terms, rhs, ok := binaryLERow(mod, &mod.Cons[i])
+		if !ok || rhs <= 0 {
+			continue
+		}
+		// Greedy cover: most fractional-active variables first.
+		idx := make([]int, len(terms))
+		for k := range idx {
+			idx[k] = k
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			xa, xb := x[terms[idx[a]].Var], x[terms[idx[b]].Var]
+			if xa != xb {
+				return xa > xb
+			}
+			return terms[idx[a]].Var < terms[idx[b]].Var
+		})
+		weight, active := 0.0, 0.0
+		var cover []int32
+		for _, k := range idx {
+			cover = append(cover, int32(terms[k].Var))
+			weight += terms[k].Coeff
+			active += x[terms[k].Var]
+			if weight > rhs+1e-9 {
+				break
+			}
+		}
+		if weight <= rhs+1e-9 {
+			continue // the whole row fits: no cover exists
+		}
+		if active <= float64(len(cover)-1)+cutMinViol {
+			continue // not violated at x
+		}
+		ct := cut{rhs: float64(len(cover) - 1)}
+		sort.Slice(cover, func(a, b int) bool { return cover[a] < cover[b] })
+		for _, v := range cover {
+			ct.terms = append(ct.terms, cutTerm{v: v, coeff: 1})
+		}
+		out = append(out, ct)
+	}
+	return out
+}
+
+// cliqueCuts builds a pairwise conflict graph from set-packing rows
+// (Σ x ≤ 1 or = 1 over binaries) and binary knapsack rows whose
+// coefficient pairs exceed the capacity, then grows violated fractional
+// edges into maximal cliques: Σ_{clique} x ≤ 1.
+func cliqueCuts(mod *Model, x []float64) []cut {
+	n := len(mod.Vars)
+	adj := make([]map[int32]bool, n)
+	conflict := func(a, b VarID) {
+		if a == b {
+			return
+		}
+		i, j := int32(a), int32(b)
+		if adj[i] == nil {
+			adj[i] = map[int32]bool{}
+		}
+		if adj[j] == nil {
+			adj[j] = map[int32]bool{}
+		}
+		adj[i][j] = true
+		adj[j][i] = true
+	}
+	type edge struct{ a, b int32 }
+	var seeds []edge
+	for ci := range mod.Cons {
+		c := &mod.Cons[ci]
+		if len(c.Terms) < 2 || len(c.Terms) > cutMaxRowTerms {
+			continue
+		}
+		// Set-packing shape: unit coefficients, rhs 1, LE or EQ.
+		packing := c.Sense != GE && c.RHS == 1
+		allBin := true
+		for _, t := range c.Terms {
+			if mod.Vars[t.Var].Kind != Binary || t.Coeff != 1 {
+				packing = false
+			}
+			if mod.Vars[t.Var].Kind != Binary {
+				allBin = false
+			}
+		}
+		if packing {
+			for a := 0; a < len(c.Terms); a++ {
+				for b := a + 1; b < len(c.Terms); b++ {
+					conflict(c.Terms[a].Var, c.Terms[b].Var)
+				}
+			}
+			continue
+		}
+		// Knapsack pairs: a_i + a_j > rhs forces x_i + x_j ≤ 1.
+		if terms, rhs, ok := binaryLERow(mod, c); ok && allBin {
+			for a := 0; a < len(terms); a++ {
+				for b := a + 1; b < len(terms); b++ {
+					if terms[a].Coeff+terms[b].Coeff > rhs+1e-9 {
+						conflict(terms[a].Var, terms[b].Var)
+						va, vb := int32(terms[a].Var), int32(terms[b].Var)
+						if x[va]+x[vb] > 1+cutMinViol {
+							seeds = append(seeds, edge{va, vb})
+						}
+					}
+				}
+			}
+		}
+	}
+	var out []cut
+	seen := map[string]bool{}
+	for _, e := range seeds {
+		if len(out) >= cutMaxPerKind {
+			break
+		}
+		clique := []int32{e.a, e.b}
+		// Candidates: common neighbors, most active first.
+		var cands []int32
+		for v := range adj[e.a] { //repolint:allow maprange (candidates re-sorted deterministically below)
+			if adj[e.b][v] {
+				cands = append(cands, v)
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if x[cands[i]] != x[cands[j]] {
+				return x[cands[i]] > x[cands[j]]
+			}
+			return cands[i] < cands[j]
+		})
+		for _, v := range cands {
+			all := true
+			for _, u := range clique {
+				if !adj[v][u] {
+					all = false
+					break
+				}
+			}
+			if all {
+				clique = append(clique, v)
+			}
+		}
+		active := 0.0
+		for _, v := range clique {
+			active += x[v]
+		}
+		if active <= 1+cutMinViol {
+			continue
+		}
+		sort.Slice(clique, func(i, j int) bool { return clique[i] < clique[j] })
+		key := cliqueKey(clique)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		ct := cut{rhs: 1}
+		for _, v := range clique {
+			ct.terms = append(ct.terms, cutTerm{v: v, coeff: 1})
+		}
+		out = append(out, ct)
+	}
+	return out
+}
+
+func cliqueKey(clique []int32) string {
+	b := make([]byte, 0, len(clique)*4)
+	for _, v := range clique {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// cutViolated reports whether point x violates the cut (used by the audit
+// tests; cuts must never cut off an integral feasible point).
+func (c *cut) violated(x []float64, tol float64) bool {
+	lhs := 0.0
+	for _, t := range c.terms {
+		lhs += t.coeff * x[t.v]
+	}
+	return lhs > c.rhs+tol
+}
+
+var _ = math.Inf

@@ -1,0 +1,420 @@
+package ilp
+
+// The dense two-phase tableau simplex this package shipped before the
+// revised-simplex rewrite, kept verbatim (modulo renames) as a test-only
+// reference implementation. The equivalence suite solves the same
+// relaxations with both engines and requires the objectives to agree to
+// the audit tolerance — the strongest guard that the sparse rewrite
+// changed the cost of solving, not the solutions.
+
+import (
+	"math"
+)
+
+// dense simplex variable status
+const (
+	densAtLower = iota
+	densAtUpper
+	densInBasis
+)
+
+// densTableau is one dense bounded-variable tableau instance.
+type densTableau struct {
+	m, n   int         // rows, total columns (structural+slack+artificial)
+	nOrig  int         // structural variable count
+	tab    [][]float64 // m x n: B^-1 A
+	arhs   []float64   // current values of basic variables per row
+	basis  []int       // column basic in each row
+	status []int       // per column
+	row    []int       // column -> row when basic
+	up     []float64   // upper bounds in shifted space
+	cost   []float64   // phase-2 costs in shifted space
+	shift  []float64   // original lower bounds of structural vars
+	iters  int
+	bland  bool
+}
+
+// densSolveLP solves the LP relaxation of mod with the given bound
+// overrides (nil to use model bounds) using the dense reference engine.
+func densSolveLP(mod *Model, loOv, hiOv []float64) LPResult {
+	m := len(mod.Cons)
+	nOrig := len(mod.Vars)
+
+	lo := make([]float64, nOrig)
+	hi := make([]float64, nOrig)
+	for i, v := range mod.Vars {
+		lo[i], hi[i] = v.Lo, v.Hi
+		if loOv != nil && loOv[i] > lo[i] {
+			lo[i] = loOv[i]
+		}
+		if hiOv != nil && hiOv[i] < hi[i] {
+			hi[i] = hiOv[i]
+		}
+		if lo[i] > hi[i]+epsFeas {
+			return LPResult{Status: LPInfeasible}
+		}
+	}
+
+	// Shifted space: x' = x - lo, u' = hi - lo, rhs' = rhs - A*lo.
+	type rowSpec struct {
+		coeff map[int]float64
+		sense Sense
+		rhs   float64
+	}
+	rows := make([]rowSpec, m)
+	for i := range mod.Cons {
+		c := &mod.Cons[i]
+		rs := rowSpec{coeff: map[int]float64{}, sense: c.Sense, rhs: c.RHS}
+		for _, t := range c.Terms {
+			rs.coeff[int(t.Var)] += t.Coeff
+			rs.rhs -= t.Coeff * lo[t.Var]
+		}
+		rows[i] = rs
+	}
+	// Row equilibration, as in the production compile step.
+	for i := range rows {
+		maxc := 0.0
+		for _, c := range rows[i].coeff { //repolint:allow maprange (max reduction, order-insensitive)
+			if a := math.Abs(c); a > maxc {
+				maxc = a
+			}
+		}
+		if maxc > 0 && (maxc > 16 || maxc < 1.0/16) {
+			inv := 1 / maxc
+			for j := range rows[i].coeff { //repolint:allow maprange (uniform scaling, order-insensitive)
+				rows[i].coeff[j] *= inv
+			}
+			rows[i].rhs *= inv
+		}
+	}
+	// Normalize rhs >= 0.
+	for i := range rows {
+		if rows[i].rhs < 0 {
+			for j := range rows[i].coeff { //repolint:allow maprange (uniform negation, order-insensitive)
+				rows[i].coeff[j] = -rows[i].coeff[j]
+			}
+			rows[i].rhs = -rows[i].rhs
+			switch rows[i].sense {
+			case LE:
+				rows[i].sense = GE
+			case GE:
+				rows[i].sense = LE
+			}
+		}
+	}
+	// Column layout: structural | slacks/surplus | artificials.
+	nSlack := 0
+	for _, r := range rows {
+		if r.sense != EQ {
+			nSlack++
+		}
+	}
+	nArt := 0
+	for _, r := range rows {
+		if r.sense != LE {
+			nArt++
+		}
+	}
+	n := nOrig + nSlack + nArt
+	sx := &densTableau{
+		m: m, n: n, nOrig: nOrig,
+		tab:    make([][]float64, m),
+		arhs:   make([]float64, m),
+		basis:  make([]int, m),
+		status: make([]int, n),
+		row:    make([]int, n),
+		up:     make([]float64, n),
+		cost:   make([]float64, n),
+		shift:  lo,
+	}
+	for j := 0; j < n; j++ {
+		sx.row[j] = -1
+		sx.up[j] = math.Inf(1)
+	}
+	for j := 0; j < nOrig; j++ {
+		sx.up[j] = hi[j] - lo[j]
+		sx.cost[j] = mod.Vars[j].Obj
+	}
+	slackAt := nOrig
+	artAt := nOrig + nSlack
+	for i, r := range rows {
+		t := make([]float64, n)
+		for j, c := range r.coeff { //repolint:allow maprange (scatter to dense row, order-insensitive)
+			t[j] = c
+		}
+		switch r.sense {
+		case LE:
+			t[slackAt] = 1
+			sx.basis[i] = slackAt
+			slackAt++
+		case GE:
+			t[slackAt] = -1
+			slackAt++
+			t[artAt] = 1
+			sx.basis[i] = artAt
+			artAt++
+		case EQ:
+			t[artAt] = 1
+			sx.basis[i] = artAt
+			artAt++
+		}
+		sx.tab[i] = t
+		sx.arhs[i] = r.rhs
+		sx.status[sx.basis[i]] = densInBasis
+		sx.row[sx.basis[i]] = i
+	}
+
+	// Phase 1: minimize sum of artificials.
+	if nArt > 0 {
+		phase1 := make([]float64, n)
+		for j := nOrig + nSlack; j < n; j++ {
+			phase1[j] = 1
+		}
+		st := sx.run(phase1)
+		if st == LPIterLimit {
+			return LPResult{Status: LPIterLimit, Iters: sx.iters}
+		}
+		sum := 0.0
+		maxRhs := 0.0
+		for i := range sx.arhs {
+			if sx.basis[i] >= nOrig+nSlack {
+				sum += sx.arhs[i]
+			}
+			if a := math.Abs(sx.arhs[i]); a > maxRhs {
+				maxRhs = a
+			}
+		}
+		if st == LPUnbounded {
+			// Phase-1 objective is bounded below by 0; unbounded indicates
+			// a numerical failure.
+			return LPResult{Status: LPIterLimit, Iters: sx.iters}
+		}
+		if sum > 1e-6*(1+maxRhs) {
+			return LPResult{Status: LPInfeasible, Iters: sx.iters}
+		}
+		// Freeze artificials at zero.
+		for j := nOrig + nSlack; j < n; j++ {
+			sx.up[j] = 0
+		}
+	}
+
+	// Phase 2 with the real objective.
+	st := sx.run(sx.cost)
+	if st == LPIterLimit {
+		return LPResult{Status: LPIterLimit, Iters: sx.iters}
+	}
+	if st == LPUnbounded {
+		return LPResult{Status: LPUnbounded, Iters: sx.iters}
+	}
+	// Extract the solution in original space.
+	x := make([]float64, nOrig)
+	for j := 0; j < nOrig; j++ {
+		var v float64
+		switch sx.status[j] {
+		case densInBasis:
+			v = sx.arhs[sx.row[j]]
+		case densAtUpper:
+			v = sx.up[j]
+		default:
+			v = 0
+		}
+		x[j] = v + lo[j]
+	}
+	obj := 0.0
+	for j, v := range mod.Vars {
+		obj += v.Obj * x[j]
+	}
+	return LPResult{Status: LPOptimal, X: x, Obj: obj, Iters: sx.iters}
+}
+
+// run optimizes the given cost vector over the current basis, returning
+// LPOptimal, LPUnbounded or LPIterLimit.
+func (sx *densTableau) run(cost []float64) LPStatus {
+	// Reduced costs dj = c_j - cB^T tab[:,j], computed fresh.
+	dj := make([]float64, sx.n)
+	copy(dj, cost)
+	for i := 0; i < sx.m; i++ {
+		cb := cost[sx.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		trow := sx.tab[i]
+		for j := 0; j < sx.n; j++ {
+			dj[j] -= cb * trow[j]
+		}
+	}
+	maxItersD := 60*(sx.m+sx.n) + 2000
+	blandAfter := 8*(sx.m+sx.n) + 300
+	localIters := 0
+	for {
+		sx.iters++
+		localIters++
+		if localIters > maxItersD {
+			return LPIterLimit
+		}
+		if localIters > blandAfter {
+			sx.bland = true
+		}
+		// Periodically recompute reduced costs from scratch: incremental
+		// updates accumulate error over long degenerate stretches.
+		if localIters%64 == 0 {
+			copy(dj, cost)
+			for i := 0; i < sx.m; i++ {
+				cb := cost[sx.basis[i]]
+				if cb == 0 {
+					continue
+				}
+				trow := sx.tab[i]
+				for j := 0; j < sx.n; j++ {
+					dj[j] -= cb * trow[j]
+				}
+			}
+		}
+		// Entering variable. Variables with no movement range (frozen
+		// artificials) are never eligible.
+		e := -1
+		var dir float64
+		best := -epsCost
+		for j := 0; j < sx.n; j++ {
+			if sx.status[j] != densInBasis && sx.up[j] <= 0 {
+				continue
+			}
+			switch sx.status[j] {
+			case densAtLower:
+				if dj[j] < best {
+					e, dir, best = j, 1, dj[j]
+					if sx.bland {
+						goto chosen
+					}
+				}
+			case densAtUpper:
+				if -dj[j] < best {
+					e, dir, best = j, -1, -dj[j]
+					if sx.bland {
+						goto chosen
+					}
+				}
+			}
+		}
+	chosen:
+		if e < 0 {
+			return LPOptimal
+		}
+		// Two-pass (Harris-style) ratio test.
+		const ratioTol = 1e-7
+		rowLimit := func(i int) (lim float64, to int, mag float64, ok bool) {
+			a := dir * sx.tab[i][e]
+			mag = math.Abs(a)
+			if mag <= epsPivot {
+				return 0, 0, 0, false
+			}
+			if a > 0 {
+				lim = sx.arhs[i] / a
+				to = densAtLower
+			} else {
+				ub := sx.up[sx.basis[i]]
+				if math.IsInf(ub, 1) {
+					return 0, 0, 0, false
+				}
+				lim = (ub - sx.arhs[i]) / (-a)
+				to = densAtUpper
+			}
+			if lim < 0 {
+				lim = 0
+			}
+			return lim, to, mag, true
+		}
+		tMax := sx.up[e] // bound-to-bound flip distance
+		for i := 0; i < sx.m; i++ {
+			if lim, _, _, ok := rowLimit(i); ok && lim < tMax {
+				tMax = lim
+			}
+		}
+		if math.IsInf(tMax, 1) {
+			return LPUnbounded
+		}
+		leave := -1
+		leaveTo := densAtLower
+		bestMag := 0.0
+		if tMax < sx.up[e]-epsPivot || tMax <= sx.up[e] {
+			for i := 0; i < sx.m; i++ {
+				lim, to, mag, ok := rowLimit(i)
+				if !ok || lim > tMax+ratioTol*(1+tMax) {
+					continue
+				}
+				switch {
+				case sx.bland:
+					if leave < 0 || sx.basis[i] < sx.basis[leave] {
+						leave, leaveTo, bestMag = i, to, mag
+					}
+				case mag > bestMag:
+					leave, leaveTo, bestMag = i, to, mag
+				}
+			}
+			// A strict bound flip only happens when no row limits the step.
+			if leave < 0 && tMax < sx.up[e] {
+				tMax = sx.up[e]
+			}
+		}
+		if leave < 0 {
+			// Bound flip: e moves to its other bound.
+			t := sx.up[e]
+			for i := 0; i < sx.m; i++ {
+				sx.arhs[i] -= dir * t * sx.tab[i][e]
+			}
+			if sx.status[e] == densAtLower {
+				sx.status[e] = densAtUpper
+			} else {
+				sx.status[e] = densAtLower
+			}
+			continue
+		}
+		// Pivot: update values first.
+		t := tMax
+		for i := 0; i < sx.m; i++ {
+			if i != leave {
+				sx.arhs[i] -= dir * t * sx.tab[i][e]
+			}
+		}
+		enterVal := t
+		if dir < 0 {
+			enterVal = sx.up[e] - t
+		}
+		lv := sx.basis[leave]
+		sx.status[lv] = leaveTo
+		sx.row[lv] = -1
+		sx.basis[leave] = e
+		sx.status[e] = densInBasis
+		sx.row[e] = leave
+		sx.arhs[leave] = enterVal
+		// Gauss-Jordan on the tableau and reduced costs.
+		prow := sx.tab[leave]
+		piv := prow[e]
+		inv := 1 / piv
+		for j := 0; j < sx.n; j++ {
+			prow[j] *= inv
+		}
+		prow[e] = 1
+		for i := 0; i < sx.m; i++ {
+			if i == leave {
+				continue
+			}
+			f := sx.tab[i][e]
+			if f == 0 {
+				continue
+			}
+			trow := sx.tab[i]
+			for j := 0; j < sx.n; j++ {
+				trow[j] -= f * prow[j]
+			}
+			trow[e] = 0
+		}
+		f := dj[e]
+		if f != 0 {
+			for j := 0; j < sx.n; j++ {
+				dj[j] -= f * prow[j]
+			}
+			dj[e] = 0
+		}
+	}
+}
