@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race lint bench-json
+.PHONY: check fmt vet build test race lint bench-json bench-check
 
 check: fmt vet lint build test race
 
@@ -23,14 +23,23 @@ build:
 test:
 	$(GO) test ./...
 
-# -short keeps the race gate under ~30s: the full multi-point sweep test
-# is skipped (plain `make test` still runs it race-free); the worker-pool
-# and cache concurrency paths stay covered by the unguarded dse tests,
-# and the parallel branch-and-bound search by the ilp determinism tests.
+# -short keeps the race gate in the low minutes: the heaviest
+# sequential solves are skipped (plain `make test` still runs them
+# race-free) while every concurrency path stays covered — the dse
+# worker pool and shared cache, the parallel branch-and-bound search,
+# the region-solve store (concurrent Get/Put, singleflight) and the
+# core region scheduler's 4-worker byte-identity run.
 race:
-	$(GO) test -race -short ./internal/obs/... ./internal/dse/... ./internal/ilp/...
+	$(GO) test -race -short ./internal/obs/... ./internal/dse/... ./internal/ilp/... ./internal/core/... ./internal/solstore/...
 
-# Perf trajectory: run the figure benches and the ILP microbench suite,
-# refresh BENCH_ilp.json (schema documented in EXPERIMENTS.md).
+# Perf trajectory: run the figure benches and the ILP, solstore and dse
+# microbench suites, refresh BENCH_ilp.json (schema documented in
+# EXPERIMENTS.md).
 bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_ilp.json
+
+# Bench gate: re-measure the stable microbench suites and fail when any
+# ns/op regresses past 2x the committed BENCH_ilp.json value.
+bench-check:
+	$(GO) run ./cmd/benchjson -suite ilp -check BENCH_ilp.json
+	$(GO) run ./cmd/benchjson -suite solstore -check BENCH_ilp.json

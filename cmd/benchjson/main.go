@@ -13,12 +13,20 @@
 //     warm vs cold MILP, knapsack node throughput, cut separation,
 //     parallel search), run under the normal benchtime so ns/op is
 //     stable.
+//   - solstore: the region-solve store microbenches (warm lookup, LRU
+//     eviction pressure, singleflight, concurrent mixed traffic).
+//   - dse: the sweep-point benches (cold vs warm region store, with
+//     region hit-rate and dedup-count metrics).
 //
 // Usage:
 //
-//	go run ./cmd/benchjson [-o BENCH_ilp.json] [-suite figures|ilp|all]
+//	go run ./cmd/benchjson [-o BENCH_ilp.json] [-suite figures|ilp|solstore|dse|all]
+//	go run ./cmd/benchjson -suite ilp -check BENCH_ilp.json   # CI gate
 //
-// The output schema is documented in EXPERIMENTS.md.
+// With -check, no file is written: measured ns/op must stay within
+// -tolerance (default 2x) of the committed values, so CI catches
+// order-of-magnitude solver regressions without flaking on machine
+// noise. The output schema is documented in EXPERIMENTS.md.
 package main
 
 import (
@@ -73,11 +81,23 @@ var suites = []suite{
 		pkg:   "./internal/ilp/",
 		bench: "^Benchmark",
 	},
+	{
+		name:  "solstore",
+		pkg:   "./internal/solstore/",
+		bench: "^Benchmark",
+	},
+	{
+		name:  "dse",
+		pkg:   "./internal/dse/",
+		bench: "^BenchmarkSweepPoint",
+	},
 }
 
 func main() {
 	out := flag.String("o", "BENCH_ilp.json", "output file")
-	only := flag.String("suite", "all", "suite to run: figures, ilp or all")
+	only := flag.String("suite", "all", "suite to run: figures, ilp, solstore, dse or all")
+	check := flag.String("check", "", "compare measured ns/op against this committed file instead of writing; exit 1 on regression beyond -tolerance")
+	tolerance := flag.Float64("tolerance", 2.0, "with -check: fail when measured ns/op exceeds the committed value by more than this factor")
 	flag.Parse()
 
 	doc := File{
@@ -97,6 +117,14 @@ func main() {
 		}
 		doc.Benchmarks = append(doc.Benchmarks, recs...)
 	}
+	if *check != "" {
+		if err := checkAgainst(*check, doc.Benchmarks, *tolerance); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: %d results within %.1fx of %s\n", len(doc.Benchmarks), *tolerance, *check)
+		return
+	}
 	buf, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -108,6 +136,43 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchjson: wrote %d results to %s\n", len(doc.Benchmarks), *out)
+}
+
+// checkAgainst compares measured results with the committed reference:
+// every measured op that also appears in the reference (same suite and
+// name) must stay within factor x of the committed ns/op. New or
+// removed benches are reported but never fail the gate, so the file
+// only needs regenerating when timings actually move.
+func checkAgainst(path string, measured []Record, factor float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var ref File
+	if err := json.Unmarshal(data, &ref); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	committed := map[string]float64{}
+	for _, r := range ref.Benchmarks {
+		committed[r.Suite+"/"+r.Op] = r.NsPerOp
+	}
+	var regressions []string
+	for _, r := range measured {
+		want, ok := committed[r.Suite+"/"+r.Op]
+		if !ok {
+			fmt.Printf("benchjson: %s/%s not in %s (new bench; regenerate with make bench-json)\n", r.Suite, r.Op, path)
+			continue
+		}
+		if want > 0 && r.NsPerOp > want*factor {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s/%s: %.0f ns/op vs committed %.0f ns/op (%.2fx > %.1fx tolerance)",
+				r.Suite, r.Op, r.NsPerOp, want, r.NsPerOp/want, factor))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("bench regression:\n  %s", strings.Join(regressions, "\n  "))
+	}
+	return nil
 }
 
 func runSuite(s suite) ([]Record, error) {

@@ -20,6 +20,8 @@
 //	-stats             print per-region solver statistics and metrics
 //	-lint              run the static diagnostics and exit
 //	-verify            report the race-and-budget audit of every solution
+//	-region-workers N  solve independent regions on N workers
+//	-store-cap N       cache region solves in an N-entry store
 //	-v                 log spans to stderr as they complete
 package main
 
@@ -52,6 +54,8 @@ func main() {
 		statsFlag    = flag.Bool("stats", false, "print per-region ILP solver statistics and the metrics table")
 		lintFlag     = flag.Bool("lint", false, "run the static diagnostics (uninitialized use, array bounds, unused locals, unreachable code) and exit without parallelizing")
 		verifyFlag   = flag.Bool("verify", false, "re-run the race-and-budget verifier over every produced solution and print a report")
+		workersFlag  = flag.Int("region-workers", 0, "solve independent regions of one HTG level on this many workers (<=1 sequential; output is byte-identical either way)")
+		storeCapFlag = flag.Int("store-cap", 0, "enable the region-solve store with this entry capacity (0 disables; solves are cached by content address and replayed on repeats)")
 		verbose      = flag.Bool("v", false, "log tracing spans to stderr as they complete")
 	)
 	flag.Parse()
@@ -148,6 +152,10 @@ func main() {
 			opts.Observer.Tracer.SetLogger(os.Stderr)
 		}
 	}
+	opts.RegionWorkers = *workersFlag
+	if *storeCapFlag > 0 {
+		opts.Store = heteropar.NewSolutionStore(*storeCapFlag)
+	}
 
 	rep, err := heteropar.Parallelize(source, opts)
 	if err != nil {
@@ -186,6 +194,11 @@ func main() {
 
 	if *statsFlag {
 		fmt.Printf("\n--- solver statistics ---\n%s", rep.SolverStatsTable())
+		if opts.Store != nil {
+			st := opts.Store.Stats()
+			fmt.Printf("\n--- region store ---\nhits %d  misses %d  dedups %d  evictions %d  entries %d  hit rate %.0f%%\n",
+				st.Hits, st.Misses, st.Dedups, st.Evictions, st.Entries, 100*st.HitRate())
+		}
 		fmt.Printf("\n--- metrics ---\n%s", opts.Observer.Metrics.RenderTable())
 	}
 	if *traceFlag != "" {

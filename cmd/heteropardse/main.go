@@ -22,6 +22,8 @@
 //	-ilp-nodes n       per-ILP branch-and-bound node budget (default 60; ~20 for big sweeps)
 //	-ilp-workers n     concurrent node relaxations per ILP search round (default 1 = serial)
 //	-max-tasks n       per-region task-bound cap (default 4)
+//	-region-workers n  per-evaluation region-solve workers (default 1 = sequential)
+//	-store-cap n       region-solve store capacity (0 = default sizing)
 //	-stats             print cache and solver statistics to stderr
 //	-trace out.json    write a Chrome trace_event file of the sweep
 //	-v                 log spans to stderr as they complete
@@ -40,6 +42,7 @@ import (
 	"repro/internal/dse"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/solstore"
 )
 
 func main() {
@@ -55,6 +58,8 @@ func main() {
 		ilpNodes   = flag.Int("ilp-nodes", 0, "per-ILP branch-and-bound node budget (0 = sweep default 60)")
 		ilpWorkers = flag.Int("ilp-workers", 0, "concurrent node relaxations per ILP search round (0/1 = serial; deterministic per width)")
 		maxTasks   = flag.Int("max-tasks", 0, "per-region task-bound cap (0 = sweep default 4; raise for better plans on big platforms, at steep solve cost)")
+		regWorkers = flag.Int("region-workers", 0, "per-evaluation region-solve workers (0/1 = sequential; output is byte-identical per width)")
+		storeCap   = flag.Int("store-cap", 0, "region-solve store capacity shared across all sweep points (0 = default sizing)")
 		statsFlag  = flag.Bool("stats", false, "print cache and solver statistics to stderr")
 		traceFlag  = flag.String("trace", "", "write a Chrome trace_event JSON file of the sweep")
 		verbose    = flag.Bool("v", false, "log tracing spans to stderr as they complete")
@@ -137,11 +142,21 @@ func main() {
 	if *ilpWorkers > 0 {
 		cfg.ILPWorkers = *ilpWorkers
 	}
+	if *regWorkers > 0 {
+		cfg.RegionWorkers = *regWorkers
+	}
+	// The whole-solution cache and the region-solve store share one
+	// bounded arena; the engine threads it through every evaluation so
+	// neighboring points reuse region subproblems.
+	var store *solstore.Store
+	if *storeCap > 0 {
+		store = solstore.New(solstore.Options{Capacity: *storeCap, Metrics: observer.M()})
+	}
 	eng := &dse.Engine{
 		Workers: *workers,
 		Config:  cfg,
 		Seed:    *seedFlag,
-		Cache:   dse.NewCache(*cacheFlag, observer.M()),
+		Cache:   dse.NewCacheOn(store, *cacheFlag, observer.M()),
 		Obs:     observer,
 	}
 
@@ -158,6 +173,8 @@ func main() {
 		sweepStart.Sub(prepStart).Round(time.Millisecond),
 		time.Since(sweepStart).Round(time.Millisecond),
 		res.CacheHits, res.CacheMisses, 100*res.HitRate())
+	fmt.Fprintf(os.Stderr, "heteropardse: region store %d hits / %d misses / %d dedups (%.0f%% hit rate)\n",
+		res.RegionHits, res.RegionMisses, res.RegionDedups, 100*res.RegionHitRate())
 
 	report, err := res.Render(*outFlag)
 	if err != nil {

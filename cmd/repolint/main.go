@@ -13,6 +13,12 @@
 //	numcpu     — runtime.NumCPU / runtime.GOMAXPROCS, which silently tie
 //	             search width (and with it solver trajectories) to the
 //	             host machine instead of explicit configuration.
+//	globalmapwrite — assignments to (or deletes from) package-level
+//	             maps. Now that solves run on worker pools, an
+//	             unguarded global map is a data race waiting for the
+//	             right interleaving; keep mutable maps behind a struct
+//	             with a mutex (as internal/solstore does) or waive
+//	             sites that are provably single-goroutine.
 //
 // Sites that are deliberately order-insensitive or wall-clock based (solver
 // deadlines, telemetry timestamps) carry an explicit waiver: a
@@ -46,6 +52,7 @@ var defaultPackages = []string{
 	"repro/internal/dataflow",
 	"repro/internal/dse",
 	"repro/internal/ilp",
+	"repro/internal/solstore",
 }
 
 const modulePath = "repro"
@@ -239,8 +246,15 @@ func (l *linter) lintPackage(path string) ([]Finding, error) {
 			switch n := n.(type) {
 			case *ast.CallExpr:
 				found = l.checkCall(n, info)
+				if found == nil {
+					found = l.checkDelete(n, info)
+				}
 			case *ast.RangeStmt:
 				found = l.checkRange(n, info)
+			case *ast.AssignStmt:
+				found = l.checkAssign(n, info)
+			case *ast.IncDecStmt:
+				found = l.checkMapWrite(n.X, info)
 			}
 			if found != nil && !waived[found.Pos.Line][found.Rule] && !waived[found.Pos.Line-1][found.Rule] {
 				findings = append(findings, *found)
@@ -307,6 +321,85 @@ func (l *linter) checkCall(call *ast.CallExpr, info *types.Info) *Finding {
 		}
 	}
 	return nil
+}
+
+// checkAssign flags `globalMap[k] = v` (also +=, multi-assign).
+func (l *linter) checkAssign(as *ast.AssignStmt, info *types.Info) *Finding {
+	for _, lhs := range as.Lhs {
+		if f := l.checkMapWrite(lhs, info); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// checkDelete flags `delete(globalMap, k)`.
+func (l *linter) checkDelete(call *ast.CallExpr, info *types.Info) *Finding {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || len(call.Args) != 2 {
+		return nil
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "delete" {
+		return nil
+	}
+	if v := l.globalMapVar(call.Args[0], info); v != nil {
+		return &Finding{
+			Pos:  l.fset.Position(call.Pos()),
+			Rule: "globalmapwrite",
+			Msg:  fmt.Sprintf("delete from package-level map %s; unguarded global maps race under the region worker pools — keep mutable maps behind a mutex-guarded struct or waive", v.Name()),
+		}
+	}
+	return nil
+}
+
+// checkMapWrite flags an index expression over a package-level map used
+// as a write target.
+func (l *linter) checkMapWrite(expr ast.Expr, info *types.Info) *Finding {
+	ix, ok := expr.(*ast.IndexExpr)
+	if !ok {
+		return nil
+	}
+	tv, ok := info.Types[ix.X]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return nil
+	}
+	if v := l.globalMapVar(ix.X, info); v != nil {
+		return &Finding{
+			Pos:  l.fset.Position(expr.Pos()),
+			Rule: "globalmapwrite",
+			Msg:  fmt.Sprintf("write to package-level map %s; unguarded global maps race under the region worker pools — keep mutable maps behind a mutex-guarded struct or waive", v.Name()),
+		}
+	}
+	return nil
+}
+
+// globalMapVar resolves expr to a package-level map variable, nil
+// otherwise. Struct fields and locals (including mutex-carrying cache
+// structs) are fine; only bare package-scope maps are flagged.
+func (l *linter) globalMapVar(expr ast.Expr, info *types.Info) *types.Var {
+	var id *ast.Ident
+	switch e := expr.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel // otherpkg.GlobalMap
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil // local variable
+	}
+	if _, isMap := v.Type().Underlying().(*types.Map); !isMap {
+		return nil
+	}
+	return v
 }
 
 func (l *linter) checkRange(rs *ast.RangeStmt, info *types.Info) *Finding {

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// lintSource runs the linter over one synthetic module package and
+// returns the findings.
+func lintSource(t *testing.T, src string) []Finding {
+	t.Helper()
+	dir := t.TempDir()
+	pkgDir := filepath.Join(dir, "internal", "fake")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(pkgDir, "fake.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run(dir, []string{"repro/internal/fake"})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return findings
+}
+
+func rules(fs []Finding) map[string]int {
+	out := map[string]int{}
+	for _, f := range fs {
+		out[f.Rule]++
+	}
+	return out
+}
+
+func TestGlobalMapWriteRule(t *testing.T) {
+	findings := lintSource(t, `package fake
+
+var registry = map[string]int{}
+
+func Set(k string, v int)  { registry[k] = v }
+func Bump(k string)        { registry[k]++ }
+func Remove(k string)      { delete(registry, k) }
+func Add(k string, v int)  { registry[k] += v }
+`)
+	if got := rules(findings)["globalmapwrite"]; got != 4 {
+		t.Errorf("got %d globalmapwrite findings, want 4:\n%v", got, findings)
+	}
+}
+
+func TestGlobalMapWriteIgnoresLocalsAndFields(t *testing.T) {
+	findings := lintSource(t, `package fake
+
+import "sync"
+
+type cache struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+var shared = cache{m: map[string]int{}}
+
+func (c *cache) Set(k string, v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[k] = v
+}
+
+func Local() int {
+	m := map[string]int{}
+	m["x"] = 1
+	delete(m, "x")
+	shared.Set("y", 2)
+	return m["x"]
+}
+`)
+	if got := rules(findings)["globalmapwrite"]; got != 0 {
+		t.Errorf("mutex-guarded struct fields and locals were flagged:\n%v", findings)
+	}
+}
+
+func TestGlobalMapWriteWaiver(t *testing.T) {
+	findings := lintSource(t, `package fake
+
+var registry = map[string]int{}
+
+func Init() {
+	registry["seed"] = 1 //repolint:allow globalmapwrite (package init, single goroutine)
+}
+`)
+	if got := rules(findings)["globalmapwrite"]; got != 0 {
+		t.Errorf("waived write was flagged:\n%v", findings)
+	}
+}
+
+// TestExistingRulesStillFire guards against the new assignment walk
+// swallowing the established checks.
+func TestExistingRulesStillFire(t *testing.T) {
+	findings := lintSource(t, `package fake
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`)
+	got := rules(findings)
+	if got["timenow"] != 1 || got["maprange"] != 1 {
+		t.Errorf("got %v, want one timenow and one maprange finding", got)
+	}
+}

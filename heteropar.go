@@ -36,6 +36,7 @@ import (
 	"repro/internal/mpsoc"
 	"repro/internal/obs"
 	"repro/internal/platform"
+	"repro/internal/solstore"
 	"repro/internal/taskspec"
 )
 
@@ -47,6 +48,22 @@ type Observer = obs.Observer
 // NewObserver builds a fully enabled observer (tracing and metrics).
 func NewObserver() *Observer {
 	return &Observer{Tracer: obs.NewTracer(), Metrics: obs.NewRegistry()}
+}
+
+// SolutionStore re-exports the sharded, size-bounded region-solve
+// store (see package repro/internal/solstore): a content-addressed LRU
+// cache of per-region ILP outcomes, safe for concurrent use and
+// shareable across Parallelize calls so repeated or related programs
+// skip identical region solves. Reuse is guaranteed output-neutral —
+// keys cover every solver-visible input — so results stay
+// byte-identical to a store-less run.
+type SolutionStore = solstore.Store
+
+// NewSolutionStore builds a region-solve store holding up to capacity
+// entries (a default capacity applies when non-positive). Pass it via
+// Options.Store, sharing one store across calls for cross-run reuse.
+func NewSolutionStore(capacity int) *SolutionStore {
+	return solstore.New(solstore.Options{Capacity: capacity})
 }
 
 // Platform re-exports the platform description type.
@@ -114,6 +131,16 @@ type Options struct {
 	// SkipSimulation omits the MPSoC measurement (faster; the report's
 	// Measured* fields stay zero).
 	SkipSimulation bool
+	// RegionWorkers bounds how many independent regions of one HTG
+	// level are solved concurrently (sequential when <= 1). Any value
+	// produces byte-identical output: results merge in deterministic
+	// region order.
+	RegionWorkers int
+	// Store, when non-nil, caches region ILP solves by content address
+	// so repeated or related Parallelize calls (e.g. the same program
+	// on both scenarios of a platform) skip identical solves. See
+	// NewSolutionStore.
+	Store *SolutionStore
 	// Observer, when non-nil, records phase spans, per-solve solver
 	// telemetry and simulator occupancy for the -trace/-stats tooling.
 	Observer *Observer
@@ -200,6 +227,8 @@ func Parallelize(source string, opts Options) (*Report, error) {
 		ILPTimeout:       opts.MaxILPTime,
 		DisableChunking:  opts.DisableChunking,
 		EnablePipelining: opts.EnablePipelining,
+		RegionWorkers:    opts.RegionWorkers,
+		Store:            opts.Store,
 		Tracer:           tr,
 		Metrics:          opts.Observer.M(),
 	}

@@ -57,6 +57,40 @@ func TestParallelizeEndToEnd(t *testing.T) {
 	}
 }
 
+func TestParallelizeWithStoreAndWorkers(t *testing.T) {
+	store := heteropar.NewSolutionStore(1024)
+	opts := heteropar.Options{
+		Platform:      heteropar.PlatformA(),
+		Scenario:      heteropar.Accelerator,
+		RegionWorkers: 4,
+		Store:         store,
+	}
+	rep, err := heteropar.Parallelize(demoSrc, opts)
+	if err != nil {
+		t.Fatalf("Parallelize: %v", err)
+	}
+	st := store.Stats()
+	if st.Misses == 0 || st.Entries == 0 {
+		t.Fatalf("store not consulted: %+v", st)
+	}
+	// A second run over the warm store re-solves nothing and returns
+	// the same plan.
+	rep2, err := heteropar.Parallelize(demoSrc, opts)
+	if err != nil {
+		t.Fatalf("warm Parallelize: %v", err)
+	}
+	st2 := store.Stats()
+	if st2.Misses != st.Misses {
+		t.Errorf("warm run re-solved %d regions; want 0", st2.Misses-st.Misses)
+	}
+	if st2.Hits <= st.Hits {
+		t.Errorf("warm run recorded no store hits")
+	}
+	if rep.PlanSummary() != rep2.PlanSummary() {
+		t.Errorf("warm plan differs from cold plan")
+	}
+}
+
 func TestParallelizeHomogeneousBaseline(t *testing.T) {
 	rep, err := heteropar.Parallelize(demoSrc, heteropar.Options{
 		Platform: heteropar.PlatformB(),

@@ -39,7 +39,7 @@ func TestChunkSolverProportionalSplit(t *testing.T) {
 	p := &Parallelizer{pf: pf, cfg: Config{}.withDefaults()}
 	rs := newChunkRegion(pf, 430100, 12)
 	start := time.Now()
-	sol := p.ilpParChunks(rs, 0, 4)
+	sol := p.solveRegion(rs, 0, 4)
 	elapsed := time.Since(start)
 	if sol == nil {
 		t.Fatalf("chunk ILP returned nil")
@@ -84,7 +84,7 @@ func TestChunkSolverRespectsTaskBound(t *testing.T) {
 	pf := platform.ConfigA()
 	p := &Parallelizer{pf: pf, cfg: Config{}.withDefaults()}
 	rs := newChunkRegion(pf, 430100, 12)
-	sol := p.ilpParChunks(rs, 0, 2)
+	sol := p.solveRegion(rs, 0, 2)
 	if sol == nil {
 		t.Fatalf("nil solution")
 	}
@@ -100,7 +100,7 @@ func TestChunkSolverHopelessRegionSkipped(t *testing.T) {
 	p := &Parallelizer{pf: pf, cfg: Config{}.withDefaults()}
 	rs := newChunkRegion(pf, 430100, 12)
 	rs.spawnCount = 1e6 // a million spawns at 2500ns each
-	if sol := p.ilpParChunks(rs, 0, 4); sol != nil {
+	if sol := p.solveRegion(rs, 0, 4); sol != nil {
 		t.Errorf("expected nil for hopeless region, got %v", sol)
 	}
 }
@@ -110,7 +110,7 @@ func TestChunkSolverHomogeneousPlatform(t *testing.T) {
 	pf := platform.Homogeneous("h4", 500, 4)
 	p := &Parallelizer{pf: pf, cfg: Config{}.withDefaults()}
 	rs := newChunkRegion(pf, 400000, 12)
-	sol := p.ilpParChunks(rs, 0, 4)
+	sol := p.solveRegion(rs, 0, 4)
 	if sol == nil {
 		t.Fatalf("nil solution")
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/solstore"
 )
 
 func TestConfigFingerprint(t *testing.T) {
@@ -22,6 +23,16 @@ func TestConfigFingerprint(t *testing.T) {
 	instr.Metrics = obs.NewRegistry()
 	if instr.Fingerprint() != expl.Fingerprint() {
 		t.Errorf("observer changed the fingerprint")
+	}
+	// Scheduling width and the shared store must not either: both are
+	// guaranteed output-neutral (deterministic unit merge; region keys
+	// cover every solver-visible input), so cached whole-run outcomes
+	// stay valid across worker counts and store configurations.
+	sched := expl
+	sched.RegionWorkers = 8
+	sched.Store = solstore.New(solstore.Options{})
+	if sched.Fingerprint() != expl.Fingerprint() {
+		t.Errorf("RegionWorkers/Store changed the fingerprint")
 	}
 	// Every solver-relevant knob must affect it.
 	muts := []struct {

@@ -20,7 +20,7 @@ import (
 // per-class core budgets, task-creation overhead per spawn, boundary
 // communication per chunk, and an improvement bound against sequential
 // execution on seqPC.
-func (p *Parallelizer) ilpParChunks(rs *regionSpec, seqPC, maxTasks int) *Solution {
+func (p *Parallelizer) ilpParChunks(rs *regionSpec, seqPC, maxTasks int) *regionAssignment {
 	k := len(rs.items)
 	nClasses := len(p.pf.Classes)
 	T := maxTasks
@@ -144,34 +144,39 @@ func (p *Parallelizer) ilpParChunks(rs *regionSpec, seqPC, maxTasks int) *Soluti
 	}
 	// Extract: distribute chunk items to tasks by count.
 	on := func(id ilp.VarID) float64 { return res.X[id] }
-	taskOf := make([]int, k)
+	a := &regionAssignment{
+		TaskOf:    make([]int, k),
+		CandClass: make([]int, k),
+		CandSlot:  make([]int, k),
+		ClassOf:   make([]int, T),
+		Obj:       res.Obj,
+	}
 	next := 0
-	classOf := make([]int, T)
 	for t := 0; t < T; t++ {
-		classOf[t] = seqPC
+		a.ClassOf[t] = seqPC
 		for c := 0; c < nClasses; c++ {
 			if on(mp[t][c]) > 0.5 {
-				classOf[t] = c
+				a.ClassOf[t] = c
 			}
 		}
 		n := int(math.Round(on(cnt[t])))
 		for j := 0; j < n && next < k; j++ {
-			taskOf[next] = t
+			a.TaskOf[next] = t
 			next++
 		}
 	}
 	for ; next < k; next++ {
-		taskOf[next] = 0 // rounding remainder stays on the main task
+		a.TaskOf[next] = 0 // rounding remainder stays on the main task
 	}
-	chosen := make([]*Solution, k)
 	for i := 0; i < k; i++ {
-		chosen[i] = seqCandOn(rs.items[i], classOf[taskOf[i]])
+		// Each chunk runs its task class's sequential candidate.
+		a.CandClass[i], a.CandSlot[i] = a.ClassOf[a.TaskOf[i]], -1
 	}
-	return p.assembleSolution(rs, taskOf, chosen, classOf, seqPC, res.Obj)
+	return a
 }
 
 // regionSolver dispatches a region to the right ILP.
-func (p *Parallelizer) regionSolver(rs *regionSpec, seqPC, maxTasks int) *Solution {
+func (p *Parallelizer) regionSolver(rs *regionSpec, seqPC, maxTasks int) *regionAssignment {
 	if rs.kind == KindChunked {
 		return p.ilpParChunks(rs, seqPC, maxTasks)
 	}

@@ -44,8 +44,9 @@ func regionLabel(rs *regionSpec) string {
 // infeasible quickly instead of crawling to a useless optimum.
 //
 // seqPC is the class of the main task (task 0). Returns nil when no
-// solution beats sequential execution on seqPC.
-func (p *Parallelizer) ilpParHetero(rs *regionSpec, seqPC, maxTasks int) *Solution {
+// solution beats sequential execution on seqPC; otherwise the portable
+// index assignment (assembleFromAssignment builds the Solution).
+func (p *Parallelizer) ilpParHetero(rs *regionSpec, seqPC, maxTasks int) *regionAssignment {
 	nItems := len(rs.items)
 	nClasses := len(p.pf.Classes)
 	T := maxTasks
@@ -559,7 +560,7 @@ func (p *Parallelizer) solveWithIncumbent(m *ilp.Model, incumbent []float64, met
 	}
 	res := ilp.Solve(m, opt)
 	dur := time.Since(start)
-	p.stats.record(SolveRecord{
+	p.recordSolve(SolveRecord{
 		Region:     meta.region,
 		Model:      meta.model,
 		Class:      meta.class,
@@ -609,45 +610,49 @@ func (p *Parallelizer) solveWithIncumbent(m *ilp.Model, incumbent []float64, met
 	return &res
 }
 
-// extractHetero converts an ILP point into a Solution.
+// extractHetero converts an ILP point into a portable index assignment.
 func (p *Parallelizer) extractHetero(rs *regionSpec, X []float64,
 	x [][]ilp.VarID, pv [][][]ilp.VarID, mp [][]ilp.VarID,
-	seqPC int, obj float64) *Solution {
+	seqPC int, obj float64) *regionAssignment {
 
 	nClasses := len(p.pf.Classes)
 	T := len(mp)
 	on := func(id ilp.VarID) bool { return X[id] > 0.5 }
 
-	taskOf := make([]int, len(rs.items))
-	chosen := make([]*Solution, len(rs.items))
+	a := &regionAssignment{
+		TaskOf:    make([]int, len(rs.items)),
+		CandClass: make([]int, len(rs.items)),
+		CandSlot:  make([]int, len(rs.items)),
+		ClassOf:   make([]int, T),
+		Obj:       obj,
+	}
 	for n, it := range rs.items {
-		taskOf[n] = 0
+		a.TaskOf[n] = 0
 		for t := 0; t < T; t++ {
 			if on(x[n][t]) {
-				taskOf[n] = t
+				a.TaskOf[n] = t
 			}
 		}
+		// Slot -1 = the sequential candidate on seqPC (the extraction
+		// fallback when the point selects no candidate binary).
+		a.CandClass[n], a.CandSlot[n] = seqPC, -1
 		for c := 0; c < nClasses; c++ {
 			for s := range it.cands[c] {
 				if on(pv[n][c][s]) {
-					chosen[n] = it.cands[c][s]
+					a.CandClass[n], a.CandSlot[n] = c, s
 				}
 			}
 		}
-		if chosen[n] == nil {
-			chosen[n] = seqCandOn(it, seqPC)
-		}
 	}
-	classOf := make([]int, T)
 	for t := 0; t < T; t++ {
-		classOf[t] = seqPC
+		a.ClassOf[t] = seqPC
 		for c := 0; c < nClasses; c++ {
 			if on(mp[t][c]) {
-				classOf[t] = c
+				a.ClassOf[t] = c
 			}
 		}
 	}
-	return p.assembleSolution(rs, taskOf, chosen, classOf, seqPC, obj)
+	return a
 }
 
 // assembleSolution builds the Solution object from decoded assignments.

@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/htg"
 	"repro/internal/obs"
 	"repro/internal/platform"
+	"repro/internal/solstore"
 )
 
 // Approach selects the parallelization algorithm.
@@ -71,6 +73,17 @@ type Config struct {
 	// DisableHierarchy runs a single flat ILP over the root region only
 	// (ablation; inner nodes keep sequential candidates only).
 	DisableHierarchy bool
+	// RegionWorkers bounds the worker pool solving a node's independent
+	// region sweeps concurrently (0 or 1 = sequential). Results are
+	// merged in deterministic unit order, so every output — solutions,
+	// stats tables, reports — is byte-identical for any worker count.
+	RegionWorkers int
+	// Store, when non-nil, is the shared region-solve store: every
+	// region ILP is looked up by its canonical fingerprint before
+	// solving, and solved results (including proven "no improvement"
+	// outcomes) are published for reuse across runs, scenarios and
+	// design-space sweep points sharing the store.
+	Store *solstore.Store
 	// Tracer, when non-nil, receives one span per ILP solve (region,
 	// model shape, solver outcome attributes).
 	Tracer *obs.Tracer
@@ -93,7 +106,9 @@ type Config struct {
 // two configs with equal fingerprints are interchangeable for caching.
 // The observability sinks (Tracer, Metrics) and the Audit hook are
 // deliberately excluded: they never change which solutions are produced,
-// only whether defective ones are reported.
+// only whether defective ones are reported. RegionWorkers and Store are
+// excluded for the same reason — scheduling width and cache reuse are
+// guaranteed not to change any output.
 func (c Config) Fingerprint() string {
 	d := c.withDefaults()
 	return fmt.Sprintf("items:%d;cands:%d;tasks:%d;nodes:%d;timeout:%s;gap:%g;chunk:%t;pipe:%t;hier:%t;workers:%d;seed:%d",
@@ -295,6 +310,11 @@ func (r *Result) EstimatedSpeedup(g *htg.Graph) float64 {
 type Parallelizer struct {
 	pf    *platform.Platform
 	cfg   Config
+	store *solstore.Store
+	// mu guards stats: region units run concurrently when RegionWorkers
+	// exceeds one, and record accumulation must stay safe even though
+	// determinism comes from the ordered unit merge, not the lock.
+	mu    sync.Mutex
 	stats Stats
 }
 
@@ -318,7 +338,7 @@ func Parallelize(g *htg.Graph, pf *platform.Platform, mainClass int, approach Ap
 		workPF.TaskCreateNs = pf.TaskCreateNs
 		workMain = 0
 	}
-	p := &Parallelizer{pf: workPF, cfg: cfg.withDefaults()}
+	p := &Parallelizer{pf: workPF, cfg: cfg.withDefaults(), store: cfg.Store}
 	sets := map[*htg.Node]*SolutionSet{}
 	p.parallelizeNode(g.Root, sets)
 	set := sets[g.Root]
@@ -366,26 +386,37 @@ func (p *Parallelizer) parallelizeNode(n *htg.Node, sets map[*htg.Node]*Solution
 	if n.TotalCount == 0 {
 		return // never executed: nothing to gain
 	}
-	// Lines 14-21: per main class, sweep the task bound downward.
+	// Lines 14-21: per main class, sweep the task bound downward. Each
+	// (region, class) sweep is one independent unit: the sweep chain is
+	// sequential within itself (the next bound depends on the previous
+	// solution's task count) but shares nothing with its siblings, so
+	// units run concurrently on the RegionWorkers pool and merge back in
+	// unit order — reproducing the sequential solve order exactly.
 	regions := []*regionSpec{p.clusterRegion(p.statementRegion(n, sets), p.cfg.MaxItemsPerILP)}
 	if !p.cfg.DisableChunking && n.Kind == htg.KindLoop && n.Loop != nil && n.Loop.Parallel {
 		regions = append(regions, p.chunkRegion(n))
 	}
+	var units []*regionUnit
 	for _, rs := range regions {
 		for seqPC := range p.pf.Classes {
-			i := p.taskBound()
-			for i > 1 {
-				r := p.regionSolver(rs, seqPC, i)
-				if r == nil {
-					break
+			rs, seqPC := rs, seqPC
+			units = append(units, &regionUnit{seqPC: seqPC, run: func(sub *Parallelizer) []*Solution {
+				var sols []*Solution
+				i := sub.taskBound()
+				for i > 1 {
+					r := sub.solveRegion(rs, seqPC, i)
+					if r == nil {
+						break
+					}
+					sols = append(sols, r)
+					next := r.NumTasks - 1
+					if next >= i {
+						next = i - 1
+					}
+					i = next
 				}
-				set.ByClass[seqPC] = append(set.ByClass[seqPC], r)
-				next := r.NumTasks - 1
-				if next >= i {
-					next = i - 1
-				}
-				i = next
-			}
+				return sols
+			}})
 		}
 	}
 	// Future-work extension: pipeline the body of recurrence loops whose
@@ -402,11 +433,17 @@ func (p *Parallelizer) parallelizeNode(n *htg.Node, sets map[*htg.Node]*Solution
 		// Pipelines are created once per loop entry, not per iteration.
 		rs.spawnCount = float64(n.TotalCount)
 		for seqPC := range p.pf.Classes {
-			if r := p.ilpParPipeline(rs, iters, seqPC, p.taskBound()); r != nil {
-				set.ByClass[seqPC] = append(set.ByClass[seqPC], r)
-			}
+			seqPC := seqPC
+			units = append(units, &regionUnit{seqPC: seqPC, run: func(sub *Parallelizer) []*Solution {
+				if r := sub.solvePipeline(rs, iters, seqPC, sub.taskBound()); r != nil {
+					return []*Solution{r}
+				}
+				return nil
+			}})
 		}
 	}
+	p.runUnits(units)
+	p.mergeUnits(set, units)
 	set.prune(p.cfg.MaxCandsPerClass)
 }
 

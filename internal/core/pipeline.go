@@ -62,7 +62,7 @@ func pipelinable(n *htg.Node) bool {
 // statement region. Items must be the loop's children in program order
 // (the statementRegion construction guarantees this). Returns nil when
 // pipelining does not beat sequential execution on seqPC.
-func (p *Parallelizer) ilpParPipeline(rs *regionSpec, iters float64, seqPC, maxTasks int) *Solution {
+func (p *Parallelizer) ilpParPipeline(rs *regionSpec, iters float64, seqPC, maxTasks int) *regionAssignment {
 	nItems := len(rs.items)
 	nClasses := len(p.pf.Classes)
 	T := maxTasks
@@ -273,30 +273,31 @@ func (p *Parallelizer) ilpParPipeline(rs *regionSpec, iters float64, seqPC, maxT
 		return nil
 	}
 	on := func(id ilp.VarID) bool { return res.X[id] > 0.5 }
-	taskOf := make([]int, nItems)
-	classOf := make([]int, T)
+	a := &regionAssignment{
+		TaskOf:    make([]int, nItems),
+		CandClass: make([]int, nItems),
+		CandSlot:  make([]int, nItems),
+		ClassOf:   make([]int, T),
+		Obj:       res.Obj,
+		Pipelined: true,
+	}
 	for t := 0; t < T; t++ {
-		classOf[t] = seqPC
+		a.ClassOf[t] = seqPC
 		for c := 0; c < nClasses; c++ {
 			if on(mp[t][c]) {
-				classOf[t] = c
+				a.ClassOf[t] = c
 			}
 		}
 	}
-	chosen := make([]*Solution, nItems)
 	for n := 0; n < nItems; n++ {
-		taskOf[n] = 0
+		a.TaskOf[n] = 0
 		for t := 0; t < T; t++ {
 			if on(x[n][t]) {
-				taskOf[n] = t
+				a.TaskOf[n] = t
 			}
 		}
-		chosen[n] = seqCandOn(rs.items[n], classOf[taskOf[n]])
+		// Each stage item runs its stage class's sequential candidate.
+		a.CandClass[n], a.CandSlot[n] = a.ClassOf[a.TaskOf[n]], -1
 	}
-	sol := p.assembleSolution(rs, taskOf, chosen, classOf, seqPC, res.Obj)
-	if sol == nil {
-		return nil
-	}
-	sol.Kind = KindPipelined
-	return sol
+	return a
 }

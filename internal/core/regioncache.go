@@ -1,0 +1,270 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// Region-solve caching: every region ILP is identified by a canonical
+// fingerprint of exactly the facts the solver sees — the items'
+// per-class candidate costs, boundary and edge communication, spawn
+// accounting, the platform's class budgets and task-creation overhead,
+// and the solver configuration. Two solves with equal keys run the
+// same deterministic search and reach the same decisions, so the store
+// can hand back a previously computed regionAssignment (pure indices,
+// no pointers) and the caller reassembles it against its own
+// regionSpec. That makes cached results portable across benchmarks,
+// scenarios and sweep points: a region keeps its solution as long as
+// the varied parameter does not change any solver-visible number.
+//
+// Notably the key excludes the region's HTG label and the main-class
+// scenario of the *surrounding* run: parallelizeNode solves every
+// region for every seqPC class regardless of the requested scenario, so
+// two scenarios on one platform share their entire region workload.
+
+// regionAssignment is the portable result of one region ILP: pure
+// index-based decisions, reassembled against the caller's regionSpec.
+type regionAssignment struct {
+	// TaskOf maps item index to task index.
+	TaskOf []int
+	// CandClass/CandSlot select item candidates: cands[CandClass[n]][CandSlot[n]],
+	// with slot -1 meaning the sequential candidate on CandClass[n].
+	CandClass []int
+	CandSlot  []int
+	// ClassOf maps task index to processor class.
+	ClassOf []int
+	// Obj is the solver objective (the solution's TimeNs).
+	Obj float64
+	// Pipelined marks stage-partitioning results (KindPipelined).
+	Pipelined bool
+}
+
+// regionOutcome is the store value of one region solve. A nil Asg
+// records a proven "no improvement over sequential" so unprofitable
+// regions are never re-solved. Recs carries the solve telemetry for
+// replay on hits, keeping Stats independent of cache warmth.
+type regionOutcome struct {
+	Asg  *regionAssignment
+	Recs []SolveRecord
+}
+
+// scratch derives a Parallelizer that shares the platform and config
+// but accumulates records privately — the per-unit and per-computation
+// collector that keeps concurrent record accumulation ordered.
+func (p *Parallelizer) scratch() *Parallelizer {
+	return &Parallelizer{pf: p.pf, cfg: p.cfg}
+}
+
+// scratchWithStore is scratch plus the shared store (for region units,
+// which consult the store; store-computation scratches must not, or a
+// singleflight computation could deadlock on its own key).
+func (p *Parallelizer) scratchWithStore() *Parallelizer {
+	s := p.scratch()
+	s.store = p.store
+	return s
+}
+
+// recordSolve appends one solve record under the parallelizer's lock.
+func (p *Parallelizer) recordSolve(rec SolveRecord) {
+	p.mu.Lock()
+	p.stats.record(rec)
+	p.mu.Unlock()
+}
+
+// replayRecords re-emits cached solve telemetry under the caller's
+// region label (the label names the HTG node and is deliberately not
+// part of the key).
+func (p *Parallelizer) replayRecords(recs []SolveRecord, label string) {
+	for _, rec := range recs {
+		rec.Region = label
+		p.recordSolve(rec)
+	}
+}
+
+// solveRegion runs one region ILP (tasks or chunks model per rs.kind)
+// through the shared store when one is configured.
+func (p *Parallelizer) solveRegion(rs *regionSpec, seqPC, maxTasks int) *Solution {
+	if p.store == nil {
+		return p.assembleFromAssignment(rs, p.regionSolver(rs, seqPC, maxTasks), seqPC)
+	}
+	key := p.regionKey(rs, seqPC, maxTasks, 0, false)
+	v, _ := p.store.GetOrCompute(key, func() any {
+		scratch := p.scratch()
+		return &regionOutcome{
+			Asg:  scratch.regionSolver(rs, seqPC, maxTasks),
+			Recs: scratch.stats.Solves,
+		}
+	})
+	out := v.(*regionOutcome)
+	p.replayRecords(out.Recs, regionLabel(rs))
+	return p.assembleFromAssignment(rs, out.Asg, seqPC)
+}
+
+// solvePipeline is solveRegion for the stage-partitioning model.
+func (p *Parallelizer) solvePipeline(rs *regionSpec, iters float64, seqPC, maxTasks int) *Solution {
+	if p.store == nil {
+		return p.assembleFromAssignment(rs, p.ilpParPipeline(rs, iters, seqPC, maxTasks), seqPC)
+	}
+	key := p.regionKey(rs, seqPC, maxTasks, iters, true)
+	v, _ := p.store.GetOrCompute(key, func() any {
+		scratch := p.scratch()
+		return &regionOutcome{
+			Asg:  scratch.ilpParPipeline(rs, iters, seqPC, maxTasks),
+			Recs: scratch.stats.Solves,
+		}
+	})
+	out := v.(*regionOutcome)
+	p.replayRecords(out.Recs, regionLabel(rs))
+	return p.assembleFromAssignment(rs, out.Asg, seqPC)
+}
+
+// assembleFromAssignment materializes a Solution from a cached or fresh
+// assignment against the caller's regionSpec. Returns nil for nil
+// assignments and for assignments that assemble to a degenerate
+// (sequential, no inner parallelism) solution.
+func (p *Parallelizer) assembleFromAssignment(rs *regionSpec, a *regionAssignment, seqPC int) *Solution {
+	if a == nil {
+		return nil
+	}
+	chosen := make([]*Solution, len(rs.items))
+	for n, it := range rs.items {
+		if a.CandSlot[n] >= 0 {
+			chosen[n] = it.cands[a.CandClass[n]][a.CandSlot[n]]
+		} else {
+			chosen[n] = seqCandOn(it, a.CandClass[n])
+		}
+	}
+	sol := p.assembleSolution(rs, a.TaskOf, chosen, a.ClassOf, seqPC, a.Obj)
+	if sol == nil {
+		return nil
+	}
+	if a.Pipelined {
+		sol.Kind = KindPipelined
+	}
+	return sol
+}
+
+// regionKey computes the canonical fingerprint of one region solve.
+func (p *Parallelizer) regionKey(rs *regionSpec, seqPC, maxTasks int, iters float64, pipeline bool) string {
+	h := sha256.New()
+	var buf [8]byte
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wi := func(v int) { wu(uint64(int64(v))) }
+	wf := func(v float64) { wu(math.Float64bits(v)) }
+
+	h.Write([]byte("rk1|"))
+	h.Write([]byte(p.cfg.Fingerprint()))
+	// Platform facts the models read directly; clocks and bus parameters
+	// enter only through the item numerics below, so platforms that
+	// price a region identically share its solutions.
+	wf(p.pf.TaskCreateNs)
+	wi(len(p.pf.Classes))
+	for _, cl := range p.pf.Classes {
+		wi(cl.Count)
+	}
+	wi(seqPC)
+	wi(maxTasks)
+	if pipeline {
+		wi(1)
+	} else {
+		wi(0)
+	}
+	wf(iters)
+	wi(int(rs.kind))
+	wf(rs.spawnCount)
+	wi(len(rs.items))
+	for _, it := range rs.items {
+		wf(it.inCommNs)
+		wf(it.outCommNs)
+		wi(len(it.cands))
+		for _, cl := range it.cands {
+			wi(len(cl))
+			for _, s := range cl {
+				wf(s.TimeNs)
+				wi(int(s.Kind))
+				wi(s.NumTasks)
+				wi(len(s.ProcsUsed))
+				for _, n := range s.ProcsUsed {
+					wi(n)
+				}
+			}
+		}
+	}
+	wi(len(rs.edges))
+	for _, e := range rs.edges {
+		wi(e.from)
+		wi(e.to)
+		wf(e.commNs)
+	}
+	return "region|" + hex.EncodeToString(h.Sum(nil))
+}
+
+// regionUnit is one independently solvable work packet of a node's
+// parallel-set construction: the full downward task-bound sweep of one
+// (region, main-class) pair, or one pipeline class. Units run
+// concurrently on the RegionWorkers pool and are merged in unit order,
+// which reproduces the sequential solve and record order exactly.
+type regionUnit struct {
+	seqPC int
+	run   func(sub *Parallelizer) []*Solution
+	sols  []*Solution
+	recs  []SolveRecord
+}
+
+// execute runs the unit on a private sub-parallelizer and captures its
+// solutions and records for the ordered merge.
+func (u *regionUnit) execute(parent *Parallelizer) {
+	sub := parent.scratchWithStore()
+	u.sols = u.run(sub)
+	u.recs = sub.stats.Solves
+}
+
+// runUnits executes units sequentially or on a bounded worker pool of
+// cfg.RegionWorkers goroutines. Either way the units' results are
+// only read after all of them complete, and the caller merges them in
+// unit order, so scheduling cannot influence any output.
+func (p *Parallelizer) runUnits(units []*regionUnit) {
+	workers := p.cfg.RegionWorkers
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers <= 1 {
+		for _, u := range units {
+			u.execute(p)
+		}
+		return
+	}
+	ch := make(chan *regionUnit)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			for u := range ch {
+				u.execute(p)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for _, u := range units {
+		ch <- u
+	}
+	close(ch)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}
+
+// mergeUnits folds unit results into the node's solution set and the
+// parallelizer's stats, in unit order.
+func (p *Parallelizer) mergeUnits(set *SolutionSet, units []*regionUnit) {
+	for _, u := range units {
+		set.ByClass[u.seqPC] = append(set.ByClass[u.seqPC], u.sols...)
+		for _, rec := range u.recs {
+			p.recordSolve(rec)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/htg"
 	"repro/internal/obs"
 	"repro/internal/platform"
+	"repro/internal/solstore"
 )
 
 // HTGHash returns a canonical content hash of an Augmented Hierarchical
@@ -116,38 +117,75 @@ type Outcome struct {
 	GAGapPct  float64 `json:"ga_gap_pct"`
 }
 
+// dseKeyPrefix namespaces whole-solution outcomes inside the shared
+// store; region keys carry a "region|" prefix (see core), so the two
+// populations can never collide.
+const dseKeyPrefix = "dse|"
+
 // Cache is a concurrency-safe, content-addressed store of evaluation
-// outcomes: an in-memory map, optionally backed by a directory of
+// outcomes. Its in-memory interior is a solstore.Store — usually the
+// same sharded store the parallelizer consults for region subproblems,
+// so one size-bounded arena serves both whole-solution recalls and
+// cross-point region reuse — optionally backed by a directory of
 // <key>.json files so later runs start warm. Hit/miss counts flow into
 // the obs metrics registry under dse.cache.*.
 type Cache struct {
-	mu      sync.Mutex
-	mem     map[string]Outcome
+	store   *solstore.Store
 	dir     string
 	metrics *obs.Registry
-	hits    int
-	misses  int
+
+	mu     sync.Mutex
+	hits   int
+	misses int
+	// storeHits/storeMisses record the cache's own contribution to the
+	// interior store's counters (each Get performs exactly one store
+	// lookup). Callers sharing the store with region solves subtract
+	// these to recover pure region-solve traffic.
+	storeHits   int
+	storeMisses int
 }
 
-// NewCache creates a cache. dir may be empty (memory-only); otherwise
-// it is created on first Put. metrics may be nil.
+// NewCache creates a cache over a private interior store. dir may be
+// empty (memory-only); otherwise it is created on first Put. metrics
+// may be nil.
 func NewCache(dir string, metrics *obs.Registry) *Cache {
-	return &Cache{mem: map[string]Outcome{}, dir: dir, metrics: metrics}
+	return NewCacheOn(nil, dir, metrics)
 }
 
-// Get looks the key up in memory, then on disk. Every call counts as
-// exactly one hit or miss.
+// NewCacheOn creates a cache whose interior is the given shared store,
+// so whole-solution outcomes and region subproblems live in one
+// bounded arena. A nil store gets a private default store.
+func NewCacheOn(store *solstore.Store, dir string, metrics *obs.Registry) *Cache {
+	if store == nil {
+		store = solstore.New(solstore.Options{Metrics: metrics})
+	}
+	return &Cache{store: store, dir: dir, metrics: metrics}
+}
+
+// Store returns the cache's interior solution store (never nil), for
+// sharing with the parallelizer's region-solve path.
+func (c *Cache) Store() *solstore.Store { return c.store }
+
+// Get looks the key up in the interior store, then on disk. Every call
+// counts as exactly one hit or miss.
 func (c *Cache) Get(key string) (Outcome, bool) {
+	var out Outcome
+	v, ok := c.store.Get(dseKeyPrefix + key)
 	c.mu.Lock()
-	out, ok := c.mem[key]
+	if ok {
+		c.storeHits++
+	} else {
+		c.storeMisses++
+	}
 	c.mu.Unlock()
+	if ok {
+		out, ok = v.(Outcome)
+	}
 	if !ok && c.dir != "" {
 		if data, err := os.ReadFile(filepath.Join(c.dir, key+".json")); err == nil {
 			if json.Unmarshal(data, &out) == nil {
 				ok = true
-				c.mu.Lock()
-				c.mem[key] = out
-				c.mu.Unlock()
+				c.store.Put(dseKeyPrefix+key, out)
 			}
 		}
 	}
@@ -166,12 +204,10 @@ func (c *Cache) Get(key string) (Outcome, bool) {
 	return out, ok
 }
 
-// Put stores the outcome in memory and, when a directory is
-// configured, persists it as <key>.json (atomically via rename).
+// Put stores the outcome in the interior store and, when a directory
+// is configured, persists it as <key>.json (atomically via rename).
 func (c *Cache) Put(key string, out Outcome) error {
-	c.mu.Lock()
-	c.mem[key] = out
-	c.mu.Unlock()
+	c.store.Put(dseKeyPrefix+key, out)
 	if c.dir == "" {
 		return nil
 	}
@@ -194,6 +230,14 @@ func (c *Cache) Stats() (hits, misses int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// StoreTraffic returns how many interior-store hits and misses this
+// cache's Gets have generated since creation.
+func (c *Cache) StoreTraffic() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.storeHits, c.storeMisses
 }
 
 // HitRate returns hits/(hits+misses), 0 when empty.

@@ -13,6 +13,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mpsoc"
 	"repro/internal/obs"
+	"repro/internal/solstore"
 )
 
 // Workload is one prepared benchmark of the sweep: the analysis
@@ -63,6 +64,13 @@ type Engine struct {
 	Seed int64
 	// Cache, when non-nil, short-circuits repeated evaluations.
 	Cache *Cache
+	// Store, when non-nil, is the shared region-solve store threaded
+	// into every evaluation's parallelizer config so neighboring sweep
+	// points reuse region subproblems (and, when Cache is nil, it also
+	// serves as the interior of the run's whole-solution cache). When
+	// nil, the run shares the cache's interior store instead, so the
+	// two layers always cooperate by default.
+	Store *solstore.Store
 	// Obs receives phase spans and solver/cache metrics (may be nil).
 	Obs *obs.Observer
 	// SkipAudit disables the per-evaluation race-and-budget audit of every
@@ -106,8 +114,16 @@ type SweepResult struct {
 	// (maximize GeoSpeedup, minimize Cores, minimize MeanEnergyUJ),
 	// best speedup first.
 	Front []PointSummary
-	// CacheHits / CacheMisses count this run's cache outcomes.
+	// CacheHits / CacheMisses count this run's whole-solution cache
+	// outcomes.
 	CacheHits, CacheMisses int
+	// RegionHits / RegionMisses / RegionDedups count this run's
+	// region-solve store outcomes (whole-solution cache traffic
+	// excluded): hits are region ILPs served from the shared store
+	// instead of re-solved, dedups are concurrent duplicate solves
+	// collapsed in flight. Cross-point reuse shows up here — two
+	// points sharing a platform share their entire region workload.
+	RegionHits, RegionMisses, RegionDedups int
 	// Workloads lists the swept benchmark names in order.
 	Workloads []string
 }
@@ -119,6 +135,16 @@ func (r *SweepResult) HitRate() float64 {
 		return 0
 	}
 	return float64(r.CacheHits) / float64(n)
+}
+
+// RegionHitRate returns the run's region-solve store hit rate in
+// [0, 1].
+func (r *SweepResult) RegionHitRate() float64 {
+	n := r.RegionHits + r.RegionMisses
+	if n == 0 {
+		return 0
+	}
+	return float64(r.RegionHits) / float64(n)
 }
 
 // MedianGAGapPct returns the median per-row GA-vs-ILP gap of the sweep.
@@ -143,9 +169,13 @@ func (e *Engine) Run(ctx context.Context, points []Point, workloads []*Workload)
 	if workers <= 0 {
 		workers = runtime.NumCPU() //repolint:allow numcpu (pool width only: points are independent and folded in point order)
 	}
+	store := e.Store
 	cache := e.Cache
 	if cache == nil {
-		cache = NewCache("", e.Obs.M())
+		cache = NewCacheOn(store, "", e.Obs.M())
+	}
+	if store == nil {
+		store = cache.Store()
 	}
 	sweep := e.Obs.T().Start("dse-sweep",
 		obs.Int("points", len(points)),
@@ -168,13 +198,15 @@ func (e *Engine) Run(ctx context.Context, points []Point, workloads []*Workload)
 		firstEr error
 	)
 	startHits, startMisses := cache.Stats()
+	startStore := store.Stats()
+	startTrafHits, startTrafMisses := cache.StoreTraffic()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for ji := range jobCh {
 				j := jobs[ji]
-				row, err := e.evaluate(points[j.pi], workloads[j.wi], cache)
+				row, err := e.evaluate(points[j.pi], workloads[j.wi], cache, store)
 				if err != nil {
 					errOnce.Do(func() { firstEr = err })
 					continue
@@ -211,8 +243,20 @@ feed:
 		return nil, firstEr
 	}
 	endHits, endMisses := cache.Stats()
+	endStore := store.Stats()
 
 	res := &SweepResult{Rows: rows, CacheHits: endHits - startHits, CacheMisses: endMisses - startMisses}
+	// The store's counters mix region-solve traffic with the cache's
+	// own lookups when the two layers share it; subtract the cache's
+	// contribution so the Region* counters isolate region reuse.
+	res.RegionHits = int(endStore.Hits - startStore.Hits)
+	res.RegionMisses = int(endStore.Misses - startStore.Misses)
+	res.RegionDedups = int(endStore.Dedups - startStore.Dedups)
+	if cache.Store() == store {
+		endTrafHits, endTrafMisses := cache.StoreTraffic()
+		res.RegionHits -= endTrafHits - startTrafHits
+		res.RegionMisses -= endTrafMisses - startTrafMisses
+	}
 	for _, w := range workloads {
 		res.Workloads = append(res.Workloads, w.Name)
 	}
@@ -226,17 +270,21 @@ feed:
 		res.Summaries[i].Pareto = mark[res.Summaries[i].Point.ID]
 	}
 	e.Obs.M().Gauge("dse.cache.hit_rate").Set(res.HitRate())
+	e.Obs.M().Gauge("dse.region_store.hit_rate").Set(res.RegionHitRate())
 	e.Obs.M().Gauge("dse.ga.median_gap_pct").Set(res.MedianGAGapPct())
 	sweep.SetAttr(
 		obs.Int("cache_hits", res.CacheHits),
 		obs.Int("cache_misses", res.CacheMisses),
+		obs.Int("region_hits", res.RegionHits),
+		obs.Int("region_misses", res.RegionMisses),
+		obs.Int("region_dedups", res.RegionDedups),
 		obs.Float("ga_median_gap_pct", res.MedianGAGapPct()))
 	return res, nil
 }
 
 // evaluate runs (or recalls) one sweep job: ILP parallelization,
 // simulation, and the GA baseline with its quality gap.
-func (e *Engine) evaluate(pt Point, w *Workload, cache *Cache) (Row, error) {
+func (e *Engine) evaluate(pt Point, w *Workload, cache *Cache, store *solstore.Store) (Row, error) {
 	mainClass := pt.Scenario.MainClass(pt.Platform)
 	key := CacheKey(w.Hash, pt.Platform, mainClass, e.Config)
 	if out, ok := cache.Get(key); ok {
@@ -249,6 +297,14 @@ func (e *Engine) evaluate(pt Point, w *Workload, cache *Cache) (Row, error) {
 
 	cfg := e.Config
 	cfg.Metrics = e.Obs.M()
+	if cfg.Store == nil {
+		// Share region subproblems across sweep points: two points on
+		// the same platform (or any pair whose regions reduce to the
+		// same solver-visible numbers) reuse each other's region
+		// solves. Output-neutral, so the whole-solution CacheKey is
+		// unaffected.
+		cfg.Store = store
+	}
 	if !e.SkipAudit {
 		cfg.Audit = analysis.AuditResult
 	}

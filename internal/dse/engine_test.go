@@ -11,6 +11,8 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/platform"
+	"repro/internal/solstore"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -178,6 +180,93 @@ func TestEngineIntraRunCacheHits(t *testing.T) {
 	}
 	if res.CacheHits != len(points)/2 {
 		t.Errorf("intra-run hits = %d, want %d (one per duplicate scenario)", res.CacheHits, len(points)/2)
+	}
+}
+
+// TestEngineCrossPointRegionReuse checks the shared region-solve store
+// pays off across sweep points: two points on the same platform with
+// different main classes miss the whole-solution cache but share their
+// entire region workload (the parallelizer solves every region for
+// every class), and a second sweep over a warm store re-solves nothing.
+func TestEngineCrossPointRegionReuse(t *testing.T) {
+	spec := tinySpace()
+	spec.Scenarios = []platform.Scenario{platform.ScenarioAccelerator, platform.ScenarioSlowerCores}
+	var pair []Point
+	for _, p := range spec.Enumerate() {
+		if len(p.Platform.Classes) < 2 {
+			continue
+		}
+		if len(pair) == 1 && pair[0].Platform.Fingerprint() == p.Platform.Fingerprint() &&
+			pair[0].Scenario.MainClass(pair[0].Platform) != p.Scenario.MainClass(p.Platform) {
+			pair = append(pair, p)
+			break
+		}
+		pair = pair[:0]
+		pair = append(pair, p)
+	}
+	if len(pair) != 2 {
+		t.Fatalf("no scenario pair with distinct main classes enumerated")
+	}
+	w := testWorkload(t, "tiny1", tinyProgram)
+	store := solstore.New(solstore.Options{})
+
+	run := func() *SweepResult {
+		eng := &Engine{Workers: 1, Config: cheapConfig(), GA: cheapGA(), Seed: 42,
+			Cache: NewCache("", nil), Store: store}
+		res, err := eng.Run(context.Background(), pair, []*Workload{w})
+		if err != nil {
+			t.Fatalf("sweep: %v", err)
+		}
+		return res
+	}
+
+	cold := run()
+	if cold.CacheHits != 0 {
+		t.Fatalf("distinct main classes still hit the whole-solution cache (%d hits)", cold.CacheHits)
+	}
+	if cold.RegionMisses == 0 {
+		t.Errorf("cold sweep recorded no region-store misses; store not consulted")
+	}
+	if cold.RegionHits == 0 {
+		t.Errorf("second point reused no region solves; want cross-point hits")
+	}
+
+	// Fresh whole-solution cache, warm shared store: every region solve
+	// of every point is served from the store.
+	warm := run()
+	if warm.CacheMisses != len(warm.Rows) {
+		t.Fatalf("fresh cache unexpectedly hit (%d misses, want %d)", warm.CacheMisses, len(warm.Rows))
+	}
+	if warm.RegionMisses != 0 {
+		t.Errorf("warm sweep re-solved %d regions; want 0", warm.RegionMisses)
+	}
+	if warm.RegionHits == 0 {
+		t.Errorf("warm sweep recorded no region-store hits")
+	}
+	if warm.RegionHitRate() != 1 {
+		t.Errorf("warm region hit rate = %g, want 1", warm.RegionHitRate())
+	}
+}
+
+// TestEngineSharedStoreDefault checks the cooperation default: with no
+// explicit Store the engine threads the cache's interior store through
+// the parallelizer, so region reuse needs no extra wiring.
+func TestEngineSharedStoreDefault(t *testing.T) {
+	cache := NewCache("", nil)
+	spec := tinySpace()
+	spec.MaxClasses = 1
+	points := spec.Enumerate()
+	w := testWorkload(t, "tiny2", tinyProgram2)
+	eng := &Engine{Workers: 1, Config: cheapConfig(), GA: cheapGA(), Seed: 7, Cache: cache}
+	res, err := eng.Run(context.Background(), points, []*Workload{w})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if res.RegionMisses == 0 {
+		t.Errorf("cache's interior store saw no region traffic; engine did not share it")
+	}
+	if got := cache.Store().Len(); got == 0 {
+		t.Errorf("interior store empty after sweep")
 	}
 }
 

@@ -1,0 +1,252 @@
+package solstore
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestPutGetRoundTrip checks the basic contract: what goes in comes out,
+// misses report false, and metrics count both.
+func TestPutGetRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Options{Capacity: 32, Shards: 4, Metrics: reg})
+	s.Put("a", 1)
+	s.Put("b", "two")
+	if v, ok := s.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v; want 1, true", v, ok)
+	}
+	if v, ok := s.Get("b"); !ok || v.(string) != "two" {
+		t.Fatalf("Get(b) = %v, %v; want two, true", v, ok)
+	}
+	if _, ok := s.Get("c"); ok {
+		t.Fatalf("Get(c) hit; want miss")
+	}
+	st := s.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v; want 2 hits, 1 miss, 2 entries", st)
+	}
+	if reg.Counter("solstore.hits").Value() != 2 {
+		t.Fatalf("registry hits = %d; want 2", reg.Counter("solstore.hits").Value())
+	}
+}
+
+// TestNilStoreSafe checks that every method is a safe no-op on a nil
+// store, so call sites can thread an optional store without branching.
+func TestNilStoreSafe(t *testing.T) {
+	var s *Store
+	s.Put("k", 1)
+	if _, ok := s.Get("k"); ok {
+		t.Fatalf("nil store Get hit")
+	}
+	v, hit := s.GetOrCompute("k", func() any { return 7 })
+	if hit || v.(int) != 7 {
+		t.Fatalf("nil store GetOrCompute = %v, %v; want 7, false", v, hit)
+	}
+	if s.Len() != 0 || s.Stats().Entries != 0 {
+		t.Fatalf("nil store not empty")
+	}
+}
+
+// TestConcurrentGetPut hammers the store from many goroutines over a
+// shared key set. Run under -race this is the data-race gate for the
+// shard locking.
+func TestConcurrentGetPut(t *testing.T) {
+	s := New(Options{Capacity: 128, Shards: 8})
+	const goroutines = 16
+	const ops = 400
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				key := fmt.Sprintf("k%03d", (g*7+i)%64)
+				if i%3 == 0 {
+					s.Put(key, g*ops+i)
+				} else {
+					if v, ok := s.Get(key); ok {
+						if _, isInt := v.(int); !isInt {
+							t.Errorf("Get(%s) returned %T; want int", key, v)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := s.Len(); n == 0 || n > 64 {
+		t.Fatalf("Len() = %d; want 1..64", n)
+	}
+}
+
+// TestSingleflightCollapse launches many concurrent GetOrCompute calls
+// for the same key and checks exactly one computation ran, everyone got
+// its value, and the joiners were counted as dedups.
+func TestSingleflightCollapse(t *testing.T) {
+	s := New(Options{Capacity: 16, Shards: 1})
+	var computed atomic.Int64
+	release := make(chan struct{})
+	const callers = 12
+
+	var wg sync.WaitGroup
+	vals := make([]int, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _ := s.GetOrCompute("hot", func() any {
+				computed.Add(1)
+				<-release // hold the computation open so others must join
+				return 42
+			})
+			vals[i] = v.(int)
+		}(i)
+	}
+	// Wait until the first caller is inside fn (computed == 1), then
+	// release; joiners registered before or after release both share it.
+	for computed.Load() == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if got := computed.Load(); got != 1 {
+		t.Fatalf("fn ran %d times; want 1", got)
+	}
+	for i, v := range vals {
+		if v != 42 {
+			t.Fatalf("caller %d got %d; want 42", i, v)
+		}
+	}
+	st := s.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d; want 1 (the computing caller)", st.Misses)
+	}
+	if st.Dedups+st.Hits != callers-1 {
+		t.Fatalf("dedups(%d)+hits(%d) = %d; want %d joiners",
+			st.Dedups, st.Hits, st.Dedups+st.Hits, callers-1)
+	}
+	if st.Dedups == 0 {
+		t.Fatalf("dedups = 0; want at least one in-flight join")
+	}
+}
+
+// TestLRUEvictionDeterminism fills one shard past capacity in a fixed
+// order and checks exactly the least-recently-used keys were evicted —
+// twice, asserting identical survivor sets both times.
+func TestLRUEvictionDeterminism(t *testing.T) {
+	survivors := func() []string {
+		s := New(Options{Capacity: 4, Shards: 1})
+		for i := 0; i < 8; i++ {
+			s.Put(fmt.Sprintf("k%d", i), i)
+		}
+		// Touch k4 so it outlives the younger k5 under further inserts.
+		s.Get("k4")
+		s.Put("k8", 8)
+		s.Put("k9", 9)
+		var alive []string
+		for i := 0; i <= 9; i++ {
+			k := fmt.Sprintf("k%d", i)
+			if _, ok := s.Get(k); ok {
+				alive = append(alive, k)
+			}
+		}
+		return alive
+	}
+
+	// After inserting k0..k7 at cap 4 the survivors are k4..k7; touching
+	// k4 moves it ahead of k5/k6, so k8 evicts k5 and k9 evicts k6.
+	want := []string{"k4", "k7", "k8", "k9"}
+
+	first := survivors()
+	second := survivors()
+	if fmt.Sprint(first) != fmt.Sprint(want) {
+		t.Fatalf("survivors = %v; want %v", first, want)
+	}
+	if fmt.Sprint(second) != fmt.Sprint(first) {
+		t.Fatalf("eviction nondeterministic: %v vs %v", second, first)
+	}
+
+	s := New(Options{Capacity: 4, Shards: 1, Metrics: obs.NewRegistry()})
+	for i := 0; i < 8; i++ {
+		s.Put(fmt.Sprintf("k%d", i), i)
+	}
+	if st := s.Stats(); st.Evictions != 4 || st.Entries != 4 {
+		t.Fatalf("stats = %+v; want 4 evictions, 4 entries", st)
+	}
+}
+
+// TestDistinctKeysDistinctValues is the fingerprint-collision sanity
+// check: near-identical keys (one byte apart, same length — the shape a
+// weak fingerprint would collide on) must resolve to their own values.
+func TestDistinctKeysDistinctValues(t *testing.T) {
+	s := New(Options{Capacity: 4096, Shards: 8})
+	const n = 512
+	for i := 0; i < n; i++ {
+		s.Put(fmt.Sprintf("region|fp%04d|cfg", i), i)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := s.Get(fmt.Sprintf("region|fp%04d|cfg", i))
+		if !ok || v.(int) != i {
+			t.Fatalf("key %d resolved to %v, %v; want %d, true", i, v, ok, i)
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("Len() = %d; want %d", s.Len(), n)
+	}
+}
+
+// TestGetOrComputeConcurrentDistinctKeys checks the singleflight table
+// does not serialize different keys: distinct keys compute exactly once
+// each under concurrency.
+func TestGetOrComputeConcurrentDistinctKeys(t *testing.T) {
+	s := New(Options{Capacity: 256, Shards: 4})
+	var computed atomic.Int64
+	var wg sync.WaitGroup
+	const keys = 32
+	const callersPerKey = 4
+	for k := 0; k < keys; k++ {
+		for c := 0; c < callersPerKey; c++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				v, _ := s.GetOrCompute(fmt.Sprintf("key%02d", k), func() any {
+					computed.Add(1)
+					return k * 10
+				})
+				if v.(int) != k*10 {
+					t.Errorf("key %d got %v", k, v)
+				}
+			}(k)
+		}
+	}
+	wg.Wait()
+	if got := computed.Load(); got != keys {
+		t.Fatalf("computed %d times; want %d (once per key)", got, keys)
+	}
+}
+
+// TestShardGaugeNames pins the zero-padded gauge naming used by -stats.
+func TestShardGaugeNames(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Options{Capacity: 8, Shards: 2, Metrics: reg})
+	s.Put("x", 1)
+	found := false
+	for i := 0; i < 2; i++ {
+		if reg.Gauge(shardGaugeName(i)).Value() == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no shard gauge recorded the entry")
+	}
+	if shardGaugeName(0) != "solstore.shard.00.entries" {
+		t.Fatalf("gauge name = %q", shardGaugeName(0))
+	}
+}
