@@ -43,3 +43,4 @@ bench-json:
 bench-check:
 	$(GO) run ./cmd/benchjson -suite ilp -check BENCH_ilp.json
 	$(GO) run ./cmd/benchjson -suite solstore -check BENCH_ilp.json
+	$(GO) run ./cmd/benchjson -suite obs -check BENCH_ilp.json

@@ -17,10 +17,13 @@
 //     eviction pressure, singleflight, concurrent mixed traffic).
 //   - dse: the sweep-point benches (cold vs warm region store, with
 //     region hit-rate and dedup-count metrics).
+//   - obs: the telemetry-primitive benches (histogram observe, labeled
+//     Vec child lookup, snapshot and Prometheus render cost) — the
+//     per-call overhead instrumented hot paths pay.
 //
 // Usage:
 //
-//	go run ./cmd/benchjson [-o BENCH_ilp.json] [-suite figures|ilp|solstore|dse|all]
+//	go run ./cmd/benchjson [-o BENCH_ilp.json] [-suite figures|ilp|solstore|dse|obs|all]
 //	go run ./cmd/benchjson -suite ilp -check BENCH_ilp.json   # CI gate
 //
 // With -check, no file is written: measured ns/op must stay within
@@ -91,11 +94,16 @@ var suites = []suite{
 		pkg:   "./internal/dse/",
 		bench: "^BenchmarkSweepPoint",
 	},
+	{
+		name:  "obs",
+		pkg:   "./internal/obs/",
+		bench: "^Benchmark",
+	},
 }
 
 func main() {
 	out := flag.String("o", "BENCH_ilp.json", "output file")
-	only := flag.String("suite", "all", "suite to run: figures, ilp, solstore, dse or all")
+	only := flag.String("suite", "all", "suite to run: figures, ilp, solstore, dse, obs or all")
 	check := flag.String("check", "", "compare measured ns/op against this committed file instead of writing; exit 1 on regression beyond -tolerance")
 	tolerance := flag.Float64("tolerance", 2.0, "with -check: fail when measured ns/op exceeds the committed value by more than this factor")
 	flag.Parse()

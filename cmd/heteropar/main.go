@@ -22,7 +22,15 @@
 //	-verify            report the race-and-budget audit of every solution
 //	-region-workers N  solve independent regions on N workers
 //	-store-cap N       cache region solves in an N-entry store
+//	-metrics-addr a    serve live /metrics, /healthz and /debug/pprof/ on a
+//	-events f.jsonl    stream structured telemetry events to a JSONL file
 //	-v                 log spans to stderr as they complete
+//
+// Telemetry is strictly out-of-band: -metrics-addr and -events never
+// change which solutions are produced, only what is observable while
+// they are produced. All human-readable telemetry (-stats tables, -v
+// span lines) shares one serialized stderr writer; stdout carries only
+// program results.
 package main
 
 import (
@@ -36,6 +44,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/minic"
 	"repro/internal/platform"
+	"repro/internal/solstore"
 )
 
 func main() {
@@ -56,6 +65,8 @@ func main() {
 		verifyFlag   = flag.Bool("verify", false, "re-run the race-and-budget verifier over every produced solution and print a report")
 		workersFlag  = flag.Int("region-workers", 0, "solve independent regions of one HTG level on this many workers (<=1 sequential; output is byte-identical either way)")
 		storeCapFlag = flag.Int("store-cap", 0, "enable the region-solve store with this entry capacity (0 disables; solves are cached by content address and replayed on repeats)")
+		metricsAddr  = flag.String("metrics-addr", "", "serve live telemetry (/metrics Prometheus text, /healthz, /events, /debug/pprof/) on this address, e.g. localhost:9090")
+		eventsFlag   = flag.String("events", "", "stream structured telemetry events (span open/close, solver incumbents, store evictions, worker stalls) to this JSONL file")
 		verbose      = flag.Bool("v", false, "log tracing spans to stderr as they complete")
 	)
 	flag.Parse()
@@ -146,15 +157,25 @@ func main() {
 		fatalf("unknown approach %q", *approachFlag)
 	}
 
-	if *traceFlag != "" || *statsFlag || *verbose {
+	if *traceFlag != "" || *statsFlag || *verbose || *metricsAddr != "" || *eventsFlag != "" {
 		opts.Observer = heteropar.NewObserver()
-		if *verbose {
-			opts.Observer.Tracer.SetLogger(os.Stderr)
-		}
+	}
+	tele, elog, err := startTelemetry(*metricsAddr, *eventsFlag, opts.Observer.M())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer tele.Close()
+	opts.EventLog = elog
+	if *verbose {
+		opts.Observer.Tracer.SetLogger(tele.Out)
 	}
 	opts.RegionWorkers = *workersFlag
 	if *storeCapFlag > 0 {
-		opts.Store = heteropar.NewSolutionStore(*storeCapFlag)
+		opts.Store = solstore.New(solstore.Options{
+			Capacity: *storeCapFlag,
+			Metrics:  opts.Observer.M(),
+			Events:   elog,
+		})
 	}
 
 	rep, err := heteropar.Parallelize(source, opts)
@@ -193,13 +214,8 @@ func main() {
 	}
 
 	if *statsFlag {
-		fmt.Printf("\n--- solver statistics ---\n%s", rep.SolverStatsTable())
-		if opts.Store != nil {
-			st := opts.Store.Stats()
-			fmt.Printf("\n--- region store ---\nhits %d  misses %d  dedups %d  evictions %d  entries %d  hit rate %.0f%%\n",
-				st.Hits, st.Misses, st.Dedups, st.Evictions, st.Entries, 100*st.HitRate())
-		}
-		fmt.Printf("\n--- metrics ---\n%s", opts.Observer.Metrics.RenderTable())
+		renderTelemetry(tele.Out, rep.SolverStatsTable(),
+			resolveStoreStats(opts.Store), opts.Observer.Metrics.RenderTable())
 	}
 	if *traceFlag != "" {
 		if err := opts.Observer.Tracer.WriteChromeFile(*traceFlag); err != nil {

@@ -26,7 +26,13 @@
 //	-store-cap n       region-solve store capacity (0 = default sizing)
 //	-stats             print cache and solver statistics to stderr
 //	-trace out.json    write a Chrome trace_event file of the sweep
+//	-metrics-addr a    serve live /metrics, /healthz and /debug/pprof/ on a
+//	-events f.jsonl    stream structured telemetry events to a JSONL file
 //	-v                 log spans to stderr as they complete
+//
+// Telemetry is strictly out-of-band: the sweep report is byte-identical
+// with -metrics-addr/-events on or off. All human-readable telemetry
+// shares one serialized stderr writer.
 package main
 
 import (
@@ -62,6 +68,8 @@ func main() {
 		storeCap   = flag.Int("store-cap", 0, "region-solve store capacity shared across all sweep points (0 = default sizing)")
 		statsFlag  = flag.Bool("stats", false, "print cache and solver statistics to stderr")
 		traceFlag  = flag.String("trace", "", "write a Chrome trace_event JSON file of the sweep")
+		metricsAdr = flag.String("metrics-addr", "", "serve live telemetry (/metrics Prometheus text, /healthz, /events, /debug/pprof/) on this address, e.g. localhost:9090")
+		eventsFlag = flag.String("events", "", "stream structured telemetry events (span open/close, solver incumbents, store evictions, worker stalls) to this JSONL file")
 		verbose    = flag.Bool("v", false, "log tracing spans to stderr as they complete")
 	)
 	flag.Parse()
@@ -112,16 +120,42 @@ func main() {
 		fatalf("no benchmarks selected")
 	}
 
+	// All human-readable telemetry (progress lines, -stats tables, -v
+	// span lines) shares one serialized stderr writer so concurrent
+	// producers interleave at line granularity. Stdout carries only the
+	// report.
+	telew := obs.NewSyncWriter(os.Stderr)
 	observer := &obs.Observer{Metrics: obs.NewRegistry()}
-	if *traceFlag != "" || *verbose {
+	if *traceFlag != "" || *verbose || *eventsFlag != "" {
 		observer.Tracer = obs.NewTracer()
 		if *verbose {
-			observer.Tracer.SetLogger(os.Stderr)
+			observer.Tracer.SetLogger(telew)
 		}
+	}
+	var eventFile *os.File
+	if *eventsFlag != "" {
+		f, err := os.Create(*eventsFlag)
+		if err != nil {
+			fatalf("events: %v", err)
+		}
+		defer f.Close()
+		eventFile = f
+		observer.Events = obs.NewEventLog(eventFile)
+	} else if *metricsAdr != "" {
+		observer.Events = obs.NewEventLog(nil)
+	}
+	observer.Tracer.SetEvents(observer.Events)
+	if *metricsAdr != "" {
+		srv, err := obs.NewServer(*metricsAdr, observer.Metrics, observer.Events)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(telew, "heteropardse: serving /metrics, /healthz, /events, /debug/pprof/ on http://%s\n", srv.Addr())
 	}
 
 	var workloads []*dse.Workload
-	prepStart := time.Now()
+	prepStart := time.Now() //repolint:allow timenow (progress reporting only)
 	for _, b := range benches {
 		p, err := experiments.Prepare(b)
 		if err != nil {
@@ -129,7 +163,7 @@ func main() {
 		}
 		workloads = append(workloads, dse.PrepareWorkload(p))
 	}
-	fmt.Fprintf(os.Stderr, "heteropardse: sweeping %d points x %d benchmarks (%d evaluations, seed %d)\n",
+	fmt.Fprintf(telew, "heteropardse: sweeping %d points x %d benchmarks (%d evaluations, seed %d)\n",
 		len(points), len(workloads), len(points)*len(workloads), *seedFlag)
 
 	cfg := dse.SweepConfig()
@@ -150,7 +184,7 @@ func main() {
 	// neighboring points reuse region subproblems.
 	var store *solstore.Store
 	if *storeCap > 0 {
-		store = solstore.New(solstore.Options{Capacity: *storeCap, Metrics: observer.M()})
+		store = solstore.New(solstore.Options{Capacity: *storeCap, Metrics: observer.M(), Events: observer.E()})
 	}
 	eng := &dse.Engine{
 		Workers: *workers,
@@ -164,16 +198,16 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	sweepStart := time.Now()
+	sweepStart := time.Now() //repolint:allow timenow (progress reporting only)
 	res, err := eng.Run(ctx, points, workloads)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Fprintf(os.Stderr, "heteropardse: prepared in %v, swept in %v, cache %d hits / %d misses (%.0f%% hit rate)\n",
+	fmt.Fprintf(telew, "heteropardse: prepared in %v, swept in %v, cache %d hits / %d misses (%.0f%% hit rate)\n",
 		sweepStart.Sub(prepStart).Round(time.Millisecond),
-		time.Since(sweepStart).Round(time.Millisecond),
+		time.Since(sweepStart).Round(time.Millisecond), //repolint:allow timenow
 		res.CacheHits, res.CacheMisses, 100*res.HitRate())
-	fmt.Fprintf(os.Stderr, "heteropardse: region store %d hits / %d misses / %d dedups (%.0f%% hit rate)\n",
+	fmt.Fprintf(telew, "heteropardse: region store %d hits / %d misses / %d dedups (%.0f%% hit rate)\n",
 		res.RegionHits, res.RegionMisses, res.RegionDedups, 100*res.RegionHitRate())
 
 	report, err := res.Render(*outFlag)
@@ -184,16 +218,16 @@ func main() {
 		if err := os.WriteFile(*oFlag, []byte(report), 0o644); err != nil {
 			fatalf("%v", err)
 		}
-		fmt.Fprintf(os.Stderr, "heteropardse: report written to %s\n", *oFlag)
+		fmt.Fprintf(telew, "heteropardse: report written to %s\n", *oFlag)
 	} else {
 		fmt.Print(report)
 	}
 
 	if *statsFlag {
-		fmt.Fprintf(os.Stderr, "\n--- metrics ---\n%s", observer.M().RenderTable())
+		fmt.Fprintf(telew, "\n--- metrics ---\n%s", observer.M().RenderTable())
 		d := observer.M().Histogram("dse.point.duration")
 		if d.Count() > 0 {
-			fmt.Fprintf(os.Stderr, "point eval: min=%v mean=%v max=%v over %d cold evaluations\n",
+			fmt.Fprintf(telew, "point eval: min=%v mean=%v max=%v over %d cold evaluations\n",
 				d.Min().Round(time.Microsecond), d.Mean().Round(time.Microsecond),
 				d.Max().Round(time.Microsecond), d.Count())
 		}
@@ -202,7 +236,7 @@ func main() {
 		if err := observer.Tracer.WriteChromeFile(*traceFlag); err != nil {
 			fatalf("trace: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "heteropardse: chrome trace written to %s\n", *traceFlag)
+		fmt.Fprintf(telew, "heteropardse: chrome trace written to %s\n", *traceFlag)
 	}
 }
 

@@ -65,10 +65,10 @@ func main() {
 	cfg := core.Config{}
 	var md strings.Builder
 	md.WriteString("# Reproduction results\n\n")
-	fmt.Fprintf(&md, "Generated %s.\n\n", time.Now().Format(time.RFC1123))
+	fmt.Fprintf(&md, "Generated %s.\n\n", time.Now().Format(time.RFC1123)) //repolint:allow timenow (report timestamp only)
 
 	runFig := func(id string) {
-		start := time.Now()
+		start := time.Now() //repolint:allow timenow (progress reporting only)
 		fig, err := experiments.RunFigure(id, names, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "paperrepro: figure %s: %v\n", id, err)
@@ -80,7 +80,7 @@ func main() {
 		fmt.Fprintf(&md, "## Figure %s\n\n```\n%s```\n\n", id, out)
 	}
 	runTable := func() {
-		start := time.Now()
+		start := time.Now() //repolint:allow timenow (progress reporting only)
 		tbl, err := experiments.RunTableI(names, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "paperrepro: table I: %v\n", err)

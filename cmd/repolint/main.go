@@ -25,6 +25,12 @@
 // `//repolint:allow <rule>` comment on the offending line or the line
 // directly above it.
 //
+// In addition to the full lint of the deterministic packages, the default
+// run sweeps every other package of the module with the timenow rule
+// alone, so wall-clock reads stay confined to internal/obs (the telemetry
+// layer, which owns time) and explicitly waived sites. That keeps new
+// time.Now calls from creeping into CLIs or analysis code unreviewed.
+//
 // Exit status is 1 when any unwaived finding remains, so `make lint` gates
 // CI on determinism.
 package main
@@ -37,6 +43,7 @@ import (
 	"go/parser"
 	"go/token"
 	"go/types"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -81,13 +88,22 @@ func main() {
 		}
 	}
 	pkgs := flag.Args()
-	if len(pkgs) == 0 {
+	sweep := len(pkgs) == 0
+	if sweep {
 		pkgs = defaultPackages
 	}
 	findings, err := Run(dir, pkgs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "repolint:", err)
 		os.Exit(2)
+	}
+	if sweep {
+		wf, err := RunWallclock(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			os.Exit(2)
+		}
+		findings = append(findings, wf...)
 	}
 	for _, f := range findings {
 		fmt.Println(f)
@@ -118,20 +134,114 @@ func findRoot() (string, error) {
 // Run lints the named packages rooted at dir and returns the unwaived
 // findings sorted by position.
 func Run(dir string, pkgs []string) ([]Finding, error) {
+	l := newLinter(dir)
+	var findings []Finding
+	for _, path := range pkgs {
+		fs, err := l.lintPackage(path, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		findings = append(findings, fs...)
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// wallclockExempt are module packages allowed to read the wall clock
+// without waivers: the telemetry layer itself, whose entire purpose is
+// timestamps and latency measurement.
+var wallclockExempt = map[string]bool{
+	"repro/internal/obs": true,
+}
+
+// RunWallclock sweeps every module package that the full determinism
+// lint does not already cover, applying only the timenow rule. This
+// confines time.Now to internal/obs and `//repolint:allow timenow`
+// sites across the whole repository.
+func RunWallclock(dir string) ([]Finding, error) {
+	pkgs, err := modulePackages(dir)
+	if err != nil {
+		return nil, err
+	}
+	full := map[string]bool{}
+	for _, p := range defaultPackages {
+		full[p] = true
+	}
+	l := newLinter(dir)
+	timenowOnly := map[string]bool{"timenow": true}
+	var findings []Finding
+	for _, path := range pkgs {
+		if full[path] || wallclockExempt[path] {
+			continue
+		}
+		fs, err := l.lintPackage(path, timenowOnly)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		findings = append(findings, fs...)
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// modulePackages walks the module tree and returns the import path of
+// every directory holding non-test Go files, sorted.
+func modulePackages(dir string) ([]string, error) {
+	var pkgs []string
+	err := filepath.WalkDir(dir, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if name := d.Name(); p != dir && (strings.HasPrefix(name, ".") || name == "testdata") {
+			return fs.SkipDir
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		hasGo := false
+		for _, e := range entries {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				hasGo = true
+				break
+			}
+		}
+		if !hasGo {
+			return nil
+		}
+		rel, err := filepath.Rel(dir, p)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			pkgs = append(pkgs, modulePath)
+		} else {
+			pkgs = append(pkgs, modulePath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(pkgs)
+	return pkgs, nil
+}
+
+func newLinter(dir string) *linter {
 	l := &linter{
 		fset:  token.NewFileSet(),
 		root:  dir,
 		cache: map[string]*checked{},
 	}
 	l.std = importer.ForCompiler(l.fset, "source", nil).(types.ImporterFrom)
-	var findings []Finding
-	for _, path := range pkgs {
-		fs, err := l.lintPackage(path)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
-		}
-		findings = append(findings, fs...)
-	}
+	return l
+}
+
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos
 		if a.Filename != b.Filename {
@@ -139,7 +249,6 @@ func Run(dir string, pkgs []string) ([]Finding, error) {
 		}
 		return a.Line < b.Line
 	})
-	return findings, nil
 }
 
 // linter type-checks repo packages from source. It doubles as the
@@ -231,8 +340,10 @@ func (l *linter) parseDir(path string, mode parser.Mode) ([]*ast.File, error) {
 	return files, nil
 }
 
-// lintPackage type-checks one target package and walks its files.
-func (l *linter) lintPackage(path string) ([]Finding, error) {
+// lintPackage type-checks one target package and walks its files. A
+// non-nil rules set restricts reporting to those rules (the wallclock
+// sweep passes {timenow}); nil applies every rule.
+func (l *linter) lintPackage(path string, rules map[string]bool) ([]Finding, error) {
 	c, err := l.check(path)
 	if err != nil {
 		return nil, err
@@ -255,6 +366,9 @@ func (l *linter) lintPackage(path string) ([]Finding, error) {
 				found = l.checkAssign(n, info)
 			case *ast.IncDecStmt:
 				found = l.checkMapWrite(n.X, info)
+			}
+			if found != nil && rules != nil && !rules[found.Rule] {
+				found = nil
 			}
 			if found != nil && !waived[found.Pos.Line][found.Rule] && !waived[found.Pos.Line-1][found.Rule] {
 				findings = append(findings, *found)

@@ -93,6 +93,74 @@ func Init() {
 	}
 }
 
+// writeModule lays out a synthetic module tree for the wallclock sweep:
+// pkgs maps relative directories ("internal/obs", "cmd/tool") to one Go
+// source file each.
+func writeModule(t *testing.T, pkgs map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for rel, src := range pkgs {
+		pkgDir := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(pkgDir, "src.go"), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestWallclockSweep exercises the repo-wide timenow confinement: the
+// sweep flags time.Now in arbitrary module packages, exempts
+// internal/obs wholesale, honors //repolint:allow waivers, and applies
+// no other rule (map ranges in swept packages stay legal).
+func TestWallclockSweep(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"cmd/tool": `package main
+
+import "time"
+
+func main() { _ = time.Now() }
+`,
+		"internal/obs": `package obs
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`,
+		"internal/report": `package report
+
+import "time"
+
+var T = time.Now() //repolint:allow timenow (report timestamp only)
+
+func Keys(m map[string]int) (out []string) {
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`,
+	})
+	findings, err := RunWallclock(dir)
+	if err != nil {
+		t.Fatalf("RunWallclock: %v", err)
+	}
+	got := rules(findings)
+	if got["timenow"] != 1 {
+		t.Errorf("got %d timenow findings, want exactly the cmd/tool call:\n%v", got["timenow"], findings)
+	}
+	if got["maprange"] != 0 {
+		t.Errorf("wallclock sweep applied non-timenow rules:\n%v", findings)
+	}
+	for _, f := range findings {
+		if filepath.Base(filepath.Dir(f.Pos.Filename)) == "obs" {
+			t.Errorf("internal/obs is exempt but was flagged: %v", f)
+		}
+	}
+}
+
 // TestExistingRulesStillFire guards against the new assignment walk
 // swallowing the established checks.
 func TestExistingRulesStillFire(t *testing.T) {

@@ -25,6 +25,7 @@ package heteropar
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/analysis"
@@ -48,6 +49,18 @@ type Observer = obs.Observer
 // NewObserver builds a fully enabled observer (tracing and metrics).
 func NewObserver() *Observer {
 	return &Observer{Tracer: obs.NewTracer(), Metrics: obs.NewRegistry()}
+}
+
+// EventLog re-exports the structured JSONL telemetry event log (span
+// open/close, solver incumbents, store evictions, worker stalls); see
+// package repro/internal/obs. A nil log disables event emission.
+type EventLog = obs.EventLog
+
+// NewEventLog builds an event log retaining a bounded in-memory ring
+// of recent events; w (which may be nil) additionally receives every
+// event as one JSON line.
+func NewEventLog(w io.Writer) *EventLog {
+	return obs.NewEventLog(w)
 }
 
 // SolutionStore re-exports the sharded, size-bounded region-solve
@@ -144,6 +157,14 @@ type Options struct {
 	// Observer, when non-nil, records phase spans, per-solve solver
 	// telemetry and simulator occupancy for the -trace/-stats tooling.
 	Observer *Observer
+	// Metrics, when non-nil, receives solver/cache/pool metric families
+	// without requiring a full Observer; ignored when Observer already
+	// carries a registry.
+	Metrics *obs.Registry
+	// EventLog, when non-nil, receives structured telemetry events
+	// (span open/close, solver incumbents, store evictions, worker
+	// stalls); ignored when Observer already carries an event log.
+	EventLog *EventLog
 	// SkipAudit disables the static race-and-budget audit that otherwise
 	// checks every produced solution against the dependence sets, the
 	// platform core budgets and the cost model (see internal/analysis).
@@ -197,6 +218,20 @@ func Parallelize(source string, opts Options) (*Report, error) {
 		return nil, err
 	}
 	tr := opts.Observer.T()
+	// Resolve the effective telemetry sinks: an Observer's own registry
+	// and event log win; the standalone Options fields cover callers
+	// that only want metrics or events without tracing.
+	metrics := opts.Observer.M()
+	if metrics == nil {
+		metrics = opts.Metrics
+	}
+	events := opts.Observer.E()
+	if events == nil {
+		events = opts.EventLog
+	}
+	if events != nil {
+		tr.SetEvents(events)
+	}
 	flow := tr.Start("parallelize-flow",
 		obs.String("platform", opts.Platform.Name),
 		obs.String("approach", opts.Approach.String()))
@@ -230,7 +265,8 @@ func Parallelize(source string, opts Options) (*Report, error) {
 		RegionWorkers:    opts.RegionWorkers,
 		Store:            opts.Store,
 		Tracer:           tr,
-		Metrics:          opts.Observer.M(),
+		Metrics:          metrics,
+		Events:           events,
 	}
 	if !opts.SkipAudit {
 		cfg.Audit = analysis.AuditResult

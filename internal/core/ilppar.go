@@ -546,15 +546,24 @@ func (p *Parallelizer) solveWithIncumbent(m *ilp.Model, incumbent []float64, met
 	if p.cfg.ILPTimeout > 0 {
 		opt.Deadline = start.Add(p.cfg.ILPTimeout)
 	}
-	if reg := p.cfg.Metrics; reg != nil {
+	if reg, elog := p.cfg.Metrics, p.cfg.Events; reg != nil || elog != nil {
 		opt.Progress = func(ev ilp.ProgressEvent) {
 			switch ev.Kind {
 			case ilp.EventIncumbent:
 				reg.Counter("ilp.incumbents").Inc()
+				reg.Gauge("ilp.incumbent.obj").Set(ev.Obj)
+				reg.Gauge("ilp.gap.last").Set(ev.Gap)
+				elog.Emit("ilp-incumbent", meta.region, map[string]any{
+					"model": meta.model,
+					"obj":   ev.Obj,
+					"gap":   ev.Gap,
+					"nodes": ev.Nodes,
+				})
 			case ilp.EventDone:
 				reg.Counter("ilp.bb_nodes").Add(int64(ev.Nodes))
 				reg.Counter("ilp.lp_iters").Add(int64(ev.LPIters))
 				reg.Gauge("ilp.gap.max").Max(ev.Gap)
+				reg.Gauge("ilp.gap.last").Set(ev.Gap)
 			}
 		}
 	}

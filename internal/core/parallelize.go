@@ -91,6 +91,10 @@ type Config struct {
 	// bound progress hook: B&B nodes, LP iterations, incumbent updates,
 	// gaps, timeout and node-cap hits, and solve durations.
 	Metrics *obs.Registry
+	// Events, when non-nil, receives structured telemetry events
+	// (solver incumbents, region-store evictions, worker stalls) as
+	// JSONL-ready records.
+	Events *obs.EventLog
 	// Audit, when non-nil, receives the finished Result before Parallelize
 	// returns; a non-nil error fails the whole run with it. The analysis
 	// package provides an auditor (analysis.AuditResult) that structurally
@@ -104,7 +108,7 @@ type Config struct {
 // Fingerprint returns a canonical string of every field that influences
 // which solutions the parallelizer produces, with defaults applied, so
 // two configs with equal fingerprints are interchangeable for caching.
-// The observability sinks (Tracer, Metrics) and the Audit hook are
+// The observability sinks (Tracer, Metrics, Events) and the Audit hook are
 // deliberately excluded: they never change which solutions are produced,
 // only whether defective ones are reported. RegionWorkers and Store are
 // excluded for the same reason — scheduling width and cache reuse are

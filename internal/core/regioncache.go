@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"math"
+	"time"
 )
 
 // Region-solve caching: every region ILP is identified by a canonical
@@ -83,14 +84,42 @@ func (p *Parallelizer) replayRecords(recs []SolveRecord, label string) {
 	}
 }
 
+// regionModel names the solve model of a region spec for telemetry
+// labels, matching the SolveRecord model names.
+func regionModel(rs *regionSpec) string {
+	if rs.kind == KindChunked {
+		return "chunks"
+	}
+	return "tasks"
+}
+
+// noteRegionSolve feeds the labeled per-region telemetry families:
+// core.region.solves{model,source} and the latency histogram
+// core.region.solve_time{model}. Free no-ops without a registry.
+func (p *Parallelizer) noteRegionSolve(model string, cached bool, d time.Duration) {
+	m := p.cfg.Metrics
+	if m == nil {
+		return
+	}
+	source := "computed"
+	if cached {
+		source = "cached"
+	}
+	m.CounterVec("core.region.solves", "model", "source").With(model, source).Inc()
+	m.HistogramVec("core.region.solve_time", "model").With(model).Observe(d)
+}
+
 // solveRegion runs one region ILP (tasks or chunks model per rs.kind)
 // through the shared store when one is configured.
 func (p *Parallelizer) solveRegion(rs *regionSpec, seqPC, maxTasks int) *Solution {
+	start := time.Now() //repolint:allow timenow (telemetry only, never solver-visible)
 	if p.store == nil {
-		return p.assembleFromAssignment(rs, p.regionSolver(rs, seqPC, maxTasks), seqPC)
+		sol := p.assembleFromAssignment(rs, p.regionSolver(rs, seqPC, maxTasks), seqPC)
+		p.noteRegionSolve(regionModel(rs), false, time.Since(start)) //repolint:allow timenow
+		return sol
 	}
 	key := p.regionKey(rs, seqPC, maxTasks, 0, false)
-	v, _ := p.store.GetOrCompute(key, func() any {
+	v, cached := p.store.GetOrCompute(key, func() any {
 		scratch := p.scratch()
 		return &regionOutcome{
 			Asg:  scratch.regionSolver(rs, seqPC, maxTasks),
@@ -99,16 +128,20 @@ func (p *Parallelizer) solveRegion(rs *regionSpec, seqPC, maxTasks int) *Solutio
 	})
 	out := v.(*regionOutcome)
 	p.replayRecords(out.Recs, regionLabel(rs))
+	p.noteRegionSolve(regionModel(rs), cached, time.Since(start)) //repolint:allow timenow
 	return p.assembleFromAssignment(rs, out.Asg, seqPC)
 }
 
 // solvePipeline is solveRegion for the stage-partitioning model.
 func (p *Parallelizer) solvePipeline(rs *regionSpec, iters float64, seqPC, maxTasks int) *Solution {
+	start := time.Now() //repolint:allow timenow (telemetry only, never solver-visible)
 	if p.store == nil {
-		return p.assembleFromAssignment(rs, p.ilpParPipeline(rs, iters, seqPC, maxTasks), seqPC)
+		sol := p.assembleFromAssignment(rs, p.ilpParPipeline(rs, iters, seqPC, maxTasks), seqPC)
+		p.noteRegionSolve("pipeline", false, time.Since(start)) //repolint:allow timenow
+		return sol
 	}
 	key := p.regionKey(rs, seqPC, maxTasks, iters, true)
-	v, _ := p.store.GetOrCompute(key, func() any {
+	v, cached := p.store.GetOrCompute(key, func() any {
 		scratch := p.scratch()
 		return &regionOutcome{
 			Asg:  scratch.ilpParPipeline(rs, iters, seqPC, maxTasks),
@@ -117,6 +150,7 @@ func (p *Parallelizer) solvePipeline(rs *regionSpec, iters float64, seqPC, maxTa
 	})
 	out := v.(*regionOutcome)
 	p.replayRecords(out.Recs, regionLabel(rs))
+	p.noteRegionSolve("pipeline", cached, time.Since(start)) //repolint:allow timenow
 	return p.assembleFromAssignment(rs, out.Asg, seqPC)
 }
 
@@ -229,6 +263,8 @@ func (u *regionUnit) execute(parent *Parallelizer) {
 // only read after all of them complete, and the caller merges them in
 // unit order, so scheduling cannot influence any output.
 func (p *Parallelizer) runUnits(units []*regionUnit) {
+	m := p.cfg.Metrics
+	m.Counter("core.region_pool.units").Add(int64(len(units)))
 	workers := p.cfg.RegionWorkers
 	if workers > len(units) {
 		workers = len(units)
@@ -239,17 +275,27 @@ func (p *Parallelizer) runUnits(units []*regionUnit) {
 		}
 		return
 	}
+	// Pool occupancy gauges: queue depth counts units submitted but not
+	// yet picked up, busy counts workers inside execute. Both are
+	// telemetry only — unit results are merged in unit order regardless.
+	queueDepth := m.Gauge("core.region_pool.queue_depth")
+	busy := m.Gauge("core.region_pool.busy")
+	m.Gauge("core.region_pool.workers").Set(float64(workers))
 	ch := make(chan *regionUnit)
 	done := make(chan struct{})
 	for w := 0; w < workers; w++ {
 		go func() {
 			for u := range ch {
+				queueDepth.Add(-1)
+				busy.Add(1)
 				u.execute(p)
+				busy.Add(-1)
 			}
 			done <- struct{}{}
 		}()
 	}
 	for _, u := range units {
+		queueDepth.Add(1)
 		ch <- u
 	}
 	close(ch)

@@ -200,6 +200,32 @@ func (e *Engine) Run(ctx context.Context, points []Point, workloads []*Workload)
 	startHits, startMisses := cache.Stats()
 	startStore := store.Stats()
 	startTrafHits, startTrafMisses := cache.StoreTraffic()
+	// Live sweep progress for the /metrics scrape surface: completed
+	// jobs, throughput, remaining-work ETA and the running cache hit
+	// ratio. All derived read-only from job completions — telemetry
+	// only, never an input to any evaluation.
+	m := e.Obs.M()
+	completed := m.Counter("dse.points.completed")
+	m.Gauge("dse.points.total").Set(float64(len(jobs)))
+	sweepStart := time.Now() //repolint:allow timenow (throughput/ETA telemetry only)
+	noteProgress := func() {
+		if m == nil {
+			return
+		}
+		done := float64(completed.Value())
+		elapsed := time.Since(sweepStart).Seconds() //repolint:allow timenow
+		if elapsed > 0 {
+			rate := done / elapsed
+			m.Gauge("dse.points.per_sec").Set(rate)
+			if rate > 0 {
+				m.Gauge("dse.sweep.eta_seconds").Set((float64(len(jobs)) - done) / rate)
+			}
+		}
+		liveHits, liveMisses := cache.Stats()
+		if n := liveHits - startHits + liveMisses - startMisses; n > 0 {
+			m.Gauge("dse.cache.hit_ratio").Set(float64(liveHits-startHits) / float64(n))
+		}
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -212,6 +238,8 @@ func (e *Engine) Run(ctx context.Context, points []Point, workloads []*Workload)
 					continue
 				}
 				rows[ji] = row
+				completed.Inc()
+				noteProgress()
 			}
 		}()
 	}
@@ -297,6 +325,7 @@ func (e *Engine) evaluate(pt Point, w *Workload, cache *Cache, store *solstore.S
 
 	cfg := e.Config
 	cfg.Metrics = e.Obs.M()
+	cfg.Events = e.Obs.E()
 	if cfg.Store == nil {
 		// Share region subproblems across sweep points: two points on
 		// the same platform (or any pair whose regions reduce to the

@@ -61,7 +61,7 @@ type Measured struct {
 // the simulator.
 func Evaluate(p *Prepared, pf *platform.Platform, sc platform.Scenario, ap core.Approach, cfg core.Config) (*Measured, error) {
 	mainClass := sc.MainClass(pf)
-	start := time.Now()
+	start := time.Now() //repolint:allow timenow (phase-duration telemetry only)
 	res, err := core.Parallelize(p.Graph, pf, mainClass, ap, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("%s: parallelize: %w", p.Bench.Name, err)

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// The obs benchmarks quantify the cost instrumented hot paths pay:
+// one histogram observation, one labeled-child lookup, and the cost of
+// a concurrent-safe snapshot / render. They back the benchjson "obs"
+// suite gated by make bench-check.
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := &Histogram{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i%1000) * time.Microsecond)
+	}
+}
+
+func BenchmarkHistogramObserveNil(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Microsecond)
+	}
+}
+
+func BenchmarkVecWith(b *testing.B) {
+	r := NewRegistry()
+	v := r.CounterVec("bench.ops", "model", "source")
+	models := [3]string{"tasks", "chunks", "pipeline"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.With(models[i%3], "computed").Inc()
+	}
+}
+
+func BenchmarkHistogramSnapshot(b *testing.B) {
+	h := &Histogram{}
+	for i := 0; i < 10000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := h.Snapshot()
+		if s.Count == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := NewRegistry()
+	for _, n := range [...]string{"ilp.solves", "ilp.bb_nodes", "solstore.hits"} {
+		r.Counter(n).Add(42)
+	}
+	v := r.HistogramVec("core.region.solve_time", "model")
+	for i := 0; i < 1000; i++ {
+		v.With("tasks").Observe(time.Duration(i) * time.Microsecond)
+		v.With("chunks").Observe(time.Duration(i) * time.Millisecond)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

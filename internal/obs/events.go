@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// EventLog is a structured, append-only telemetry event stream. Each
+// Emit produces one JSON object ("JSON Lines": one object per line)
+// written immediately to the configured sink, and retained in a bounded
+// in-memory ring so a live server can show the recent tail of a long
+// sweep without unbounded growth.
+//
+// Like every obs type, an EventLog is nil-safe: all methods on a nil
+// receiver are free no-ops, so instrumented code emits unconditionally.
+// Event timestamps are offsets from the log's epoch (not wall-clock
+// readings of solver work), keeping telemetry out of the deterministic
+// solver path: nothing an EventLog records ever feeds back into solver
+// results.
+
+// DefaultEventRing is the ring capacity used by NewEventLog.
+const DefaultEventRing = 1024
+
+// Event is one telemetry event. Fields marshal in a fixed order so the
+// JSONL output is stable and diffable.
+type Event struct {
+	// Seq is the 1-based emission index (monotonic per log).
+	Seq uint64
+	// T is the offset from the log's epoch.
+	T time.Duration
+	// Kind classifies the event ("span-open", "span-close",
+	// "ilp-incumbent", "store-eviction", "worker-stall", ...).
+	Kind string
+	// Name identifies the subject (span name, metric name, cache key).
+	Name string
+	// Fields holds kind-specific payload values.
+	Fields map[string]any
+}
+
+// MarshalJSON renders the event as a single stable-ordered JSON object:
+// seq, t_ms, kind, name, then the payload fields sorted by key.
+func (e Event) MarshalJSON() ([]byte, error) {
+	var buf []byte
+	buf = append(buf, '{')
+	buf = append(buf, fmt.Sprintf(`"seq":%d,"t_ms":%.3f,"kind":%q,"name":%q`,
+		e.Seq, float64(e.T.Nanoseconds())/1e6, e.Kind, e.Name)...)
+	keys := make([]string, 0, len(e.Fields))
+	for k := range e.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v, err := json.Marshal(e.Fields[k])
+		if err != nil {
+			v = []byte(fmt.Sprintf("%q", fmt.Sprint(e.Fields[k])))
+		}
+		buf = append(buf, ',')
+		buf = append(buf, fmt.Sprintf("%q:", k)...)
+		buf = append(buf, v...)
+	}
+	buf = append(buf, '}')
+	return buf, nil
+}
+
+// EventLog collects telemetry events. Create one with NewEventLog; a
+// nil *EventLog is a valid, disabled log.
+type EventLog struct {
+	mu    sync.Mutex
+	epoch time.Time
+	w     io.Writer
+	ring  []Event
+	next  int // ring write position
+	total uint64
+	errs  int
+}
+
+// NewEventLog creates an event log retaining the last DefaultEventRing
+// events in memory. w may be nil (ring only); pass e.g. an *os.File to
+// stream JSONL to disk.
+func NewEventLog(w io.Writer) *EventLog {
+	return &EventLog{
+		epoch: time.Now(),
+		w:     w,
+		ring:  make([]Event, 0, DefaultEventRing),
+	}
+}
+
+// Emit records one event. Safe on nil and from concurrent goroutines.
+// Write errors on the sink are counted, not propagated — telemetry
+// must never take the pipeline down.
+func (l *EventLog) Emit(kind, name string, fields map[string]any) {
+	if l == nil {
+		return
+	}
+	now := time.Now()
+	l.mu.Lock()
+	l.total++
+	ev := Event{Seq: l.total, T: now.Sub(l.epoch), Kind: kind, Name: name, Fields: fields}
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, ev)
+	} else {
+		l.ring[l.next] = ev
+		l.next = (l.next + 1) % cap(l.ring)
+	}
+	w := l.w
+	var line []byte
+	if w != nil {
+		line, _ = ev.MarshalJSON()
+		line = append(line, '\n')
+	}
+	if w != nil {
+		if _, err := w.Write(line); err != nil {
+			l.errs++
+		}
+	}
+	l.mu.Unlock()
+}
+
+// Total returns the number of events emitted over the log's lifetime
+// (including any that have rotated out of the ring).
+func (l *EventLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Recent returns up to n of the most recent events, oldest first. With
+// n <= 0 it returns the whole ring.
+func (l *EventLog) Recent(n int) []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.ring))
+	if len(l.ring) < cap(l.ring) {
+		out = append(out, l.ring...)
+	} else {
+		out = append(out, l.ring[l.next:]...)
+		out = append(out, l.ring[:l.next]...)
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// WriteJSONL renders up to n recent events (all for n <= 0) as JSON
+// Lines. Safe on nil.
+func (l *EventLog) WriteJSONL(w io.Writer, n int) error {
+	for _, ev := range l.Recent(n) {
+		line, err := ev.MarshalJSON()
+		if err != nil {
+			return err
+		}
+		line = append(line, '\n')
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SyncWriter serializes writes from concurrent telemetry producers onto
+// one underlying writer, so -v span lines, -stats tables and worker
+// log output interleave at line granularity instead of mid-line.
+type SyncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewSyncWriter wraps w; a nil w yields a writer that discards.
+func NewSyncWriter(w io.Writer) *SyncWriter { return &SyncWriter{w: w} }
+
+// Write implements io.Writer with whole-call atomicity.
+func (s *SyncWriter) Write(p []byte) (int, error) {
+	if s == nil || s.w == nil {
+		return len(p), nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CheckPromText validates a Prometheus text-exposition 0.0.4 document
+// of the shape WritePrometheus produces. It is a test aid — a tiny
+// structural checker, not a full parser — so smoke tests can assert a
+// live /metrics scrape is well-formed without an external client
+// library. Checked per line:
+//
+//   - comments are "# TYPE <name> <kind>" or "# HELP ..." only;
+//   - every sample's family has a preceding # TYPE line (the renderer
+//     always declares before emitting);
+//   - metric and label names match the Prometheus grammar, label
+//     values use only the \\, \n and \" escapes, and the sample value
+//     parses as a float (+Inf/NaN included).
+//
+// Histogram samples may use the _bucket/_sum/_count suffixes of their
+// declared family name.
+func CheckPromText(r io.Reader) error {
+	types := map[string]string{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "HELP" {
+				continue
+			}
+			if len(fields) != 4 || fields[1] != "TYPE" {
+				return fmt.Errorf("line %d: malformed comment %q", ln, line)
+			}
+			name, kind := fields[2], fields[3]
+			if !validMetricName(name) {
+				return fmt.Errorf("line %d: invalid metric name %q", ln, name)
+			}
+			switch kind {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", ln, kind)
+			}
+			if prev, ok := types[name]; ok && prev != kind {
+				return fmt.Errorf("line %d: family %s redeclared as %s (was %s)", ln, name, kind, prev)
+			}
+			types[name] = kind
+			continue
+		}
+		name, rest, err := splitPromSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", ln, err)
+		}
+		if !validMetricName(name) {
+			return fmt.Errorf("line %d: invalid metric name %q", ln, name)
+		}
+		if _, err := strconv.ParseFloat(rest, 64); err != nil {
+			return fmt.Errorf("line %d: sample value %q is not a float", ln, rest)
+		}
+		if familyOf(name, types) == "" {
+			return fmt.Errorf("line %d: sample %s has no preceding # TYPE line", ln, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(types) == 0 {
+		return fmt.Errorf("no metric families found")
+	}
+	return nil
+}
+
+// splitPromSample splits "name{labels} value" (label block optional)
+// into the metric name and the value text, validating the label block.
+func splitPromSample(line string) (name, value string, err error) {
+	brace := strings.IndexByte(line, '{')
+	if brace < 0 {
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			return "", "", fmt.Errorf("sample %q has no value", line)
+		}
+		return line[:sp], strings.TrimSpace(line[sp+1:]), nil
+	}
+	name = line[:brace]
+	rest := line[brace+1:]
+	// Walk the label block respecting \" escapes inside values.
+	for rest != "" && rest[0] != '}' {
+		eq := strings.IndexByte(rest, '=')
+		if eq <= 0 || !validLabelName(rest[:eq]) {
+			return "", "", fmt.Errorf("bad label name in %q", line)
+		}
+		rest = rest[eq+1:]
+		if rest == "" || rest[0] != '"' {
+			return "", "", fmt.Errorf("unquoted label value in %q", line)
+		}
+		i := 1
+		for i < len(rest) {
+			if rest[i] == '\\' {
+				if i+1 >= len(rest) {
+					return "", "", fmt.Errorf("dangling escape in %q", line)
+				}
+				switch rest[i+1] {
+				case '\\', 'n', '"':
+				default:
+					return "", "", fmt.Errorf("invalid escape \\%c in %q", rest[i+1], line)
+				}
+				i += 2
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(rest) {
+			return "", "", fmt.Errorf("unterminated label value in %q", line)
+		}
+		rest = rest[i+1:]
+		if rest != "" && rest[0] == ',' {
+			rest = rest[1:]
+		}
+	}
+	if rest == "" {
+		return "", "", fmt.Errorf("unterminated label block in %q", line)
+	}
+	rest = rest[1:] // consume '}'
+	if rest == "" || rest[0] != ' ' {
+		return "", "", fmt.Errorf("missing value after labels in %q", line)
+	}
+	return name, strings.TrimSpace(rest), nil
+}
+
+// familyOf resolves a sample name to its declared family, accepting
+// histogram component suffixes.
+func familyOf(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suf := range [...]string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && types[base] == "histogram" {
+			return base
+		}
+	}
+	return ""
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server exposes live telemetry over HTTP using only the standard
+// library:
+//
+//	/metrics       Prometheus text-format 0.0.4 of the registry
+//	/healthz       liveness probe ("ok")
+//	/events        recent tail of the JSONL event log (?n=100)
+//	/debug/pprof/  the net/http/pprof profile handlers
+//
+// The server is strictly out-of-band: handlers only read snapshots, so
+// scraping mid-run never perturbs solver results. Handlers are mounted
+// on a private mux (not http.DefaultServeMux) so importing this package
+// does not leak pprof onto unrelated servers.
+type Server struct {
+	reg    *Registry
+	events *EventLog
+	ln     net.Listener
+	srv    *http.Server
+}
+
+// NewServer starts serving on addr (e.g. "localhost:9090", or
+// "127.0.0.1:0" for an ephemeral port). reg and events may be nil —
+// the corresponding endpoints then serve empty bodies.
+func NewServer(addr string, reg *Registry, events *EventLog) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{reg: reg, events: events, ln: ln}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		fmt.Sscanf(r.URL.Query().Get("n"), "%d", &n)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = s.events.WriteJSONL(w, n)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address ("127.0.0.1:43521"); empty on a
+// nil server.
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// URL returns the http base URL of the server; empty on a nil server.
+func (s *Server) URL() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return "http://" + s.Addr()
+}
+
+// Close stops the listener. Safe on nil and after a prior Close.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -63,6 +63,7 @@ type Tracer struct {
 	events []event
 	slices []slice
 	logw   io.Writer
+	elog   *EventLog
 	open   int
 }
 
@@ -77,6 +78,17 @@ func (t *Tracer) SetLogger(w io.Writer) {
 	}
 	t.mu.Lock()
 	t.logw = w
+	t.mu.Unlock()
+}
+
+// SetEvents makes the tracer mirror span open/close markers into the
+// structured event log ("span-open" / "span-close" kinds). Safe on nil.
+func (t *Tracer) SetEvents(l *EventLog) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.elog = l
 	t.mu.Unlock()
 }
 
@@ -100,7 +112,9 @@ func (t *Tracer) Start(name string, attrs ...Attr) *Span {
 	idx := len(t.events)
 	t.events = append(t.events, event{ph: 'B', name: name, ts: now.Sub(t.epoch), attrs: attrs})
 	t.open++
+	elog := t.elog
 	t.mu.Unlock()
+	elog.Emit("span-open", name, nil)
 	return &Span{t: t, name: name, start: now, idx: idx}
 }
 
@@ -127,11 +141,13 @@ func (s *Span) End() time.Duration {
 	s.t.events = append(s.t.events, event{ph: 'E', name: s.name, ts: now.Sub(s.t.epoch)})
 	s.t.open--
 	logw := s.t.logw
+	elog := s.t.elog
 	var attrs []Attr
 	if logw != nil {
 		attrs = append(attrs, s.t.events[s.idx].attrs...)
 	}
 	s.t.mu.Unlock()
+	elog.Emit("span-close", s.name, map[string]any{"dur_ms": float64(d.Nanoseconds()) / 1e6})
 	if logw != nil {
 		line := fmt.Sprintf("[obs] %-14s %10s", s.name, d.Round(time.Microsecond))
 		for _, a := range attrs {
@@ -200,11 +216,12 @@ func (t *Tracer) SpanNames() []string {
 	return names
 }
 
-// Observer bundles the two observability sinks threaded through the
-// tool flow. A nil *Observer (or nil fields) disables everything.
+// Observer bundles the observability sinks threaded through the tool
+// flow. A nil *Observer (or nil fields) disables everything.
 type Observer struct {
 	Tracer  *Tracer
 	Metrics *Registry
+	Events  *EventLog
 }
 
 // T returns the tracer (nil when disabled); safe on a nil observer.
@@ -222,4 +239,12 @@ func (o *Observer) M() *Registry {
 		return nil
 	}
 	return o.Metrics
+}
+
+// E returns the event log (nil when disabled); safe on a nil observer.
+func (o *Observer) E() *EventLog {
+	if o == nil {
+		return nil
+	}
+	return o.Events
 }

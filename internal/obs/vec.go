@@ -1,0 +1,328 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Labeled metric families: a CounterVec / GaugeVec / HistogramVec is
+// one named family whose children are addressed by a small set of
+// label values. Label names are canonicalized to sorted order at
+// family creation (the "sorted-label-set key"), so two call sites
+// declaring the same labels in different orders address the same
+// children. Like every obs type, all methods are safe on a nil
+// receiver and from concurrent goroutines.
+
+// vecCore is the shared child table of the three vec kinds.
+type vecCore struct {
+	name string
+	// names are the label names in sorted order; perm maps a declared
+	// argument position to its slot in the sorted order.
+	names []string
+	perm  []int
+
+	mu   sync.RWMutex
+	vals map[string][]string // child key -> sorted label values
+}
+
+// init canonicalizes the declared label names in place (in place so
+// the embedded mutex is never copied).
+func (c *vecCore) init(name string, labelNames []string) {
+	type slot struct {
+		name string
+		pos  int
+	}
+	slots := make([]slot, len(labelNames))
+	for i, n := range labelNames {
+		slots[i] = slot{n, i}
+	}
+	sort.SliceStable(slots, func(i, j int) bool { return slots[i].name < slots[j].name })
+	c.name = name
+	c.names = make([]string, len(slots))
+	c.perm = make([]int, len(slots))
+	c.vals = map[string][]string{}
+	for sortedPos, s := range slots {
+		c.names[sortedPos] = s.name
+		c.perm[s.pos] = sortedPos
+	}
+}
+
+// childKeySep separates label values inside a child key; it cannot
+// appear in well-formed metric label values.
+const childKeySep = "\x1f"
+
+// childKey reorders the declared-order values into sorted-label order
+// and joins them. Missing values read as ""; extras are dropped, so a
+// mismatched call never panics (telemetry must not take the pipeline
+// down).
+func (c *vecCore) childKey(values []string) (string, []string) {
+	sorted := make([]string, len(c.names))
+	for i, v := range values {
+		if i >= len(c.perm) {
+			break
+		}
+		sorted[c.perm[i]] = v
+	}
+	return strings.Join(sorted, childKeySep), sorted
+}
+
+// LabelNames returns the family's label names in canonical (sorted)
+// order.
+func (c *vecCore) labelNames() []string {
+	out := make([]string, len(c.names))
+	copy(out, c.names)
+	return out
+}
+
+// display renders "name{a="x",b="y"}" for tables.
+func (c *vecCore) displayName(sortedVals []string) string {
+	var sb strings.Builder
+	sb.WriteString(c.name)
+	sb.WriteByte('{')
+	for i, n := range c.names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(sortedVals[i])
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// sortedChildKeys returns the child keys in deterministic order;
+// caller must hold (at least) the read lock.
+func (c *vecCore) sortedChildKeys() []string {
+	keys := make([]string, 0, len(c.vals))
+	for k := range c.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct {
+	vecCore
+	childMap map[string]*Counter
+}
+
+// With returns (creating on first use) the child counter for the label
+// values, given in the family's declared label order.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	key, sorted := v.childKey(values)
+	v.mu.RLock()
+	c := v.childMap[key]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.childMap[key]; c == nil {
+		c = &Counter{}
+		v.childMap[key] = c
+		v.vals[key] = sorted
+	}
+	return c
+}
+
+// LabelNames returns the canonical (sorted) label names.
+func (v *CounterVec) LabelNames() []string {
+	if v == nil {
+		return nil
+	}
+	return v.labelNames()
+}
+
+type counterChild struct {
+	display string
+	values  []string
+	counter *Counter
+}
+
+// children snapshots the family in deterministic label order.
+func (v *CounterVec) children() []counterChild {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]counterChild, 0, len(v.childMap))
+	for _, k := range v.sortedChildKeys() {
+		out = append(out, counterChild{v.displayName(v.vals[k]), v.vals[k], v.childMap[k]})
+	}
+	return out
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct {
+	vecCore
+	childMap map[string]*Gauge
+}
+
+// With returns (creating on first use) the child gauge for the label
+// values, given in the family's declared label order.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	key, sorted := v.childKey(values)
+	v.mu.RLock()
+	g := v.childMap[key]
+	v.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g = v.childMap[key]; g == nil {
+		g = &Gauge{}
+		v.childMap[key] = g
+		v.vals[key] = sorted
+	}
+	return g
+}
+
+// LabelNames returns the canonical (sorted) label names.
+func (v *GaugeVec) LabelNames() []string {
+	if v == nil {
+		return nil
+	}
+	return v.labelNames()
+}
+
+type gaugeChild struct {
+	display string
+	values  []string
+	gauge   *Gauge
+}
+
+// children snapshots the family in deterministic label order.
+func (v *GaugeVec) children() []gaugeChild {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]gaugeChild, 0, len(v.childMap))
+	for _, k := range v.sortedChildKeys() {
+		out = append(out, gaugeChild{v.displayName(v.vals[k]), v.vals[k], v.childMap[k]})
+	}
+	return out
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct {
+	vecCore
+	childMap map[string]*Histogram
+}
+
+// With returns (creating on first use) the child histogram for the
+// label values, given in the family's declared label order.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	key, sorted := v.childKey(values)
+	v.mu.RLock()
+	h := v.childMap[key]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.childMap[key]; h == nil {
+		h = &Histogram{}
+		v.childMap[key] = h
+		v.vals[key] = sorted
+	}
+	return h
+}
+
+// LabelNames returns the canonical (sorted) label names.
+func (v *HistogramVec) LabelNames() []string {
+	if v == nil {
+		return nil
+	}
+	return v.labelNames()
+}
+
+type histChild struct {
+	display string
+	values  []string
+	hist    *Histogram
+}
+
+// children snapshots the family in deterministic label order.
+func (v *HistogramVec) children() []histChild {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]histChild, 0, len(v.childMap))
+	for _, k := range v.sortedChildKeys() {
+		out = append(out, histChild{v.displayName(v.vals[k]), v.vals[k], v.childMap[k]})
+	}
+	return out
+}
+
+// CounterVec returns (creating on first use) the named labeled counter
+// family. The label names are canonicalized to sorted order; a family
+// keeps the label set of its first creation.
+func (r *Registry) CounterVec(name string, labelNames ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.counterVecs[name]
+	if !ok {
+		v = &CounterVec{childMap: map[string]*Counter{}}
+		v.init(name, labelNames)
+		r.counterVecs[name] = v
+	}
+	return v
+}
+
+// GaugeVec returns (creating on first use) the named labeled gauge
+// family.
+func (r *Registry) GaugeVec(name string, labelNames ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.gaugeVecs[name]
+	if !ok {
+		v = &GaugeVec{childMap: map[string]*Gauge{}}
+		v.init(name, labelNames)
+		r.gaugeVecs[name] = v
+	}
+	return v
+}
+
+// HistogramVec returns (creating on first use) the named labeled
+// histogram family.
+func (r *Registry) HistogramVec(name string, labelNames ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.histVecs[name]
+	if !ok {
+		v = &HistogramVec{childMap: map[string]*Histogram{}}
+		v.init(name, labelNames)
+		r.histVecs[name] = v
+	}
+	return v
+}

@@ -28,6 +28,7 @@ package solstore
 import (
 	"hash/fnv"
 	"sync"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -44,6 +45,11 @@ type Options struct {
 	// Metrics, when non-nil, receives solstore.* counters and per-shard
 	// entry gauges.
 	Metrics *obs.Registry
+	// Events, when non-nil, receives structured store events: one
+	// "store-eviction" per LRU eviction (with the evicted key) and one
+	// "worker-stall" per GetOrCompute call that blocked on another
+	// caller's in-flight computation.
+	Events *obs.EventLog
 }
 
 // Defaults for Options.
@@ -64,6 +70,7 @@ type Store struct {
 	misses    *obs.Counter
 	dedups    *obs.Counter
 	evictions *obs.Counter
+	events    *obs.EventLog
 }
 
 // entry is one cached value on a shard's LRU list.
@@ -89,7 +96,11 @@ type shard struct {
 	inflight map[string]*call
 
 	evictions int64
-	entries   *obs.Gauge
+	// trackEvicted records evicted keys for event emission; off when the
+	// store has no event sink so eviction stays allocation-free.
+	trackEvicted bool
+	evictedKeys  []string
+	entries      *obs.Gauge
 }
 
 // New creates a store. A nil metrics registry disables telemetry.
@@ -125,13 +136,15 @@ func New(opts Options) *Store {
 		misses:    counter("solstore.misses"),
 		dedups:    counter("solstore.dedups"),
 		evictions: counter("solstore.evictions"),
+		events:    opts.Events,
 	}
 	for i := range s.shards {
 		s.shards[i] = &shard{
-			cap:      perShard,
-			items:    map[string]*entry{},
-			inflight: map[string]*call{},
-			entries:  opts.Metrics.Gauge(shardGaugeName(i)),
+			cap:          perShard,
+			items:        map[string]*entry{},
+			inflight:     map[string]*call{},
+			trackEvicted: opts.Events != nil,
+			entries:      opts.Metrics.Gauge(shardGaugeName(i)),
 		}
 	}
 	return s
@@ -219,7 +232,16 @@ func (s *Store) GetOrCompute(key string, fn func() any) (any, bool) {
 	if c, ok := sh.inflight[key]; ok {
 		sh.mu.Unlock()
 		s.dedups.Inc()
+		var start time.Time
+		if s.events != nil {
+			start = time.Now() //repolint:allow timenow (telemetry only, never solver-visible)
+		}
 		<-c.done
+		if s.events != nil {
+			s.events.Emit("worker-stall", key, map[string]any{
+				"wait_ms": float64(time.Since(start).Nanoseconds()) / 1e6, //repolint:allow timenow
+			})
+		}
 		return c.val, true
 	}
 	c := &call{done: make(chan struct{})}
@@ -237,14 +259,22 @@ func (s *Store) GetOrCompute(key string, fn func() any) (any, bool) {
 	return c.val, false
 }
 
-// noteEvictions forwards a shard's eviction delta to the global counter.
+// noteEvictions forwards a shard's eviction delta to the global counter
+// and emits one "store-eviction" event per evicted key. Events are
+// emitted after the shard lock is released so a slow event sink never
+// blocks other store traffic.
 func (s *Store) noteEvictions(sh *shard) {
 	sh.mu.Lock()
 	n := sh.evictions
 	sh.evictions = 0
+	keys := sh.evictedKeys
+	sh.evictedKeys = nil
 	sh.mu.Unlock()
 	if n > 0 {
 		s.evictions.Add(n)
+	}
+	for _, k := range keys {
+		s.events.Emit("store-eviction", k, nil)
 	}
 }
 
@@ -263,6 +293,9 @@ func (sh *shard) put(key string, val any) {
 		sh.unlink(lru)
 		delete(sh.items, lru.key)
 		sh.evictions++
+		if sh.trackEvicted {
+			sh.evictedKeys = append(sh.evictedKeys, lru.key)
+		}
 	}
 	sh.entries.Set(float64(len(sh.items)))
 }
