@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race lint bench-json bench-check
+.PHONY: check fmt vet build test race lint bench-json bench-check serve-smoke
 
-check: fmt vet lint build test race
+check: fmt vet lint build test race serve-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -30,7 +30,7 @@ test:
 # the region-solve store (concurrent Get/Put, singleflight) and the
 # core region scheduler's 4-worker byte-identity run.
 race:
-	$(GO) test -race -short ./internal/obs/... ./internal/dse/... ./internal/ilp/... ./internal/core/... ./internal/solstore/...
+	$(GO) test -race -short ./internal/obs/... ./internal/dse/... ./internal/ilp/... ./internal/core/... ./internal/solstore/... ./internal/serve/...
 
 # Perf trajectory: run the figure benches and the ILP, solstore and dse
 # microbench suites, refresh BENCH_ilp.json (schema documented in
@@ -44,3 +44,10 @@ bench-check:
 	$(GO) run ./cmd/benchjson -suite ilp -check BENCH_ilp.json
 	$(GO) run ./cmd/benchjson -suite solstore -check BENCH_ilp.json
 	$(GO) run ./cmd/benchjson -suite obs -check BENCH_ilp.json
+	$(GO) run ./cmd/benchjson -suite serve -check BENCH_ilp.json
+
+# Daemon smoke: start heteropard on an ephemeral port, POST one
+# benchmark, assert the response is byte-identical to `heteropar
+# -json`, scrape /metrics, and require a clean SIGTERM drain.
+serve-smoke:
+	./scripts/serve_smoke.sh

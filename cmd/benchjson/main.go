@@ -99,11 +99,20 @@ var suites = []suite{
 		pkg:   "./internal/obs/",
 		bench: "^Benchmark",
 	},
+	{
+		// Daemon serving overhead: a warm-store 200-request mixed
+		// UTDSP load run through internal/serve's loadgen; req/s and
+		// latency percentiles ride along as custom metrics.
+		name:  "serve",
+		pkg:   "./internal/serve/",
+		bench: "^BenchmarkServe",
+		extra: []string{"-benchtime", "1x"},
+	},
 }
 
 func main() {
 	out := flag.String("o", "BENCH_ilp.json", "output file")
-	only := flag.String("suite", "all", "suite to run: figures, ilp, solstore, dse, obs or all")
+	only := flag.String("suite", "all", "suite to run: figures, ilp, solstore, dse, obs, serve or all")
 	check := flag.String("check", "", "compare measured ns/op against this committed file instead of writing; exit 1 on regression beyond -tolerance")
 	tolerance := flag.Float64("tolerance", 2.0, "with -check: fail when measured ns/op exceeds the committed value by more than this factor")
 	flag.Parse()

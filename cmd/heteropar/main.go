@@ -16,6 +16,7 @@
 //	-spec              print the parallel specification
 //	-plan              print the hierarchical task plan
 //	-bench name        use a bundled benchmark instead of a file
+//	-json              print the canonical machine-readable result document
 //	-trace out.json    write a Chrome trace_event file of the run
 //	-stats             print per-region solver statistics and metrics
 //	-lint              run the static diagnostics and exit
@@ -42,8 +43,10 @@ import (
 	heteropar "repro"
 	"repro/internal/analysis"
 	"repro/internal/bench"
+	"repro/internal/clitelemetry"
 	"repro/internal/minic"
 	"repro/internal/platform"
+	"repro/internal/serve"
 	"repro/internal/solstore"
 )
 
@@ -58,6 +61,7 @@ func main() {
 		gantt        = flag.Bool("gantt", false, "print an ASCII Gantt chart of the simulated execution")
 		emitGo       = flag.String("emit-go", "", "write a runnable parallel Go implementation to this file")
 		benchFlag    = flag.String("bench", "", "use a bundled benchmark (see -list)")
+		jsonFlag     = flag.Bool("json", false, "print the canonical machine-readable result document instead of the summary block (byte-identical to the heteropard daemon's response for the same inputs)")
 		list         = flag.Bool("list", false, "list bundled benchmarks")
 		traceFlag    = flag.String("trace", "", "write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
 		statsFlag    = flag.Bool("stats", false, "print per-region ILP solver statistics and the metrics table")
@@ -160,21 +164,24 @@ func main() {
 	if *traceFlag != "" || *statsFlag || *verbose || *metricsAddr != "" || *eventsFlag != "" {
 		opts.Observer = heteropar.NewObserver()
 	}
-	tele, elog, err := startTelemetry(*metricsAddr, *eventsFlag, opts.Observer.M())
+	tele, err := clitelemetry.Start("heteropar", *metricsAddr, *eventsFlag, opts.Observer.M())
 	if err != nil {
 		fatalf("%v", err)
 	}
 	defer tele.Close()
-	opts.EventLog = elog
+	opts.EventLog = tele.Events
 	if *verbose {
 		opts.Observer.Tracer.SetLogger(tele.Out)
 	}
 	opts.RegionWorkers = *workersFlag
+	if err := clitelemetry.ValidateStoreCap(*storeCapFlag, "disables the store"); err != nil {
+		fatalf("%v", err)
+	}
 	if *storeCapFlag > 0 {
 		opts.Store = solstore.New(solstore.Options{
 			Capacity: *storeCapFlag,
 			Metrics:  opts.Observer.M(),
-			Events:   elog,
+			Events:   tele.Events,
 		})
 	}
 
@@ -183,19 +190,26 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	fmt.Printf("program:    %s\n", name)
-	fmt.Printf("platform:   %s\n", opts.Platform)
-	fmt.Printf("scenario:   %s (main class %s)\n", opts.Scenario,
-		opts.Platform.Classes[rep.MainClass].Name)
-	fmt.Printf("approach:   %s\n", opts.Approach)
-	fmt.Printf("tasks:      %d\n", rep.NumTasks())
-	fmt.Printf("ILPs:       %d (%d vars, %d constraints, %v solve time)\n",
-		rep.Result.Stats.NumILPs, rep.Result.Stats.NumVars,
-		rep.Result.Stats.NumConstraints, rep.Result.Stats.SolveTime.Round(1e6))
-	fmt.Printf("sequential: %.0f ns on the main core\n", rep.SequentialNs)
-	fmt.Printf("parallel:   %.0f ns measured on the MPSoC simulator\n", rep.MeasuredMakespanNs)
-	fmt.Printf("speedup:    %.2fx measured (%.2fx estimated, %.2fx theoretical limit)\n",
-		rep.MeasuredSpeedup, rep.EstimatedSpeedup, rep.TheoreticalLimit())
+	if *jsonFlag {
+		// The canonical machine-readable document: the same
+		// serve.Result encoding the heteropard daemon returns, so the
+		// two outputs are byte-identical for equal inputs.
+		os.Stdout.Write(serve.ResultOf(rep, name, *scenarioFlag, *approachFlag).Encode())
+	} else {
+		fmt.Printf("program:    %s\n", name)
+		fmt.Printf("platform:   %s\n", opts.Platform)
+		fmt.Printf("scenario:   %s (main class %s)\n", opts.Scenario,
+			opts.Platform.Classes[rep.MainClass].Name)
+		fmt.Printf("approach:   %s\n", opts.Approach)
+		fmt.Printf("tasks:      %d\n", rep.NumTasks())
+		fmt.Printf("ILPs:       %d (%d vars, %d constraints, %v solve time)\n",
+			rep.Result.Stats.NumILPs, rep.Result.Stats.NumVars,
+			rep.Result.Stats.NumConstraints, rep.Result.Stats.SolveTime.Round(1e6))
+		fmt.Printf("sequential: %.0f ns on the main core\n", rep.SequentialNs)
+		fmt.Printf("parallel:   %.0f ns measured on the MPSoC simulator\n", rep.MeasuredMakespanNs)
+		fmt.Printf("speedup:    %.2fx measured (%.2fx estimated, %.2fx theoretical limit)\n",
+			rep.MeasuredSpeedup, rep.EstimatedSpeedup, rep.TheoreticalLimit())
+	}
 
 	if *verifyFlag {
 		audited := 0
@@ -209,8 +223,10 @@ func main() {
 		if len(violations) > 0 {
 			os.Exit(1)
 		}
-		fmt.Printf("verified:   %d solution(s) across %d node set(s), no violations\n",
-			audited, len(rep.Result.Sets))
+		if !*jsonFlag { // keep -json stdout a pure document
+			fmt.Printf("verified:   %d solution(s) across %d node set(s), no violations\n",
+				audited, len(rep.Result.Sets))
+		}
 	}
 
 	if *statsFlag {

@@ -3,73 +3,17 @@ package main
 import (
 	"fmt"
 	"io"
-	"os"
 
 	heteropar "repro"
-	"repro/internal/obs"
 	"repro/internal/solstore"
 )
-
-// telemetry bundles the CLI's observability wiring: the single shared
-// writer every human-readable telemetry block goes through (so -stats
-// tables and -v span lines interleave at line granularity, never
-// mid-line), plus the optional live HTTP server and JSONL event file.
-type telemetry struct {
-	// Out is the shared human-readable telemetry writer (stderr,
-	// serialized). Solver tables, metrics tables and span logging all
-	// route through it; stdout stays reserved for program results.
-	Out *obs.SyncWriter
-
-	server    *obs.Server
-	eventFile *os.File
-}
-
-// startTelemetry opens the optional telemetry endpoints: a live
-// /metrics + /debug/pprof server on metricsAddr and a JSONL event
-// stream to eventsPath (either may be empty). The returned event log is
-// nil when no sink wants events.
-func startTelemetry(metricsAddr, eventsPath string, reg *obs.Registry) (*telemetry, *obs.EventLog, error) {
-	t := &telemetry{Out: obs.NewSyncWriter(os.Stderr)}
-	var elog *obs.EventLog
-	if eventsPath != "" {
-		f, err := os.Create(eventsPath)
-		if err != nil {
-			return nil, nil, fmt.Errorf("events: %w", err)
-		}
-		t.eventFile = f
-		elog = obs.NewEventLog(f)
-	} else if metricsAddr != "" {
-		// No file sink, but the server's /events endpoint still wants
-		// the in-memory ring.
-		elog = obs.NewEventLog(nil)
-	}
-	if metricsAddr != "" {
-		srv, err := obs.NewServer(metricsAddr, reg, elog)
-		if err != nil {
-			t.Close()
-			return nil, nil, err
-		}
-		t.server = srv
-		fmt.Fprintf(t.Out, "telemetry: serving /metrics, /healthz, /events, /debug/pprof/ on http://%s\n", srv.Addr())
-	}
-	return t, elog, nil
-}
-
-// Close stops the server and flushes the event file.
-func (t *telemetry) Close() {
-	if t == nil {
-		return
-	}
-	_ = t.server.Close()
-	if t.eventFile != nil {
-		_ = t.eventFile.Close()
-	}
-}
 
 // renderTelemetry writes the combined -stats block — solver table,
 // optional region-store summary, metrics table — through one writer in
 // a fixed section order. Kept free of direct os.* references so the
-// golden test pins the exact combined layout.
+// golden test pins the exact combined layout. The sinks behind the
+// writer (live server, event file) are wired by
+// internal/clitelemetry, shared with the other CLIs.
 func renderTelemetry(w io.Writer, solverStats string, store *solstore.Stats, metrics string) {
 	fmt.Fprintf(w, "\n--- solver statistics ---\n%s", solverStats)
 	if store != nil {

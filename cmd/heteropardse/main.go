@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/clitelemetry"
 	"repro/internal/dse"
 	"repro/internal/experiments"
 	"repro/internal/obs"
@@ -123,36 +124,23 @@ func main() {
 	// All human-readable telemetry (progress lines, -stats tables, -v
 	// span lines) shares one serialized stderr writer so concurrent
 	// producers interleave at line granularity. Stdout carries only the
-	// report.
-	telew := obs.NewSyncWriter(os.Stderr)
+	// report. The -metrics-addr/-events sinks are the shared
+	// clitelemetry wiring.
 	observer := &obs.Observer{Metrics: obs.NewRegistry()}
+	tele, err := clitelemetry.Start("heteropardse", *metricsAdr, *eventsFlag, observer.Metrics)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer tele.Close()
+	telew := tele.Out
+	observer.Events = tele.Events
 	if *traceFlag != "" || *verbose || *eventsFlag != "" {
 		observer.Tracer = obs.NewTracer()
 		if *verbose {
 			observer.Tracer.SetLogger(telew)
 		}
 	}
-	var eventFile *os.File
-	if *eventsFlag != "" {
-		f, err := os.Create(*eventsFlag)
-		if err != nil {
-			fatalf("events: %v", err)
-		}
-		defer f.Close()
-		eventFile = f
-		observer.Events = obs.NewEventLog(eventFile)
-	} else if *metricsAdr != "" {
-		observer.Events = obs.NewEventLog(nil)
-	}
 	observer.Tracer.SetEvents(observer.Events)
-	if *metricsAdr != "" {
-		srv, err := obs.NewServer(*metricsAdr, observer.Metrics, observer.Events)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		defer srv.Close()
-		fmt.Fprintf(telew, "heteropardse: serving /metrics, /healthz, /events, /debug/pprof/ on http://%s\n", srv.Addr())
-	}
 
 	var workloads []*dse.Workload
 	prepStart := time.Now() //repolint:allow timenow (progress reporting only)
@@ -182,6 +170,9 @@ func main() {
 	// The whole-solution cache and the region-solve store share one
 	// bounded arena; the engine threads it through every evaluation so
 	// neighboring points reuse region subproblems.
+	if err := clitelemetry.ValidateStoreCap(*storeCap, "selects the default sizing"); err != nil {
+		fatalf("%v", err)
+	}
 	var store *solstore.Store
 	if *storeCap > 0 {
 		store = solstore.New(solstore.Options{Capacity: *storeCap, Metrics: observer.M(), Events: observer.E()})

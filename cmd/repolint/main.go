@@ -31,6 +31,15 @@
 // layer, which owns time) and explicitly waived sites. That keeps new
 // time.Now calls from creeping into CLIs or analysis code unreviewed.
 //
+// Packages listed in wallclockConfined get a stricter, waiver-free
+// policy: all wall-clock reads (time.Now, and the wallclock rule's
+// time.Since / time.Until) must live in the package's declared clock
+// file(s); everywhere else in the package they are findings that no
+// `//repolint:allow` comment can silence. This replaces ad-hoc waiver
+// scatter in packages that legitimately measure latency (the serving
+// layer): the clock file is the single audited doorway, and the policy
+// itself is tested in main_test.go.
+//
 // Exit status is 1 when any unwaived finding remains, so `make lint` gates
 // CI on determinism.
 package main
@@ -131,13 +140,26 @@ func findRoot() (string, error) {
 	}
 }
 
+// fullRules are the rules the deterministic-package lint applies. The
+// wallclock rule (time.Since / time.Until) is deliberately absent: in
+// the deterministic packages those reads feed telemetry only and carry
+// timenow waivers where they matter; the stricter rule exists for the
+// wallclockConfined sweep below.
+var fullRules = map[string]bool{
+	"timenow":        true,
+	"globalrand":     true,
+	"maprange":       true,
+	"numcpu":         true,
+	"globalmapwrite": true,
+}
+
 // Run lints the named packages rooted at dir and returns the unwaived
 // findings sorted by position.
 func Run(dir string, pkgs []string) ([]Finding, error) {
 	l := newLinter(dir)
 	var findings []Finding
 	for _, path := range pkgs {
-		fs, err := l.lintPackage(path, nil)
+		fs, err := l.lintPackage(path, fullRules)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", path, err)
 		}
@@ -154,10 +176,24 @@ var wallclockExempt = map[string]bool{
 	"repro/internal/obs": true,
 }
 
+// wallclockConfined maps a package to the set of file basenames its
+// wall-clock reads must live in. Confined packages trade waivers for a
+// doorway: time.Now, time.Since and time.Until are all findings
+// anywhere outside the listed clock file(s), and `//repolint:allow`
+// comments do not silence them — moving a read means moving it through
+// the clock file, where it is reviewed once. The serving layer measures
+// request and solve latency constantly; one audited clock.go beats a
+// waiver on every call site.
+var wallclockConfined = map[string]map[string]bool{
+	"repro/internal/serve": {"clock.go": true},
+}
+
 // RunWallclock sweeps every module package that the full determinism
-// lint does not already cover, applying only the timenow rule. This
-// confines time.Now to internal/obs and `//repolint:allow timenow`
-// sites across the whole repository.
+// lint does not already cover. Ordinary packages get the timenow rule
+// alone (time.Now stays confined to internal/obs and waived sites);
+// wallclockConfined packages additionally get the wallclock rule
+// (time.Since / time.Until), with findings inside their declared clock
+// files dropped and waivers ignored.
 func RunWallclock(dir string) ([]Finding, error) {
 	pkgs, err := modulePackages(dir)
 	if err != nil {
@@ -169,9 +205,22 @@ func RunWallclock(dir string) ([]Finding, error) {
 	}
 	l := newLinter(dir)
 	timenowOnly := map[string]bool{"timenow": true}
+	confinedRules := map[string]bool{"timenow": true, "wallclock": true}
 	var findings []Finding
 	for _, path := range pkgs {
 		if full[path] || wallclockExempt[path] {
+			continue
+		}
+		if clockFiles, ok := wallclockConfined[path]; ok {
+			fs, err := l.lintPackageUnwaivable(path, confinedRules)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			for _, f := range fs {
+				if !clockFiles[filepath.Base(f.Pos.Filename)] {
+					findings = append(findings, f)
+				}
+			}
 			continue
 		}
 		fs, err := l.lintPackage(path, timenowOnly)
@@ -340,10 +389,22 @@ func (l *linter) parseDir(path string, mode parser.Mode) ([]*ast.File, error) {
 	return files, nil
 }
 
-// lintPackage type-checks one target package and walks its files. A
-// non-nil rules set restricts reporting to those rules (the wallclock
-// sweep passes {timenow}); nil applies every rule.
+// lintPackage type-checks one target package and walks its files,
+// honoring `//repolint:allow` waivers. A non-nil rules set restricts
+// reporting to those rules (the wallclock sweep passes {timenow});
+// nil applies every rule.
 func (l *linter) lintPackage(path string, rules map[string]bool) ([]Finding, error) {
+	return l.lint(path, rules, true)
+}
+
+// lintPackageUnwaivable is lintPackage with waivers ignored — the
+// wallclockConfined policy, where the clock file is the only doorway
+// and per-site waivers would defeat the confinement.
+func (l *linter) lintPackageUnwaivable(path string, rules map[string]bool) ([]Finding, error) {
+	return l.lint(path, rules, false)
+}
+
+func (l *linter) lint(path string, rules map[string]bool, honorWaivers bool) ([]Finding, error) {
 	c, err := l.check(path)
 	if err != nil {
 		return nil, err
@@ -370,7 +431,10 @@ func (l *linter) lintPackage(path string, rules map[string]bool) ([]Finding, err
 			if found != nil && rules != nil && !rules[found.Rule] {
 				found = nil
 			}
-			if found != nil && !waived[found.Pos.Line][found.Rule] && !waived[found.Pos.Line-1][found.Rule] {
+			if found != nil && honorWaivers && (waived[found.Pos.Line][found.Rule] || waived[found.Pos.Line-1][found.Rule]) {
+				found = nil
+			}
+			if found != nil {
 				findings = append(findings, *found)
 			}
 			return true
@@ -420,6 +484,12 @@ func (l *linter) checkCall(call *ast.CallExpr, info *types.Info) *Finding {
 			Pos:  l.fset.Position(call.Pos()),
 			Rule: "timenow",
 			Msg:  "time.Now leaks wall-clock time into a deterministic package",
+		}
+	case fn.Pkg().Path() == "time" && (fn.Name() == "Since" || fn.Name() == "Until"):
+		return &Finding{
+			Pos:  l.fset.Position(call.Pos()),
+			Rule: "wallclock",
+			Msg:  fmt.Sprintf("time.%s reads the wall clock outside the package's clock file; route it through the declared clock file (see wallclockConfined)", fn.Name()),
 		}
 	case fn.Pkg().Path() == "math/rand" && fn.Name() != "New" && fn.Name() != "NewSource":
 		return &Finding{

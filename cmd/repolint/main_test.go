@@ -161,6 +161,71 @@ func Keys(m map[string]int) (out []string) {
 	}
 }
 
+// TestWallclockConfinedPolicy pins the confined-package contract on a
+// synthetic internal/serve: wall-clock reads (time.Now AND the
+// wallclock rule's time.Since) are findings outside the declared clock
+// file, `//repolint:allow` does not silence them, and reads inside
+// clock.go are dropped without any waiver.
+func TestWallclockConfinedPolicy(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		p := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("internal/serve/clock.go", `package serve
+
+import "time"
+
+func now() time.Time                  { return time.Now() }
+func since(t time.Time) time.Duration { return time.Since(t) }
+`)
+	write("internal/serve/handler.go", `package serve
+
+import "time"
+
+func Latency(t0 time.Time) time.Duration {
+	return time.Since(t0) //repolint:allow timenow wallclock (must NOT silence a confined package)
+}
+
+func Stamp() time.Time { return time.Now() }
+`)
+	findings, err := RunWallclock(dir)
+	if err != nil {
+		t.Fatalf("RunWallclock: %v", err)
+	}
+	got := rules(findings)
+	if got["wallclock"] != 1 || got["timenow"] != 1 {
+		t.Errorf("got %v findings, want one waiver-proof wallclock (time.Since) and one timenow in handler.go:\n%v", got, findings)
+	}
+	for _, f := range findings {
+		if filepath.Base(f.Pos.Filename) == "clock.go" {
+			t.Errorf("clock file read flagged despite confinement policy: %v", f)
+		}
+	}
+}
+
+// TestWallclockRuleAbsentFromFullLint keeps time.Since legal in the
+// deterministic packages (where telemetry durations carry timenow
+// waivers already): the full lint must not apply the sweep-only
+// wallclock rule.
+func TestWallclockRuleAbsentFromFullLint(t *testing.T) {
+	findings := lintSource(t, `package fake
+
+import "time"
+
+func Elapsed(t0 time.Time) time.Duration { return time.Since(t0) }
+`)
+	if got := rules(findings); got["wallclock"] != 0 {
+		t.Errorf("full lint applied the wallclock rule: %v", findings)
+	}
+}
+
 // TestExistingRulesStillFire guards against the new assignment walk
 // swallowing the established checks.
 func TestExistingRulesStillFire(t *testing.T) {

@@ -1,0 +1,116 @@
+package clitelemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestStartFullWiring starts both sinks and checks the server serves
+// the registry while events stream to the JSONL file.
+func TestStartFullWiring(t *testing.T) {
+	events := filepath.Join(t.TempDir(), "events.jsonl")
+	reg := obs.NewRegistry()
+	reg.Counter("demo.count").Inc()
+
+	tele, err := Start("demotool", "127.0.0.1:0", events, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tele.Close()
+	if tele.Events == nil {
+		t.Fatal("no event log with both sinks requested")
+	}
+	tele.Events.Emit("demo-event", "x", map[string]any{"n": 1})
+
+	addr := tele.Addr()
+	if addr == "" {
+		t.Fatal("no server address")
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "heteropar_demo_count 1") {
+		t.Errorf("/metrics missing the registry:\n%s", body)
+	}
+
+	tele.Close()
+	data, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(strings.SplitN(strings.TrimSpace(string(data)), "\n", 2)[0]), &ev); err != nil {
+		t.Fatalf("events file is not JSONL: %v\n%s", err, data)
+	}
+	if ev["kind"] != "demo-event" {
+		t.Errorf("event = %v", ev)
+	}
+}
+
+// TestStartNoSinks keeps the zero-flag path allocation-light: no
+// server, no event log, but a usable Out writer.
+func TestStartNoSinks(t *testing.T) {
+	tele, err := Start("demotool", "", "", obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tele.Close()
+	if tele.Events != nil {
+		t.Error("event log created with no sink")
+	}
+	if tele.Addr() != "" {
+		t.Error("server started with no address")
+	}
+	if tele.Out == nil {
+		t.Error("no Out writer")
+	}
+	var sb strings.Builder
+	tele.SetOut(&sb)
+	fmt.Fprint(tele.Out, "probe\n")
+	if sb.String() != "probe\n" {
+		t.Errorf("SetOut writer got %q", sb.String())
+	}
+}
+
+// TestStartBadEventsPath surfaces file errors instead of half-starting.
+func TestStartBadEventsPath(t *testing.T) {
+	if _, err := Start("demotool", "", filepath.Join(t.TempDir(), "no", "such", "dir", "e.jsonl"), obs.NewRegistry()); err == nil {
+		t.Fatal("unwritable events path accepted")
+	}
+}
+
+// TestValidateStoreCap pins the shared -store-cap contract.
+func TestValidateStoreCap(t *testing.T) {
+	if err := ValidateStoreCap(0, "disables the store"); err != nil {
+		t.Errorf("0 rejected: %v", err)
+	}
+	if err := ValidateStoreCap(128, "disables the store"); err != nil {
+		t.Errorf("positive rejected: %v", err)
+	}
+	err := ValidateStoreCap(-1, "selects the default sizing")
+	if err == nil {
+		t.Fatal("negative accepted")
+	}
+	for _, want := range []string{"-store-cap", ">= 0", "-1", "selects the default sizing"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestCloseNil keeps Close nil-safe for error paths.
+func TestCloseNil(t *testing.T) {
+	var tele *Telemetry
+	tele.Close()
+}

@@ -27,20 +27,18 @@ type Server struct {
 	srv    *http.Server
 }
 
-// NewServer starts serving on addr (e.g. "localhost:9090", or
-// "127.0.0.1:0" for an ephemeral port). reg and events may be nil —
-// the corresponding endpoints then serve empty bodies.
-func NewServer(addr string, reg *Registry, events *EventLog) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
-	}
-	s := &Server{reg: reg, events: events, ln: ln}
-
+// TelemetryHandler returns the telemetry endpoint set (/metrics,
+// /healthz, /events, /debug/pprof/) as a standalone http.Handler, so a
+// host server — obs.Server here, the heteropard daemon elsewhere — can
+// mount the same surface on its own listener. reg and events may be
+// nil; the corresponding endpoints then serve empty bodies. The
+// handlers are built on a private mux, never http.DefaultServeMux, so
+// importing this package does not leak pprof onto unrelated servers.
+func TelemetryHandler(reg *Registry, events *EventLog) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = s.reg.WritePrometheus(w)
+		_ = reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -50,15 +48,26 @@ func NewServer(addr string, reg *Registry, events *EventLog) (*Server, error) {
 		n := 0
 		fmt.Sscanf(r.URL.Query().Get("n"), "%d", &n)
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		_ = s.events.WriteJSONL(w, n)
+		_ = events.WriteJSONL(w, n)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
-	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+// NewServer starts serving on addr (e.g. "localhost:9090", or
+// "127.0.0.1:0" for an ephemeral port). reg and events may be nil —
+// the corresponding endpoints then serve empty bodies.
+func NewServer(addr string, reg *Registry, events *EventLog) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{reg: reg, events: events, ln: ln}
+	s.srv = &http.Server{Handler: TelemetryHandler(reg, events), ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }

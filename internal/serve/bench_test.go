@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// BenchmarkServeLoadgen measures daemon throughput for the mixed
+// ten-benchmark UTDSP workload against a warm store: the first
+// iteration pays the ten cold solves, then b.ResetTimer, so the
+// steady-state number is the serving overhead (HTTP + coalesce + cache
+// lookup) the daemon adds on top of the 17ms-warm solve path. benchjson
+// exports the rps and latency metrics into BENCH_ilp.json's serve
+// suite.
+func BenchmarkServeLoadgen(b *testing.B) {
+	s, err := New(Config{Workers: 4, Metrics: obs.NewRegistry()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer func() {
+		ts.Close()
+		_ = s.Drain(context.Background())
+	}()
+
+	opts := LoadOptions{
+		BaseURL:     ts.URL,
+		Benchmarks:  benchNames(),
+		Concurrency: 8,
+		Requests:    len(benchNames()),
+	}
+	// Warm the store: one pass pays every cold solve.
+	if _, err := RunLoad(context.Background(), opts); err != nil {
+		b.Fatal(err)
+	}
+
+	opts.Requests = 200
+	b.ResetTimer()
+	var rps, p50, p99 float64
+	for i := 0; i < b.N; i++ {
+		rep, err := RunLoad(context.Background(), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Errors > 0 || rep.StatusCounts[200] != rep.Requests {
+			b.Fatalf("load run degraded: %+v", rep)
+		}
+		rps = rep.RPS
+		p50 = float64(rep.Latency.P50.Nanoseconds())
+		p99 = float64(rep.Latency.P99.Nanoseconds())
+	}
+	// ns/op is the wall time of one whole 200-request load run — the
+	// number the bench gate holds to its 2x tolerance.
+	b.ReportMetric(rps, "req/s")
+	b.ReportMetric(p50, "p50-ns")
+	b.ReportMetric(p99, "p99-ns")
+}

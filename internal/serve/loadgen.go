@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// LoadOptions configures one load-generation run against a daemon.
+type LoadOptions struct {
+	// BaseURL is the daemon base ("http://127.0.0.1:8380").
+	BaseURL string
+	// Benchmarks are the bundled benchmark names replayed round-robin
+	// (request i asks for Benchmarks[i % len]); a mixed workload over
+	// the ten UTDSP kernels is the intended shape.
+	Benchmarks []string
+	// Concurrency is the number of in-flight requests (default 8).
+	Concurrency int
+	// Requests is the total request count (default 100).
+	Requests int
+	// Platform ("A"/"B"), Scenario ("acc"/"slow") and Approach
+	// ("het"/"hom") apply to every request; empty picks daemon
+	// defaults.
+	Platform string
+	Scenario string
+	Approach string
+	// TimeoutMs is the per-request server-side wait cap (0 = daemon
+	// default).
+	TimeoutMs int
+	// Client overrides the HTTP client (default: a dedicated client
+	// with a generous timeout).
+	Client *http.Client
+}
+
+// LoadReport aggregates one load run: per-status counts and the
+// client-observed latency distribution.
+type LoadReport struct {
+	// Requests is the number sent; Errors counts transport failures
+	// (connection refused, timeout) — HTTP error statuses are tallied
+	// in StatusCounts, not here.
+	Requests int
+	Errors   int
+	// StatusCounts maps HTTP status → count.
+	StatusCounts map[int]int
+	// Elapsed is the whole run's wall time; RPS the completed requests
+	// per second over it.
+	Elapsed time.Duration
+	RPS     float64
+	// Latency is the client-observed per-request latency distribution
+	// (P50/P90/P99 precomputed).
+	Latency obs.HistogramSnapshot
+}
+
+// RunLoad replays the mixed workload against a daemon and reports
+// throughput and latency percentiles. It returns an error only for
+// invalid options; per-request failures are tallied in the report.
+func RunLoad(ctx context.Context, opts LoadOptions) (*LoadReport, error) {
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: empty base URL")
+	}
+	if len(opts.Benchmarks) == 0 {
+		return nil, fmt.Errorf("loadgen: no benchmarks")
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 8
+	}
+	if opts.Requests <= 0 {
+		opts.Requests = 100
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Minute}
+	}
+
+	bodies := make([][]byte, len(opts.Benchmarks))
+	for i, name := range opts.Benchmarks {
+		req := Request{
+			Bench:     name,
+			Scenario:  opts.Scenario,
+			Approach:  opts.Approach,
+			TimeoutMs: opts.TimeoutMs,
+		}
+		if opts.Platform != "" {
+			req.Platform = json.RawMessage(fmt.Sprintf("%q", opts.Platform))
+		}
+		buf, err := json.Marshal(&req)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: %w", err)
+		}
+		bodies[i] = buf
+	}
+	url := strings.TrimSuffix(opts.BaseURL, "/") + "/v1/parallelize"
+
+	hist := &obs.Histogram{}
+	rep := &LoadReport{Requests: opts.Requests, StatusCounts: map[int]int{}}
+	var mu sync.Mutex
+
+	start := now()
+	var wg sync.WaitGroup
+	for c := 0; c < opts.Concurrency; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Static request partition: worker c sends requests c,
+			// c+C, c+2C, ... so the benchmark mix is identical run
+			// over run regardless of scheduling.
+			for i := c; i < opts.Requests; i += opts.Concurrency {
+				if ctx.Err() != nil {
+					mu.Lock()
+					rep.Errors++
+					mu.Unlock()
+					continue
+				}
+				body := bodies[i%len(bodies)]
+				t0 := now()
+				status, err := postOnce(ctx, client, url, body)
+				d := since(t0)
+				mu.Lock()
+				if err != nil {
+					rep.Errors++
+				} else {
+					rep.StatusCounts[status]++
+					hist.Observe(d)
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	rep.Elapsed = since(start)
+	rep.Latency = hist.Snapshot()
+	if rep.Elapsed > 0 {
+		rep.RPS = float64(rep.Latency.Count) / rep.Elapsed.Seconds()
+	}
+	return rep, nil
+}
+
+// postOnce sends one request and fully drains the response so the
+// client's connection pool can reuse the socket.
+func postOnce(ctx context.Context, client *http.Client, url string, body []byte) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// Render formats the report as the human-readable loadgen summary.
+func (r *LoadReport) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "requests:   %d (%d transport errors)\n", r.Requests, r.Errors)
+	codes := make([]int, 0, len(r.StatusCounts))
+	for c := range r.StatusCounts {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Fprintf(&sb, "  HTTP %d:  %d\n", c, r.StatusCounts[c])
+	}
+	fmt.Fprintf(&sb, "elapsed:    %v\n", r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&sb, "throughput: %.1f requests/sec\n", r.RPS)
+	l := r.Latency
+	fmt.Fprintf(&sb, "latency:    p50=%v p90=%v p99=%v min=%v max=%v\n",
+		l.P50.Round(time.Microsecond), l.P90.Round(time.Microsecond), l.P99.Round(time.Microsecond),
+		l.Min.Round(time.Microsecond), l.Max.Round(time.Microsecond))
+	return sb.String()
+}

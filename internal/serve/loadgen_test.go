@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunLoadAgainstStubDaemon(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4})
+	var calls atomic.Int64
+	stubSolve(s, &calls, nil)
+
+	rep, err := RunLoad(context.Background(), LoadOptions{
+		BaseURL:     ts.URL,
+		Benchmarks:  []string{"fir_256", "mult_10", "iir_4"},
+		Concurrency: 4,
+		Requests:    24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 24 || rep.Errors != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.StatusCounts[200] != 24 {
+		t.Fatalf("status counts %v; want 24 x 200", rep.StatusCounts)
+	}
+	// Three unique jobs; everything else coalesces or hits the cache.
+	if got := calls.Load(); got != 3 {
+		t.Errorf("solve ran %d times for 3 unique benchmarks", got)
+	}
+	if rep.Latency.Count != 24 {
+		t.Errorf("latency count %d; want 24", rep.Latency.Count)
+	}
+	if rep.RPS <= 0 || rep.Elapsed <= 0 {
+		t.Errorf("throughput not computed: rps=%v elapsed=%v", rep.RPS, rep.Elapsed)
+	}
+
+	out := rep.Render()
+	for _, want := range []string{"HTTP 200:  24", "throughput:", "p50="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunLoadOptionValidation(t *testing.T) {
+	if _, err := RunLoad(context.Background(), LoadOptions{Benchmarks: []string{"fir_256"}}); err == nil {
+		t.Error("empty base URL accepted")
+	}
+	if _, err := RunLoad(context.Background(), LoadOptions{BaseURL: "http://x"}); err == nil {
+		t.Error("empty benchmark list accepted")
+	}
+}
+
+func TestRunLoadCountsTransportErrors(t *testing.T) {
+	// Port 1 on loopback: nothing listens, connections are refused.
+	rep, err := RunLoad(context.Background(), LoadOptions{
+		BaseURL:     "http://127.0.0.1:1",
+		Benchmarks:  []string{"fir_256"},
+		Concurrency: 2,
+		Requests:    4,
+		Client:      &http.Client{Timeout: 2 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 4 {
+		t.Fatalf("errors = %d; want 4", rep.Errors)
+	}
+}

@@ -232,6 +232,79 @@ func TestGetOrComputeConcurrentDistinctKeys(t *testing.T) {
 	}
 }
 
+// TestSingleflightRacesEviction is the server-shaped load test: many
+// goroutines GetOrCompute the *same* hot key while a writer floods the
+// single shard with unique Puts, so the hot entry is repeatedly evicted
+// — including while computations of it are in flight. The singleflight
+// table must stay consistent with the LRU under that interleaving:
+// every caller gets the correct value (never another key's), no call
+// deadlocks, and an in-flight computation whose freshly-stored entry is
+// evicted simply recomputes on the next miss. Run under -race (make
+// race) this is the concurrency gate for the inflight/LRU interaction.
+func TestSingleflightRacesEviction(t *testing.T) {
+	// One shard with a tiny capacity so the flood below evicts the hot
+	// key almost immediately after every insert.
+	s := New(Options{Capacity: 4, Shards: 1})
+	const (
+		readers = 8
+		rounds  = 300
+	)
+	var computed atomic.Int64
+	stop := make(chan struct{})
+
+	// Eviction pressure: unique keys through the same shard.
+	var flood sync.WaitGroup
+	flood.Add(1)
+	go func() {
+		defer flood.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Put(fmt.Sprintf("cold%06d", i), i)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				v, _ := s.GetOrCompute("hot", func() any {
+					computed.Add(1)
+					runtime.Gosched() // widen the in-flight window
+					return "hotval"
+				})
+				if v.(string) != "hotval" {
+					t.Errorf("GetOrCompute(hot) = %v; want hotval", v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	flood.Wait()
+
+	// Eviction must have actually raced the singleflight: the hot key
+	// was computed more than once (evicted between rounds) but far
+	// fewer times than the raw call count (singleflight + cache hits).
+	if got := computed.Load(); got == 0 || got >= readers*rounds {
+		t.Fatalf("hot key computed %d times; want in (0, %d)", got, readers*rounds)
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions; the flood failed to pressure the shard")
+	}
+	if st.Hits+st.Dedups+st.Misses < readers*rounds {
+		t.Fatalf("accounting lost calls: hits %d + dedups %d + misses %d < %d",
+			st.Hits, st.Dedups, st.Misses, readers*rounds)
+	}
+}
+
 // TestShardGaugeNames pins the zero-padded gauge naming used by -stats.
 func TestShardGaugeNames(t *testing.T) {
 	reg := obs.NewRegistry()
