@@ -44,6 +44,7 @@ bench-check:
 	$(GO) run ./cmd/benchjson -suite ilp -check BENCH_ilp.json
 	$(GO) run ./cmd/benchjson -suite solstore -check BENCH_ilp.json
 	$(GO) run ./cmd/benchjson -suite obs -check BENCH_ilp.json
+	$(GO) run ./cmd/benchjson -suite deps -check BENCH_ilp.json
 	$(GO) run ./cmd/benchjson -suite serve -check BENCH_ilp.json
 
 # Daemon smoke: start heteropard on an ephemeral port, POST one

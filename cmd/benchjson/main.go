@@ -20,10 +20,13 @@
 //   - obs: the telemetry-primitive benches (histogram observe, labeled
 //     Vec child lookup, snapshot and Prometheus render cost) — the
 //     per-call overhead instrumented hot paths pay.
+//   - deps: dependence analysis + HTG build with array-section
+//     sharpening over the UTDSP suite, with edges-dropped and
+//     bytes-saved counters as custom metrics.
 //
 // Usage:
 //
-//	go run ./cmd/benchjson [-o BENCH_ilp.json] [-suite figures|ilp|solstore|dse|obs|all]
+//	go run ./cmd/benchjson [-o BENCH_ilp.json] [-suite figures|ilp|solstore|dse|obs|deps|all]
 //	go run ./cmd/benchjson -suite ilp -check BENCH_ilp.json   # CI gate
 //
 // With -check, no file is written: measured ns/op must stay within
@@ -100,6 +103,14 @@ var suites = []suite{
 		bench: "^Benchmark",
 	},
 	{
+		// Dependence-analysis cost: full HTG construction with section
+		// sharpening over the UTDSP suite; edges-dropped and bytes-saved
+		// ride along as custom metrics.
+		name:  "deps",
+		pkg:   "./internal/htg/",
+		bench: "^BenchmarkDeps$",
+	},
+	{
 		// Daemon serving overhead: a warm-store 200-request mixed
 		// UTDSP load run through internal/serve's loadgen; req/s and
 		// latency percentiles ride along as custom metrics.
@@ -112,7 +123,7 @@ var suites = []suite{
 
 func main() {
 	out := flag.String("o", "BENCH_ilp.json", "output file")
-	only := flag.String("suite", "all", "suite to run: figures, ilp, solstore, dse, obs, serve or all")
+	only := flag.String("suite", "all", "suite to run: figures, ilp, solstore, dse, obs, deps, serve or all")
 	check := flag.String("check", "", "compare measured ns/op against this committed file instead of writing; exit 1 on regression beyond -tolerance")
 	tolerance := flag.Float64("tolerance", 2.0, "with -check: fail when measured ns/op exceeds the committed value by more than this factor")
 	flag.Parse()

@@ -1,10 +1,14 @@
 // Command htgdump prints the Augmented Hierarchical Task Graph of a mini-C
-// program in Graphviz DOT format (pipe into `dot -Tsvg`).
+// program in Graphviz DOT format (pipe into `dot -Tsvg`), or, with
+// -sections, the array-section dependence report: every sibling dependence
+// with its per-array sections and communication volume before/after
+// section sharpening, plus the dependences the section analysis dropped.
 //
 // Usage:
 //
 //	htgdump file.c
 //	htgdump -bench compress
+//	htgdump -sections -bench bound_value
 package main
 
 import (
@@ -18,8 +22,32 @@ import (
 	"repro/internal/minic"
 )
 
+// dump compiles and profiles source, builds the HTG and renders it: the
+// section report when sections is set, Graphviz DOT otherwise. Both
+// renderings are deterministic for equal inputs.
+func dump(source string, sections bool) (string, error) {
+	prog, err := minic.Compile(source)
+	if err != nil {
+		return "", err
+	}
+	in := interp.New(prog)
+	prof, err := in.Run()
+	if err != nil {
+		return "", err
+	}
+	g, err := htg.Build(prog, prof, htg.Config{})
+	if err != nil {
+		return "", err
+	}
+	if sections {
+		return g.SectionReport(), nil
+	}
+	return g.DOT(), nil
+}
+
 func main() {
 	benchFlag := flag.String("bench", "", "use a bundled benchmark instead of a file")
+	sectionsFlag := flag.Bool("sections", false, "print the array-section dependence report instead of DOT")
 	flag.Parse()
 
 	var source string
@@ -43,21 +71,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	prog, err := minic.Compile(source)
+	out, err := dump(source, *sectionsFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "htgdump: %v\n", err)
 		os.Exit(1)
 	}
-	in := interp.New(prog)
-	prof, err := in.Run()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "htgdump: %v\n", err)
-		os.Exit(1)
-	}
-	g, err := htg.Build(prog, prof, htg.Config{})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "htgdump: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Print(g.DOT())
+	fmt.Print(out)
 }

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestSectionsReportGolden pins the -sections output for a benchmark with
+// real dropped edges. The report must be deterministic, so the golden is a
+// byte-exact comparison; regenerate with `go test ./cmd/htgdump -update`.
+func TestSectionsReportGolden(t *testing.T) {
+	b := bench.ByName("bound_value")
+	if b == nil {
+		t.Fatal("bound_value benchmark missing")
+	}
+	got, err := dump(b.Source, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "sections_bound_value.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("-sections output drifted from golden (rerun with -update if intended)\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// Determinism: a second build must render byte-identically.
+	again, err := dump(b.Source, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != got {
+		t.Errorf("-sections output differs between identical runs")
+	}
+}

@@ -13,6 +13,12 @@
 //	numcpu     — runtime.NumCPU / runtime.GOMAXPROCS, which silently tie
 //	             search width (and with it solver trajectories) to the
 //	             host machine instead of explicit configuration.
+//	mapfmt     — map values passed to the fmt print family. fmt sorts
+//	             map keys, but maps keyed or valued by pointers render
+//	             as addresses that differ run to run, so a %v of
+//	             map[*Node]X silently breaks byte-identical reports;
+//	             format maps through an explicit sorted rendering or
+//	             waive sites whose key and value types print stably.
 //	globalmapwrite — assignments to (or deletes from) package-level
 //	             maps. Now that solves run on worker pools, an
 //	             unguarded global map is a data race waiting for the
@@ -151,6 +157,7 @@ var fullRules = map[string]bool{
 	"maprange":       true,
 	"numcpu":         true,
 	"globalmapwrite": true,
+	"mapfmt":         true,
 }
 
 // Run lints the named packages rooted at dir and returns the unwaived
@@ -503,8 +510,41 @@ func (l *linter) checkCall(call *ast.CallExpr, info *types.Info) *Finding {
 			Rule: "numcpu",
 			Msg:  fmt.Sprintf("runtime.%s makes behavior depend on the host machine; take widths from explicit configuration (e.g. ilp.Options.Workers) or waive if results stay machine-independent", fn.Name()),
 		}
+	case fn.Pkg().Path() == "fmt" && printFamily[fn.Name()]:
+		if typ := l.mapArgType(call, info); typ != "" {
+			return &Finding{
+				Pos:  l.fset.Position(call.Pos()),
+				Rule: "mapfmt",
+				Msg:  fmt.Sprintf("fmt.%s formats a %s directly; pointer keys or values print as per-run addresses — render the map through an explicit sorted form or waive if the types print stably", fn.Name(), typ),
+			}
+		}
 	}
 	return nil
+}
+
+// printFamily is the set of fmt functions whose arguments end up rendered
+// with the default formatter.
+var printFamily = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Sprint": true, "Sprintf": true, "Sprintln": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Errorf": true, "Appendf": true,
+}
+
+// mapArgType returns the printed type of the first map-typed argument of a
+// fmt print-family call ("" when none). Format strings and io.Writer
+// receivers are never maps, so every argument can be inspected uniformly.
+func (l *linter) mapArgType(call *ast.CallExpr, info *types.Info) string {
+	for _, arg := range call.Args {
+		tv, ok := info.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			return tv.Type.String()
+		}
+	}
+	return ""
 }
 
 // checkAssign flags `globalMap[k] = v` (also +=, multi-assign).

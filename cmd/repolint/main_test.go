@@ -226,6 +226,51 @@ func Elapsed(t0 time.Time) time.Duration { return time.Since(t0) }
 	}
 }
 
+// TestMapFmtRule: fmt print-family calls with map-typed arguments are
+// flagged; slices, scalars and non-print fmt calls are not.
+func TestMapFmtRule(t *testing.T) {
+	findings := lintSource(t, `package fake
+
+import (
+	"fmt"
+	"os"
+)
+
+type node struct{ id int }
+
+func Dump(m map[*node]int, s []int) {
+	fmt.Println(m)
+	fmt.Printf("state: %v\n", m)
+	fmt.Fprintf(os.Stderr, "%v %v\n", s, m)
+	_ = fmt.Sprintf("%d", len(m))
+	fmt.Println(s)
+}
+
+func Wrap(m map[string]int) error {
+	return fmt.Errorf("bad config: %v", m)
+}
+`)
+	if got := rules(findings)["mapfmt"]; got != 4 {
+		t.Errorf("got %d mapfmt findings, want 4 (Println, Printf, Fprintf, Errorf):\n%v", got, findings)
+	}
+}
+
+// TestMapFmtWaiver: a waived map print stays legal (e.g. string-keyed maps
+// whose rendering is stable).
+func TestMapFmtWaiver(t *testing.T) {
+	findings := lintSource(t, `package fake
+
+import "fmt"
+
+func Show(m map[string]int) {
+	fmt.Println(m) //repolint:allow mapfmt (string keys print sorted and stable)
+}
+`)
+	if got := rules(findings)["mapfmt"]; got != 0 {
+		t.Errorf("waived map print was flagged:\n%v", findings)
+	}
+}
+
 // TestExistingRulesStillFire guards against the new assignment walk
 // swallowing the established checks.
 func TestExistingRulesStillFire(t *testing.T) {

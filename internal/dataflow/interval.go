@@ -1,0 +1,221 @@
+package dataflow
+
+import (
+	"repro/internal/minic"
+)
+
+// Interval is an inclusive integer range [Lo, Hi]. It is the shared value
+// abstraction behind the array-bounds lint and the array-section analysis:
+// both evaluate affine index forms over per-symbol intervals, so the
+// arithmetic lives here once instead of being forked per client.
+type Interval struct{ Lo, Hi int64 }
+
+// Empty reports whether the interval contains no integers.
+func (iv Interval) Empty() bool { return iv.Lo > iv.Hi }
+
+// Count returns the number of integers in the interval (0 when empty).
+func (iv Interval) Count() int64 {
+	if iv.Empty() {
+		return 0
+	}
+	return iv.Hi - iv.Lo + 1
+}
+
+// Add returns the element-wise sum {a+b | a in iv, b in o}.
+func (iv Interval) Add(o Interval) Interval {
+	return Interval{Lo: iv.Lo + o.Lo, Hi: iv.Hi + o.Hi}
+}
+
+// AddConst shifts the interval by c.
+func (iv Interval) AddConst(c int64) Interval {
+	return Interval{Lo: iv.Lo + c, Hi: iv.Hi + c}
+}
+
+// MulConst returns {c*a | a in iv}; a negative c flips the bounds.
+func (iv Interval) MulConst(c int64) Interval {
+	if c >= 0 {
+		return Interval{Lo: iv.Lo * c, Hi: iv.Hi * c}
+	}
+	return Interval{Lo: iv.Hi * c, Hi: iv.Lo * c}
+}
+
+// Union returns the convex hull of both intervals.
+func (iv Interval) Union(o Interval) Interval {
+	if iv.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return iv
+	}
+	out := iv
+	if o.Lo < out.Lo {
+		out.Lo = o.Lo
+	}
+	if o.Hi > out.Hi {
+		out.Hi = o.Hi
+	}
+	return out
+}
+
+// Intersect returns the common sub-range (possibly empty).
+func (iv Interval) Intersect(o Interval) Interval {
+	out := iv
+	if o.Lo > out.Lo {
+		out.Lo = o.Lo
+	}
+	if o.Hi < out.Hi {
+		out.Hi = o.Hi
+	}
+	return out
+}
+
+// Disjoint reports whether the two ranges share no integer.
+func (iv Interval) Disjoint(o Interval) bool { return iv.Intersect(o).Empty() }
+
+// Contains reports whether x lies in the interval.
+func (iv Interval) Contains(x int64) bool { return iv.Lo <= x && x <= iv.Hi }
+
+// EvalAffine evaluates an affine form over an interval environment and
+// reports whether every symbol with a nonzero coefficient was bound. The
+// result is the tightest interval containing {Const + sum c_s * v_s} for
+// v_s ranging over env[s].
+func EvalAffine(af Affine, env map[*minic.Symbol]Interval) (Interval, bool) {
+	if !af.OK {
+		return Interval{}, false
+	}
+	out := Interval{Lo: af.Const, Hi: af.Const}
+	for _, s := range sortedCoeffSyms(af) {
+		c := af.Coeffs[s]
+		if c == 0 {
+			continue
+		}
+		iv, ok := env[s]
+		if !ok {
+			return Interval{}, false
+		}
+		out = out.Add(iv.MulConst(c))
+	}
+	return out, true
+}
+
+// sortedCoeffSyms returns the affine form's symbols in stable order.
+// Interval addition is commutative so evaluation order does not change
+// results, but downstream derivations (e.g. phase anchoring) must never
+// depend on map order.
+func sortedCoeffSyms(af Affine) []*minic.Symbol {
+	out := make([]*minic.Symbol, 0, len(af.Coeffs))
+	//repolint:allow maprange — order restored by the sort below.
+	for s := range af.Coeffs {
+		out = append(out, s)
+	}
+	sortSyms(out)
+	return out
+}
+
+// LoopRange derives the value range of fs's induction variable when the
+// loop has a recognizable induction with constant init and bound and the
+// body does not reassign it. It returns the induction symbol, its exact
+// value interval over all iterations, the constant step, and ok=false when
+// any of those is not derivable (symbolic bounds, body writes, no
+// induction). The interval is trimmed to the values the induction variable
+// actually takes: with a non-unit step the top (or bottom, for negative
+// steps) is the last reachable value, so [lo:hi:step] sections anchored at
+// either end stay exact.
+func LoopRange(fs *minic.ForStmt, sums Summaries) (*minic.Symbol, Interval, int64, bool) {
+	ind, step := inductionVar(fs)
+	if ind == nil {
+		return nil, Interval{}, 0, false
+	}
+	init, ok := initConst(fs.Init)
+	if !ok {
+		return nil, Interval{}, 0, false
+	}
+	cond, ok := fs.Cond.(*minic.BinaryExpr)
+	if !ok {
+		return nil, Interval{}, 0, false
+	}
+	bound, ok := ExprConst(cond.Y)
+	if !ok {
+		return nil, Interval{}, 0, false
+	}
+	// A body that writes the induction variable invalidates the range.
+	if StmtAccesses(fs.Body, sums).Writes.Has(ind) {
+		return nil, Interval{}, 0, false
+	}
+	var iv Interval
+	switch {
+	case step > 0:
+		iv.Lo = init
+		switch cond.Op {
+		case minic.TokLt:
+			iv.Hi = bound - 1
+		case minic.TokLe:
+			iv.Hi = bound
+		case minic.TokNeq:
+			if step != 1 {
+				return nil, Interval{}, 0, false
+			}
+			iv.Hi = bound - 1
+		default:
+			return nil, Interval{}, 0, false
+		}
+		// Non-unit steps stop at the last reachable value.
+		if step > 1 && iv.Hi >= iv.Lo {
+			iv.Hi = iv.Lo + (iv.Hi-iv.Lo)/step*step
+		}
+	case step < 0:
+		iv.Hi = init
+		switch cond.Op {
+		case minic.TokGt:
+			iv.Lo = bound + 1
+		case minic.TokGe:
+			iv.Lo = bound
+		case minic.TokNeq:
+			if step != -1 {
+				return nil, Interval{}, 0, false
+			}
+			iv.Lo = bound + 1
+		default:
+			return nil, Interval{}, 0, false
+		}
+		if step < -1 && iv.Hi >= iv.Lo {
+			iv.Lo = iv.Hi - (iv.Hi-iv.Lo)/(-step)*(-step)
+		}
+	default:
+		return nil, Interval{}, 0, false
+	}
+	if iv.Empty() {
+		return nil, Interval{}, 0, false // loop body never runs
+	}
+	return ind, iv, step, true
+}
+
+// initConst extracts the constant initial value of a for-init clause.
+func initConst(s minic.Stmt) (int64, bool) {
+	switch init := s.(type) {
+	case *minic.DeclStmt:
+		if init.Init != nil {
+			return ExprConst(init.Init)
+		}
+	case *minic.ExprStmt:
+		if asn, ok := init.X.(*minic.AssignExpr); ok && asn.Op == minic.TokAssign {
+			return ExprConst(asn.RHS)
+		}
+	}
+	return 0, false
+}
+
+// ExprConst evaluates integer constant expressions (literals, unary minus
+// and constant affine combinations).
+func ExprConst(e minic.Expr) (int64, bool) {
+	af := ToAffine(e)
+	if !af.OK {
+		return 0, false
+	}
+	for _, c := range af.Coeffs { //repolint:allow maprange (pure fold, order-insensitive)
+		if c != 0 {
+			return 0, false
+		}
+	}
+	return af.Const, true
+}

@@ -223,36 +223,126 @@ func AnalyzeLoop(fs *minic.ForStmt, sums Summaries) *LoopInfo {
 			return info
 		}
 	}
-	// Per written array: all writes and all reads must share one affine
-	// index form with a nonzero induction coefficient (first dimension).
+	// Per written array: every pair of accesses involving a write must be
+	// provably independent across iterations. Identical affine forms with a
+	// nonzero induction coefficient qualify (iteration k touches only "its"
+	// elements); differing forms go through the GCD and Banerjee subscript
+	// tests, which admit e.g. a[2i] writes against a[2i+1] reads that the
+	// old identical-form rule rejected.
+	lo, hi, haveRange := int64(0), int64(0), false
+	if _, iv, _, ok := LoopRange(fs, sums); ok {
+		lo, hi, haveRange = iv.Lo, iv.Hi, true
+	}
 	for _, sym := range written.Sorted() {
-		var ref Affine
-		haveRef := false
+		var accs []ArrayAccess
 		for _, aa := range acc.Arrays {
-			if aa.Sym != sym {
-				continue
+			if aa.Sym == sym {
+				accs = append(accs, aa)
 			}
-			af := ToAffine(aa.Indices[0])
-			if !af.OK {
-				info.Reason = "array " + sym.Name + " has a non-affine index"
-				return info
-			}
-			if af.CoeffOf(ind) == 0 {
-				info.Reason = "array " + sym.Name + " is accessed at an index independent of the induction variable"
-				return info
-			}
-			if !haveRef {
-				ref, haveRef = af, true
-				continue
-			}
-			if !af.EqualModulo(ref) {
-				info.Reason = "array " + sym.Name + " is accessed at shifted indices across iterations"
-				return info
+		}
+		for p := range accs {
+			for q := p; q < len(accs); q++ {
+				if !accs[p].Write && !accs[q].Write {
+					continue
+				}
+				if reason := pairCarriesDep(accs[p], accs[q], ind, acc.Writes, lo, hi, haveRange); reason != "" {
+					info.Reason = "array " + sym.Name + " " + reason
+					return info
+				}
 			}
 		}
 	}
 	info.Parallel = true
 	return info
+}
+
+// pairCarriesDep decides whether two accesses to the same array may touch a
+// common element in two different iterations of the loop over ind. It
+// returns "" when some dimension proves independence, otherwise a
+// diagnostic phrase. A dimension d proves independence when the dependence
+// equation c1·i − c2·i′ = k2 − k1 (after cancelling loop-invariant terms
+// with equal coefficients) has no solution — by the GCD divisibility test
+// or the Banerjee range test over [lo, hi] — or when the forms are
+// identical with a nonzero induction coefficient, forcing i = i′.
+func pairCarriesDep(a1, a2 ArrayAccess, ind *minic.Symbol, bodyWrites SymSet, lo, hi int64, haveRange bool) string {
+	nd := len(a1.Indices)
+	if len(a2.Indices) < nd {
+		nd = len(a2.Indices)
+	}
+	fallback := "is accessed at shifted indices across iterations"
+	for d := 0; d < nd; d++ {
+		af1, af2 := ToAffine(a1.Indices[d]), ToAffine(a2.Indices[d])
+		if !af1.OK || !af2.OK {
+			if d == 0 {
+				fallback = "has a non-affine index"
+			}
+			continue
+		}
+		c1, c2 := af1.CoeffOf(ind), af2.CoeffOf(ind)
+		// Identical forms: elements coincide only in the same iteration
+		// when the induction coefficient is nonzero.
+		if af1.EqualModulo(af2) {
+			if c1 != 0 {
+				return ""
+			}
+			if d == 0 {
+				fallback = "is accessed at an index independent of the induction variable"
+			}
+			continue
+		}
+		// The subscript tests reason about the constant difference, which
+		// requires every other symbol to cancel: equal coefficients and a
+		// value that cannot change between iterations (not written in the
+		// body).
+		if !invariantCoeffsMatch(af1, af2, ind, bodyWrites) {
+			continue
+		}
+		diff := af2.Const - af1.Const
+		if g := gcd64(c1, c2); g != 0 && diff%g != 0 {
+			return "" // GCD test: c1·i − c2·i′ = diff has no integer solution
+		}
+		if haveRange {
+			// Banerjee bounds: range of c1·i − c2·i′ over i, i′ ∈ [lo, hi].
+			min := mulMin(c1, lo, hi) - mulMax(c2, lo, hi)
+			max := mulMax(c1, lo, hi) - mulMin(c2, lo, hi)
+			if diff < min || diff > max {
+				return ""
+			}
+		}
+	}
+	return fallback
+}
+
+// invariantCoeffsMatch reports whether every non-induction symbol appears
+// with the same coefficient in both forms and is loop-invariant.
+func invariantCoeffsMatch(af1, af2 Affine, ind *minic.Symbol, bodyWrites SymSet) bool {
+	check := func(coeffs map[*minic.Symbol]int64) bool {
+		for s, c := range coeffs { //repolint:allow maprange (pure predicate)
+			if s == ind || c == 0 {
+				continue
+			}
+			if af1.CoeffOf(s) != af2.CoeffOf(s) || bodyWrites.Has(s) {
+				return false
+			}
+		}
+		return true
+	}
+	return check(af1.Coeffs) && check(af2.Coeffs)
+}
+
+// mulMin / mulMax bound c·i over i ∈ [lo, hi].
+func mulMin(c, lo, hi int64) int64 {
+	if c >= 0 {
+		return c * lo
+	}
+	return c * hi
+}
+
+func mulMax(c, lo, hi int64) int64 {
+	if c >= 0 {
+		return c * hi
+	}
+	return c * lo
 }
 
 // InductionVar recognizes "for (int i = e0; i < e1; i++)" patterns and

@@ -1,0 +1,834 @@
+package dataflow
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/minic"
+)
+
+// This file implements the array-section dependence analysis: per-symbol
+// access regions expressed as one arithmetic progression [Lo:Hi:Step] per
+// array dimension, derived from induction-variable ranges (LoopRange) and
+// affine index forms (ToAffine), propagated interprocedurally through
+// per-function section summaries. Two accesses to the same array are
+// provably independent when their sections are disjoint in some dimension
+// (interval test or GCD stride test on the progressions), which lets HTG
+// edge construction drop false whole-symbol dependences and shrink the
+// communicated bytes of real ones to the overlapping section.
+
+// DimSection is the set of indices an access touches in one array
+// dimension: the arithmetic progression {Lo, Lo+Step, ..., Hi} (Hi is
+// always reachable: Hi ≡ Lo mod Step), or the whole dimension when the
+// analysis cannot bound it.
+type DimSection struct {
+	Lo, Hi, Step int64
+	Whole        bool
+}
+
+// point returns the single-index progression {x}.
+func point(x int64) DimSection { return DimSection{Lo: x, Hi: x, Step: 1} }
+
+// wholeDim is the unknown/full dimension.
+var wholeDim = DimSection{Whole: true}
+
+// norm materializes a Whole dimension as [0:extent-1:1] when the extent is
+// known; ok=false when the dimension stays unbounded.
+func (d DimSection) norm(extent int) (DimSection, bool) {
+	if !d.Whole {
+		return d, true
+	}
+	if extent > 0 {
+		return DimSection{Lo: 0, Hi: int64(extent) - 1, Step: 1}, true
+	}
+	return d, false
+}
+
+// Count returns the number of indices in the progression (0 for Whole —
+// callers must norm first).
+func (d DimSection) Count() int64 {
+	if d.Whole || d.Hi < d.Lo {
+		return 0
+	}
+	return (d.Hi-d.Lo)/d.Step + 1
+}
+
+// clip aligns Hi down to the last value reachable from Lo by Step.
+func (d DimSection) clip() DimSection {
+	if !d.Whole && d.Hi >= d.Lo && d.Step > 1 {
+		d.Hi = d.Lo + (d.Hi-d.Lo)/d.Step*d.Step
+	}
+	return d
+}
+
+// union returns a progression containing every index of both operands:
+// hull interval with step gcd(steps, offset between anchors).
+func (d DimSection) union(o DimSection) DimSection {
+	if d.Whole || o.Whole {
+		return wholeDim
+	}
+	lo, hi := d.Lo, d.Hi
+	if o.Lo < lo {
+		lo = o.Lo
+	}
+	if o.Hi > hi {
+		hi = o.Hi
+	}
+	step := gcd64(d.Step, o.Step)
+	if off := abs64(o.Lo - d.Lo); off != 0 {
+		step = gcd64(step, off)
+	}
+	if step < 1 {
+		step = 1
+	}
+	return DimSection{Lo: lo, Hi: hi, Step: step}.clip()
+}
+
+// intersect computes the exact intersection of two progressions (CRT).
+// The second result is false when the intersection is empty.
+func (d DimSection) intersect(o DimSection) (DimSection, bool) {
+	if d.Whole {
+		return o, true
+	}
+	if o.Whole {
+		return d, true
+	}
+	if d.Hi < d.Lo || o.Hi < o.Lo {
+		return DimSection{}, false
+	}
+	g := gcd64(d.Step, o.Step)
+	diff := o.Lo - d.Lo
+	if mod64(diff, g) != 0 {
+		return DimSection{}, false // GCD test: residues never meet
+	}
+	lcm := d.Step / g * o.Step
+	// Solve x ≡ d.Lo (mod d.Step), x ≡ o.Lo (mod o.Step):
+	// x = d.Lo + d.Step*t with t ≡ (diff/g)·inv(d.Step/g) (mod o.Step/g).
+	m := o.Step / g
+	t := mod64((diff/g)*modInverse(mod64(d.Step/g, m), m), m)
+	x0 := d.Lo + d.Step*t
+	lo := d.Lo
+	if o.Lo > lo {
+		lo = o.Lo
+	}
+	hi := d.Hi
+	if o.Hi < hi {
+		hi = o.Hi
+	}
+	// First common element at or above lo.
+	if x0 < lo {
+		x0 += (lo - x0 + lcm - 1) / lcm * lcm
+	}
+	if x0 > hi {
+		return DimSection{}, false
+	}
+	return DimSection{Lo: x0, Hi: hi, Step: lcm}.clip(), true
+}
+
+func (d DimSection) String() string {
+	if d.Whole {
+		return "[*]"
+	}
+	return fmt.Sprintf("[%d:%d:%d]", d.Lo, d.Hi, d.Step)
+}
+
+// Section is the region of one symbol touched by an access aggregate: one
+// DimSection per array dimension, or Whole when nothing sharper than the
+// full symbol is known (scalars, non-affine indices, unanalyzable calls).
+type Section struct {
+	Dims  []DimSection
+	Whole bool
+}
+
+// WholeSection is the conservative "entire symbol" region.
+var WholeSection = Section{Whole: true}
+
+// dims returns the per-dimension view, expanding Whole to rank whole-dims.
+func (s Section) dims(rank int) []DimSection {
+	if !s.Whole && len(s.Dims) == rank {
+		return s.Dims
+	}
+	out := make([]DimSection, rank)
+	for i := range out {
+		out[i] = wholeDim
+	}
+	return out
+}
+
+// Union returns a section covering both operands.
+func (s Section) Union(o Section) Section {
+	if s.Whole || o.Whole || len(s.Dims) != len(o.Dims) {
+		return WholeSection
+	}
+	out := Section{Dims: make([]DimSection, len(s.Dims))}
+	for i := range s.Dims {
+		out.Dims[i] = s.Dims[i].union(o.Dims[i])
+	}
+	return out
+}
+
+// DisjointWith reports whether the two sections of sym provably share no
+// element: some dimension's progressions (normalized against the array
+// extent) do not intersect. Whole sections are never disjoint.
+func (s Section) DisjointWith(o Section, sym *minic.Symbol) bool {
+	if sym == nil || !sym.Type.IsArray() {
+		return false
+	}
+	rank := len(sym.Type.Dims)
+	sd, od := s.dims(rank), o.dims(rank)
+	for i := 0; i < rank; i++ {
+		a, aok := sd[i].norm(sym.Type.Dims[i])
+		b, bok := od[i].norm(sym.Type.Dims[i])
+		if !aok || !bok {
+			continue
+		}
+		if _, ok := a.intersect(b); !ok {
+			return true
+		}
+	}
+	return false
+}
+
+// contains reports whether index x is on the progression.
+func (d DimSection) contains(x int64) bool {
+	if d.Whole {
+		return true
+	}
+	if x < d.Lo || x > d.Hi {
+		return false
+	}
+	step := abs64(d.Step)
+	if step == 0 {
+		step = 1
+	}
+	return (x-d.Lo)%step == 0
+}
+
+// ContainsFlat reports whether the section covers the element at flat
+// offset off of sym's array (row-major). Unknown dimensions and Whole
+// sections cover everything; out-of-range offsets are reported uncovered.
+func (s Section) ContainsFlat(off int64, sym *minic.Symbol) bool {
+	if sym == nil || !sym.Type.IsArray() {
+		return false
+	}
+	if s.Whole {
+		return true
+	}
+	rank := len(sym.Type.Dims)
+	sd := s.dims(rank)
+	rem := off
+	for i := rank - 1; i >= 0; i-- {
+		extent := int64(sym.Type.Dims[i])
+		var idx int64
+		if extent > 0 {
+			idx = rem % extent
+			rem /= extent
+		} else {
+			// Unsized dimension: only legal as the leading dim, absorbing
+			// whatever offset remains.
+			idx = rem
+			rem = 0
+		}
+		d, ok := sd[i].norm(sym.Type.Dims[i])
+		if !ok {
+			continue // unbounded dim covers everything
+		}
+		if !d.contains(idx) {
+			return false
+		}
+	}
+	return rem == 0
+}
+
+// OverlapBytes over-approximates the bytes shared by the two sections of
+// sym: the per-dimension intersection counts multiplied out, clamped to the
+// symbol size. Disjoint sections yield 0.
+func (s Section) OverlapBytes(o Section, sym *minic.Symbol) int {
+	if sym == nil || !sym.Type.IsArray() {
+		return sym.Type.SizeBytes()
+	}
+	if s.DisjointWith(o, sym) {
+		return 0
+	}
+	rank := len(sym.Type.Dims)
+	sd, od := s.dims(rank), o.dims(rank)
+	elems := int64(1)
+	for i := 0; i < rank; i++ {
+		a, aok := sd[i].norm(sym.Type.Dims[i])
+		b, bok := od[i].norm(sym.Type.Dims[i])
+		if !aok || !bok {
+			return sym.Type.SizeBytes() // unbounded dimension
+		}
+		iv, ok := a.intersect(b)
+		if !ok {
+			return 0
+		}
+		elems *= iv.Count()
+	}
+	bytes := elems * int64(sym.Type.ElemBytes())
+	if whole := int64(sym.Type.SizeBytes()); bytes > whole {
+		bytes = whole
+	}
+	return int(bytes)
+}
+
+func (s Section) String() string {
+	if s.Whole {
+		return "[whole]"
+	}
+	var b strings.Builder
+	for _, d := range s.Dims {
+		b.WriteString(d.String())
+	}
+	return b.String()
+}
+
+// Sections maps each symbol an access aggregate touches to the region read
+// and the region written. A symbol present in the aggregate's SymSets but
+// absent here is implicitly Whole — the walker only records what it can
+// sharpen, so lookups must go through SecOf.
+type Sections struct {
+	Reads  map[*minic.Symbol]Section
+	Writes map[*minic.Symbol]Section
+}
+
+// SecOf returns the recorded section of sym in m, defaulting to Whole.
+func SecOf(m map[*minic.Symbol]Section, sym *minic.Symbol) Section {
+	if m == nil {
+		return WholeSection
+	}
+	if s, ok := m[sym]; ok {
+		return s
+	}
+	return WholeSection
+}
+
+// SectionEffects is a function's interprocedural section summary: the
+// region of each array parameter it reads/writes (in the parameter's own
+// index space, which coincides with the caller array's when passed whole)
+// and the regions of accessed globals.
+type SectionEffects struct {
+	ParamRead   []Section
+	ParamWrite  []Section
+	GlobalRead  map[*minic.Symbol]Section
+	GlobalWrite map[*minic.Symbol]Section
+}
+
+// SectionSummaries maps functions to their section summaries.
+type SectionSummaries map[*minic.FuncDecl]*SectionEffects
+
+// SummarizeSections computes per-function section summaries in call-graph
+// dependency order. Recursive cycles fall back to Whole for every function
+// involved (a callee still being summarized reads as "unknown", and the
+// walker treats unknown callees conservatively).
+func SummarizeSections(prog *minic.Program, sums Summaries) SectionSummaries {
+	out := SectionSummaries{}
+	visiting := map[*minic.FuncDecl]bool{}
+	var visit func(f *minic.FuncDecl)
+	visit = func(f *minic.FuncDecl) {
+		if out[f] != nil || visiting[f] {
+			return
+		}
+		visiting[f] = true
+		for _, callee := range calleesOf(f) {
+			visit(callee)
+		}
+		w := newSecWalker(sums, out)
+		w.stmt(f.Body)
+		eff := &SectionEffects{
+			ParamRead:   make([]Section, len(f.Params)),
+			ParamWrite:  make([]Section, len(f.Params)),
+			GlobalRead:  map[*minic.Symbol]Section{},
+			GlobalWrite: map[*minic.Symbol]Section{},
+		}
+		for i := range f.Params {
+			eff.ParamRead[i] = SecOf(w.out.Reads, f.Params[i].Sym)
+			eff.ParamWrite[i] = SecOf(w.out.Writes, f.Params[i].Sym)
+		}
+		for sym, sec := range w.out.Reads { //repolint:allow maprange (map build, per-key independent)
+			if sym.Kind == minic.SymGlobal {
+				eff.GlobalRead[sym] = sec
+			}
+		}
+		for sym, sec := range w.out.Writes { //repolint:allow maprange (map build, per-key independent)
+			if sym.Kind == minic.SymGlobal {
+				eff.GlobalWrite[sym] = sec
+			}
+		}
+		out[f] = eff
+		delete(visiting, f)
+	}
+	for _, f := range prog.Funcs {
+		visit(f)
+	}
+	return out
+}
+
+// calleesOf lists the user functions f calls, in syntactic order.
+func calleesOf(f *minic.FuncDecl) []*minic.FuncDecl {
+	var out []*minic.FuncDecl
+	var walkE func(e minic.Expr)
+	var walkS func(s minic.Stmt)
+	walkE = func(e minic.Expr) {
+		switch ex := e.(type) {
+		case *minic.IndexExpr:
+			for _, ix := range ex.Indices {
+				walkE(ix)
+			}
+		case *minic.UnaryExpr:
+			walkE(ex.X)
+		case *minic.BinaryExpr:
+			walkE(ex.X)
+			walkE(ex.Y)
+		case *minic.CondExpr:
+			walkE(ex.Cond)
+			walkE(ex.Then)
+			walkE(ex.Else)
+		case *minic.CallExpr:
+			if ex.Builtin == "" && ex.Fn != nil {
+				out = append(out, ex.Fn)
+			}
+			for _, a := range ex.Args {
+				walkE(a)
+			}
+		case *minic.AssignExpr:
+			walkE(ex.LHS)
+			walkE(ex.RHS)
+		case *minic.IncDecExpr:
+			walkE(ex.X)
+		case *minic.CastExpr:
+			walkE(ex.X)
+		}
+	}
+	walkS = func(s minic.Stmt) {
+		switch st := s.(type) {
+		case *minic.DeclStmt:
+			if st.Init != nil {
+				walkE(st.Init)
+			}
+			for _, e := range st.List {
+				walkE(e)
+			}
+		case *minic.ExprStmt:
+			walkE(st.X)
+		case *minic.BlockStmt:
+			for _, inner := range st.Stmts {
+				walkS(inner)
+			}
+		case *minic.IfStmt:
+			walkE(st.Cond)
+			walkS(st.Then)
+			if st.Else != nil {
+				walkS(st.Else)
+			}
+		case *minic.ForStmt:
+			if st.Init != nil {
+				walkS(st.Init)
+			}
+			if st.Cond != nil {
+				walkE(st.Cond)
+			}
+			if st.Post != nil {
+				walkE(st.Post)
+			}
+			walkS(st.Body)
+		case *minic.WhileStmt:
+			walkE(st.Cond)
+			walkS(st.Body)
+		case *minic.ReturnStmt:
+			if st.Value != nil {
+				walkE(st.Value)
+			}
+		}
+	}
+	walkS(f.Body)
+	return out
+}
+
+// StmtSections computes the section aggregate of statement s: for every
+// array the statement (or anything it calls) touches, the tightest
+// [lo:hi:step] region the analysis can prove, Whole otherwise. The result
+// is a sound over-approximation of the statement's element footprint and
+// covers at least every symbol StmtAccesses records.
+func StmtSections(s minic.Stmt, sums Summaries, secs SectionSummaries) *Sections {
+	w := newSecWalker(sums, secs)
+	w.stmt(s)
+	return w.out
+}
+
+// ivRange is an induction variable's value progression within scope.
+type ivRange struct {
+	iv   Interval
+	step int64
+}
+
+type secWalker struct {
+	sums Summaries
+	secs SectionSummaries
+	env  map[*minic.Symbol]ivRange
+	out  *Sections
+}
+
+func newSecWalker(sums Summaries, secs SectionSummaries) *secWalker {
+	return &secWalker{
+		sums: sums,
+		secs: secs,
+		env:  map[*minic.Symbol]ivRange{},
+		out:  &Sections{Reads: map[*minic.Symbol]Section{}, Writes: map[*minic.Symbol]Section{}},
+	}
+}
+
+// record unions sec into the read or write region of sym.
+func (w *secWalker) record(sym *minic.Symbol, sec Section, write bool) {
+	if sym == nil || !sym.Type.IsArray() {
+		return // scalars stay whole-symbol; sections only sharpen arrays
+	}
+	m := w.out.Reads
+	if write {
+		m = w.out.Writes
+	}
+	if prev, ok := m[sym]; ok {
+		sec = prev.Union(sec)
+	}
+	m[sym] = sec
+}
+
+// indexSection builds the section of one explicit array access. Row views
+// (fewer indices than rank) leave trailing dimensions whole.
+func (w *secWalker) indexSection(sym *minic.Symbol, indices []minic.Expr) Section {
+	rank := len(sym.Type.Dims)
+	dims := make([]DimSection, rank)
+	for d := range dims {
+		dims[d] = wholeDim
+		if d < len(indices) {
+			if ap, ok := w.apOf(indices[d]); ok {
+				dims[d] = ap
+			}
+		}
+	}
+	return Section{Dims: dims}
+}
+
+// apOf evaluates an index expression to an arithmetic progression over the
+// current induction environment. For an affine form c0 + Σ ci·vi with each
+// vi ranging over the progression [loi:hii:stepi], every attained value is
+// congruent to the interval minimum modulo g = gcd(|ci|·stepi), so
+// [min:max:g] over-approximates the attained set (exactly when a single
+// variable term is present).
+func (w *secWalker) apOf(e minic.Expr) (DimSection, bool) {
+	af := ToAffine(e)
+	if !af.OK {
+		return DimSection{}, false
+	}
+	lo, hi := af.Const, af.Const
+	var g int64
+	for _, s := range sortedCoeffSyms(af) {
+		c := af.Coeffs[s]
+		if c == 0 {
+			continue
+		}
+		r, ok := w.env[s]
+		if !ok {
+			return DimSection{}, false
+		}
+		ivc := Interval{Lo: r.iv.Lo, Hi: r.iv.Hi}.MulConst(c)
+		lo += ivc.Lo
+		hi += ivc.Hi
+		g = gcd64(g, abs64(c)*abs64(r.step))
+	}
+	if g < 1 {
+		g = 1
+	}
+	return DimSection{Lo: lo, Hi: hi, Step: g}.clip(), true
+}
+
+func (w *secWalker) stmt(s minic.Stmt) {
+	switch st := s.(type) {
+	case *minic.DeclStmt:
+		if st.Init != nil {
+			w.expr(st.Init)
+		}
+		for _, e := range st.List {
+			w.expr(e)
+		}
+		if st.Sym != nil && st.Sym.Type.IsArray() && len(st.List) > 0 {
+			w.record(st.Sym, WholeSection, true)
+		}
+	case *minic.ExprStmt:
+		w.expr(st.X)
+	case *minic.BlockStmt:
+		for _, inner := range st.Stmts {
+			w.stmt(inner)
+		}
+	case *minic.IfStmt:
+		w.expr(st.Cond)
+		w.stmt(st.Then)
+		if st.Else != nil {
+			w.stmt(st.Else)
+		}
+	case *minic.ForStmt:
+		w.forStmt(st)
+	case *minic.WhileStmt:
+		w.expr(st.Cond)
+		w.stmt(st.Body)
+	case *minic.ReturnStmt:
+		if st.Value != nil {
+			w.expr(st.Value)
+		}
+	case *minic.BreakStmt, *minic.ContinueStmt:
+	}
+}
+
+// forStmt binds the loop's induction progression while walking the body so
+// indices affine in the induction variable resolve to sections. Loops whose
+// range is not derivable (symbolic bounds, body writes the induction
+// variable, unrecognized shape) walk unbound and accesses involving the
+// induction variable fall back to whole dimensions.
+func (w *secWalker) forStmt(st *minic.ForStmt) {
+	if st.Init != nil {
+		w.stmt(st.Init)
+	}
+	if st.Cond != nil {
+		w.expr(st.Cond)
+	}
+	ind, iv, step, ok := LoopRange(st, w.sums)
+	if ok {
+		prev, had := w.env[ind]
+		w.env[ind] = ivRange{iv: iv, step: step}
+		w.stmt(st.Body)
+		if st.Post != nil {
+			w.expr(st.Post)
+		}
+		if had {
+			w.env[ind] = prev
+		} else {
+			delete(w.env, ind)
+		}
+		return
+	}
+	w.stmt(st.Body)
+	if st.Post != nil {
+		w.expr(st.Post)
+	}
+}
+
+func (w *secWalker) expr(e minic.Expr) {
+	switch ex := e.(type) {
+	case *minic.IntLit, *minic.FloatLit, *minic.VarRef:
+	case *minic.IndexExpr:
+		w.record(ex.Array.Sym, w.indexSection(ex.Array.Sym, ex.Indices), false)
+		for _, ix := range ex.Indices {
+			w.expr(ix)
+		}
+	case *minic.UnaryExpr:
+		w.expr(ex.X)
+	case *minic.BinaryExpr:
+		w.expr(ex.X)
+		w.expr(ex.Y)
+	case *minic.CondExpr:
+		w.expr(ex.Cond)
+		w.expr(ex.Then)
+		w.expr(ex.Else)
+	case *minic.CallExpr:
+		w.call(ex)
+	case *minic.AssignExpr:
+		w.expr(ex.RHS)
+		w.lvalue(ex.LHS, ex.Op != minic.TokAssign)
+	case *minic.IncDecExpr:
+		w.lvalue(ex.X, true)
+	case *minic.CastExpr:
+		w.expr(ex.X)
+	}
+}
+
+func (w *secWalker) lvalue(e minic.Expr, alsoRead bool) {
+	lv, ok := e.(*minic.IndexExpr)
+	if !ok {
+		return
+	}
+	sec := w.indexSection(lv.Array.Sym, lv.Indices)
+	w.record(lv.Array.Sym, sec, true)
+	if alsoRead {
+		w.record(lv.Array.Sym, sec, false)
+	}
+	for _, ix := range lv.Indices {
+		w.expr(ix)
+	}
+}
+
+// call translates the callee's section summary into the caller's index
+// space: a whole-array argument inherits the parameter sections verbatim; a
+// row-view argument pins the leading dimensions to the view's indices and
+// takes the callee's (lower-rank) parameter section for the trailing ones.
+// Unknown callees (recursion cycles) degrade to Whole.
+func (w *secWalker) call(ex *minic.CallExpr) {
+	if ex.Builtin != "" {
+		for _, a := range ex.Args {
+			w.expr(a)
+		}
+		return
+	}
+	eff := w.sums[ex.Fn]
+	sec := w.secs[ex.Fn]
+	for i, a := range ex.Args {
+		if !ex.Fn.Params[i].Type.IsArray() {
+			w.expr(a)
+			continue
+		}
+		var sym *minic.Symbol
+		var lead []minic.Expr
+		switch arg := a.(type) {
+		case *minic.VarRef:
+			sym = arg.Sym
+		case *minic.IndexExpr:
+			sym = arg.Array.Sym
+			lead = arg.Indices
+			for _, ix := range arg.Indices {
+				w.expr(ix)
+			}
+		}
+		if sym == nil {
+			continue
+		}
+		read, write := true, true
+		if eff != nil {
+			read, write = eff.ParamRead[i], eff.ParamWrite[i]
+		}
+		var rsec, wsec Section
+		rsec, wsec = WholeSection, WholeSection
+		if sec != nil {
+			rsec = w.argSection(sym, lead, sec.ParamRead[i])
+			wsec = w.argSection(sym, lead, sec.ParamWrite[i])
+		}
+		if read {
+			w.record(sym, rsec, false)
+		}
+		if write {
+			w.record(sym, wsec, true)
+		}
+	}
+	if eff != nil {
+		for _, g := range eff.GlobalRead.Sorted() {
+			var gs Section = WholeSection
+			if sec != nil {
+				gs = SecOf(sec.GlobalRead, g)
+			}
+			w.record(g, gs, false)
+		}
+		for _, g := range eff.GlobalWrite.Sorted() {
+			var gs Section = WholeSection
+			if sec != nil {
+				gs = SecOf(sec.GlobalWrite, g)
+			}
+			w.record(g, gs, true)
+		}
+	}
+}
+
+// argSection maps a callee parameter section onto the caller's array: lead
+// indices (row view) become pinned leading dimensions; the parameter's own
+// dimensions fill the rest. Rank mismatches degrade to Whole.
+func (w *secWalker) argSection(sym *minic.Symbol, lead []minic.Expr, psec Section) Section {
+	rank := len(sym.Type.Dims)
+	tailRank := rank - len(lead)
+	if tailRank < 0 {
+		return WholeSection
+	}
+	dims := make([]DimSection, rank)
+	for d, ix := range lead {
+		dims[d] = wholeDim
+		if ap, ok := w.apOf(ix); ok {
+			dims[d] = ap
+		}
+	}
+	tail := psec.dims(tailRank)
+	copy(dims[len(lead):], tail)
+	return Section{Dims: dims}
+}
+
+// DependsOnSections computes the dependence of statement b on an earlier
+// sibling a like DependsOn, but consults the two statements' section
+// aggregates: conflicts whose sections are provably disjoint are dropped,
+// and flow bytes shrink to the overlapping section. With nil sections it
+// degrades exactly to DependsOn.
+func DependsOnSections(a, b *Accesses, as, bs *Sections) Dep {
+	var d Dep
+	var aw, ar, bw, br map[*minic.Symbol]Section
+	if as != nil {
+		aw, ar = as.Writes, as.Reads
+	}
+	if bs != nil {
+		bw, br = bs.Writes, bs.Reads
+	}
+	for _, sym := range a.Writes.Intersect(b.Reads) {
+		ws, rs := SecOf(aw, sym), SecOf(br, sym)
+		if ws.DisjointWith(rs, sym) {
+			continue
+		}
+		d.Kind |= DepFlow
+		d.FlowSyms = append(d.FlowSyms, sym)
+		if sym.Type.IsArray() {
+			d.FlowBytes += ws.OverlapBytes(rs, sym)
+		} else {
+			d.FlowBytes += sym.Type.SizeBytes()
+		}
+	}
+	for _, sym := range a.Reads.Intersect(b.Writes) {
+		if !SecOf(ar, sym).DisjointWith(SecOf(bw, sym), sym) {
+			d.Kind |= DepAnti
+			break
+		}
+	}
+	for _, sym := range a.Writes.Intersect(b.Writes) {
+		if !SecOf(aw, sym).DisjointWith(SecOf(bw, sym), sym) {
+			d.Kind |= DepOutput
+			break
+		}
+	}
+	return d
+}
+
+// --- small integer helpers -------------------------------------------------
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func gcd64(a, b int64) int64 {
+	a, b = abs64(a), abs64(b)
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// mod64 is the non-negative remainder of a mod m (m > 0).
+func mod64(a, m int64) int64 {
+	if m <= 0 {
+		return 0
+	}
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// modInverse returns a^-1 mod m for gcd(a, m) = 1 (extended Euclid);
+// m = 1 yields 0.
+func modInverse(a, m int64) int64 {
+	if m == 1 {
+		return 0
+	}
+	t, newT := int64(0), int64(1)
+	r, newR := m, mod64(a, m)
+	for newR != 0 {
+		q := r / newR
+		t, newT = newT, t-q*newT
+		r, newR = newR, r-q*newR
+	}
+	return mod64(t, m)
+}

@@ -1,0 +1,468 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/minic"
+)
+
+// secProg bundles one compiled program with its summaries so multiple
+// statements can be sectioned against the same symbol identities.
+type secProg struct {
+	prog *minic.Program
+	sums Summaries
+	secs SectionSummaries
+}
+
+func compileSections(t *testing.T, src string) *secProg {
+	t.Helper()
+	prog, sums := compile(t, src)
+	return &secProg{prog: prog, sums: sums, secs: SummarizeSections(prog, sums)}
+}
+
+// stmt returns the access and section aggregates of the idx-th top-level
+// statement of main.
+func (sp *secProg) stmt(idx int) (*Accesses, *Sections) {
+	st := sp.prog.Func("main").Body.Stmts[idx]
+	return StmtAccesses(st, sp.sums), StmtSections(st, sp.sums, sp.secs)
+}
+
+// sectionsOf compiles src and returns the section aggregate of the idx-th
+// top-level statement of main, together with its access aggregate.
+func sectionsOf(t *testing.T, src string, idx int) (*Accesses, *Sections, *minic.Program) {
+	t.Helper()
+	sp := compileSections(t, src)
+	acc, secs := sp.stmt(idx)
+	return acc, secs, sp.prog
+}
+
+func globalSym(t *testing.T, prog *minic.Program, name string) *minic.Symbol {
+	t.Helper()
+	for _, g := range prog.Globals {
+		if g.Sym != nil && g.Sym.Name == name {
+			return g.Sym
+		}
+	}
+	t.Fatalf("no global %s", name)
+	return nil
+}
+
+func TestDimSectionIntersect(t *testing.T) {
+	cases := []struct {
+		a, b  DimSection
+		empty bool
+		want  DimSection
+	}{
+		// Even vs odd indices: GCD stride test proves disjoint.
+		{DimSection{0, 62, 2, false}, DimSection{1, 63, 2, false}, true, DimSection{}},
+		// Same parity progressions overlap on the common range.
+		{DimSection{0, 62, 2, false}, DimSection{10, 70, 2, false}, false, DimSection{10, 62, 2, false}},
+		// Steps 2 and 3 meet every 6, first at 4 (x≡0 mod 2, x≡1 mod 3).
+		{DimSection{0, 30, 2, false}, DimSection{1, 30, 3, false}, false, DimSection{4, 28, 6, false}},
+		// Separated intervals.
+		{DimSection{0, 9, 1, false}, DimSection{10, 19, 1, false}, true, DimSection{}},
+		// Single points.
+		{point(0), point(63), true, DimSection{}},
+		{point(5), point(5), false, point(5)},
+		// Negative bases keep residue arithmetic honest.
+		{DimSection{-7, 5, 3, false}, DimSection{-4, 8, 3, false}, false, DimSection{-4, 5, 3, false}},
+	}
+	for i, tc := range cases {
+		got, ok := tc.a.intersect(tc.b)
+		if ok == tc.empty {
+			t.Errorf("case %d %v ∩ %v: empty=%v, want %v", i, tc.a, tc.b, !ok, tc.empty)
+			continue
+		}
+		if !tc.empty && got != tc.want {
+			t.Errorf("case %d %v ∩ %v = %v, want %v", i, tc.a, tc.b, got, tc.want)
+		}
+		// Intersection must be symmetric.
+		got2, ok2 := tc.b.intersect(tc.a)
+		if ok2 != ok || (ok && got2 != got) {
+			t.Errorf("case %d not symmetric: %v vs %v", i, got, got2)
+		}
+	}
+}
+
+func TestDimSectionIntersectExhaustive(t *testing.T) {
+	// Cross-check the CRT intersection against brute-force enumeration for
+	// a grid of small progressions.
+	members := func(d DimSection) map[int64]bool {
+		m := map[int64]bool{}
+		for x := d.Lo; x <= d.Hi; x += d.Step {
+			m[x] = true
+		}
+		return m
+	}
+	for lo1 := int64(0); lo1 < 4; lo1++ {
+		for s1 := int64(1); s1 <= 4; s1++ {
+			for lo2 := int64(0); lo2 < 4; lo2++ {
+				for s2 := int64(1); s2 <= 4; s2++ {
+					a := DimSection{Lo: lo1, Hi: lo1 + 3*s1, Step: s1}
+					b := DimSection{Lo: lo2, Hi: lo2 + 3*s2, Step: s2}
+					got, ok := a.intersect(b)
+					want := map[int64]bool{}
+					bm := members(b)
+					for x := range members(a) { //repolint:allow maprange (test set intersect)
+						if bm[x] {
+							want[x] = true
+						}
+					}
+					if !ok {
+						if len(want) != 0 {
+							t.Fatalf("%v ∩ %v reported empty, want %v", a, b, want)
+						}
+						continue
+					}
+					gm := members(got)
+					if len(gm) != len(want) {
+						t.Fatalf("%v ∩ %v = %v (%d elems), want %d", a, b, got, len(gm), len(want))
+					}
+					for x := range want { //repolint:allow maprange (membership check)
+						if !gm[x] {
+							t.Fatalf("%v ∩ %v = %v misses %d", a, b, got, x)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDimSectionUnionSound(t *testing.T) {
+	a := DimSection{Lo: 0, Hi: 20, Step: 4}
+	b := DimSection{Lo: 2, Hi: 14, Step: 6}
+	u := a.union(b)
+	for x := a.Lo; x <= a.Hi; x += a.Step {
+		if mod64(x-u.Lo, u.Step) != 0 || x < u.Lo || x > u.Hi {
+			t.Fatalf("union %v misses %d of %v", u, x, a)
+		}
+	}
+	for x := b.Lo; x <= b.Hi; x += b.Step {
+		if mod64(x-u.Lo, u.Step) != 0 || x < u.Lo || x > u.Hi {
+			t.Fatalf("union %v misses %d of %v", u, x, b)
+		}
+	}
+}
+
+// TestSectionsLoopWrite: the canonical init loop writes exactly [0:63:1].
+func TestSectionsLoopWrite(t *testing.T) {
+	_, secs, prog := sectionsOf(t, `
+float a[64]; float b[64];
+void main(void) {
+    for (int i = 0; i < 64; i++) {
+        a[i] = b[i + 1] * 2.0;
+    }
+}
+`, 0)
+	a := globalSym(t, prog, "a")
+	b := globalSym(t, prog, "b")
+	if got := SecOf(secs.Writes, a).String(); got != "[0:63:1]" {
+		t.Errorf("write section of a: %s", got)
+	}
+	if got := SecOf(secs.Reads, b).String(); got != "[1:64:1]" {
+		t.Errorf("read section of b: %s", got)
+	}
+}
+
+// TestSectionsStrided: non-unit strides and scaled indices produce stepped
+// progressions; 2i over i in [0:31] is [0:62:2].
+func TestSectionsStrided(t *testing.T) {
+	_, secs, prog := sectionsOf(t, `
+float a[64];
+void main(void) {
+    for (int i = 0; i < 32; i++) {
+        a[2 * i] = 1.0;
+    }
+}
+`, 0)
+	a := globalSym(t, prog, "a")
+	if got := SecOf(secs.Writes, a).String(); got != "[0:62:2]" {
+		t.Errorf("write section: %s", got)
+	}
+}
+
+// TestSectionsDisjointSingleElements: u[0] and u[63] are single-point
+// disjoint sections — the false output dependence the HTG used to draw.
+func TestSectionsDisjointSingleElements(t *testing.T) {
+	src := `
+float u[64];
+void main(void) {
+    u[0] = 1.0;
+    u[63] = 2.0;
+}
+`
+	sp := compileSections(t, src)
+	accA, secA := sp.stmt(0)
+	accB, secB := sp.stmt(1)
+	prog := sp.prog
+	u := globalSym(t, prog, "u")
+	if !SecOf(secA.Writes, u).DisjointWith(SecOf(secB.Writes, u), u) {
+		t.Fatalf("u[0] and u[63] should be disjoint")
+	}
+	d := DependsOnSections(accA, accB, secA, secB)
+	if d.Exists() {
+		t.Errorf("sharpened dependence should vanish, got %v", d.Kind)
+	}
+	// The whole-symbol test still sees an output dependence.
+	if !DependsOn(accA, accB).Kind.Has(DepOutput) {
+		t.Errorf("whole-symbol test should report an output dependence")
+	}
+}
+
+// TestSectionsOverlapBytes: a one-element overlap shrinks flow bytes from
+// the whole array to a single element.
+func TestSectionsOverlapBytes(t *testing.T) {
+	src := `
+float u[64];
+float s;
+void main(void) {
+    u[0] = 1.0;
+    for (int i = 0; i < 64; i++) {
+        s = s + u[i];
+    }
+}
+`
+	sp := compileSections(t, src)
+	accA, secA := sp.stmt(0)
+	accB, secB := sp.stmt(1)
+	prog := sp.prog
+	u := globalSym(t, prog, "u")
+	d := DependsOnSections(accA, accB, secA, secB)
+	if !d.Kind.Has(DepFlow) {
+		t.Fatalf("flow dependence must remain")
+	}
+	if d.FlowBytes != u.Type.ElemBytes() {
+		t.Errorf("flow bytes: got %d, want %d", d.FlowBytes, u.Type.ElemBytes())
+	}
+	if whole := DependsOn(accA, accB); whole.FlowBytes != u.Type.SizeBytes() {
+		t.Errorf("whole-symbol flow bytes: got %d, want %d", whole.FlowBytes, u.Type.SizeBytes())
+	}
+}
+
+// TestSectionsInterprocedural: sections flow through a callee's parameter
+// summary — init(x) writing x[0:15] does not conflict with a later read of
+// x[16:31].
+func TestSectionsInterprocedural(t *testing.T) {
+	src := `
+float x[32]; float y[16];
+void init(float v[32]) {
+    for (int i = 0; i < 16; i++) {
+        v[i] = 0.0;
+    }
+}
+void main(void) {
+    init(x);
+    for (int j = 0; j < 16; j++) {
+        y[j] = x[j + 16];
+    }
+}
+`
+	sp := compileSections(t, src)
+	accA, secA := sp.stmt(0)
+	accB, secB := sp.stmt(1)
+	prog := sp.prog
+	x := globalSym(t, prog, "x")
+	if got := SecOf(secA.Writes, x).String(); got != "[0:15:1]" {
+		t.Fatalf("callee write section of x: %s", got)
+	}
+	if d := DependsOnSections(accA, accB, secA, secB); d.Exists() {
+		t.Errorf("disjoint halves should not depend, got %v", d.Kind)
+	}
+	if !DependsOn(accA, accB).Kind.Has(DepFlow) {
+		t.Errorf("whole-symbol test should report flow")
+	}
+}
+
+// TestSectionsGlobalThroughCall: a callee touching a global contributes its
+// section, not the whole symbol.
+func TestSectionsGlobalThroughCall(t *testing.T) {
+	src := `
+float g[64];
+void touch(void) {
+    g[0] = 1.0;
+}
+void main(void) {
+    touch();
+    g[63] = 2.0;
+}
+`
+	sp := compileSections(t, src)
+	accA, secA := sp.stmt(0)
+	accB, secB := sp.stmt(1)
+	prog := sp.prog
+	g := globalSym(t, prog, "g")
+	if got := SecOf(secA.Writes, g).String(); got != "[0:0:1]" {
+		t.Fatalf("global write section through call: %s", got)
+	}
+	if d := DependsOnSections(accA, accB, secA, secB); d.Exists() {
+		t.Errorf("disjoint global writes should not depend, got %v", d.Kind)
+	}
+}
+
+// TestSectionsRecursionFallsBack: a recursive callee cannot be summarized
+// section-precisely; the caller degrades to Whole (sound, no sharpening).
+func TestSectionsRecursionFallsBack(t *testing.T) {
+	src := `
+float a[8];
+void rec(int n) {
+    if (n > 0) {
+        a[0] = a[0] + 1.0;
+        rec(n - 1);
+    }
+}
+void main(void) {
+    rec(3);
+    a[7] = 2.0;
+}
+`
+	sp := compileSections(t, src)
+	accA, secA := sp.stmt(0)
+	accB, secB := sp.stmt(1)
+	prog := sp.prog
+	a := globalSym(t, prog, "a")
+	if !SecOf(secA.Writes, a).Whole {
+		t.Fatalf("recursive callee should degrade to whole, got %s", SecOf(secA.Writes, a))
+	}
+	if d := DependsOnSections(accA, accB, secA, secB); !d.Kind.Has(DepOutput) {
+		t.Errorf("whole fallback must keep the output dependence")
+	}
+}
+
+// TestSectionsSymbolicBoundFallsBack: a loop bound read from a scalar
+// variable is not constant; sections degrade to Whole rather than guessing.
+func TestSectionsSymbolicBoundFallsBack(t *testing.T) {
+	src := `
+float a[64]; int n;
+void main(void) {
+    for (int i = 0; i < n; i++) {
+        a[i] = 0.0;
+    }
+    a[63] = 1.0;
+}
+`
+	sp := compileSections(t, src)
+	accA, secA := sp.stmt(0)
+	accB, secB := sp.stmt(1)
+	prog := sp.prog
+	a := globalSym(t, prog, "a")
+	// The write section must cover the entire array (whole symbol or a
+	// whole dimension — both are the conservative fallback).
+	sec := SecOf(secA.Writes, a)
+	if sec.DisjointWith(Section{Dims: []DimSection{point(63)}}, a) {
+		t.Fatalf("symbolic bound fallback excludes element 63, got %s", sec)
+	}
+	if d := DependsOnSections(accA, accB, secA, secB); !d.Kind.Has(DepOutput) {
+		t.Errorf("whole fallback must keep the dependence")
+	}
+}
+
+// TestSectionsTriangularNestFallsBack: the inner bound of a triangular nest
+// depends on the outer induction variable — not constant, so the inner
+// index cannot be sectioned beyond the outer interval contribution; the
+// write stays sound (covers everything the nest touches).
+func TestSectionsTriangularNestFallsBack(t *testing.T) {
+	src := `
+float a[64];
+void main(void) {
+    for (int i = 0; i < 8; i++) {
+        for (int j = 0; j < i; j++) {
+            a[8 * i + j] = 0.0;
+        }
+    }
+    a[0] = 1.0;
+}
+`
+	_, secA, prog := sectionsOf(t, src, 0)
+	a := globalSym(t, prog, "a")
+	sec := SecOf(secA.Writes, a)
+	// The inner loop's range is not derivable (bound = i), so the index
+	// 8i+j is unresolvable and the dimension must be whole.
+	if got := sec.String(); got != "[*]" && got != "[whole]" {
+		t.Errorf("triangular nest should fall back to whole dimension, got %s", got)
+	}
+	// Whatever the representation, it must not be disjoint from any
+	// element the nest actually writes (e.g. index 9 = 8·1+1... pinned via
+	// a probe section).
+	probe := Section{Dims: []DimSection{point(9)}}
+	if sec.DisjointWith(probe, a) {
+		t.Errorf("fallback section excludes a written element")
+	}
+}
+
+// TestSectionsRowView: passing a matrix row to a callee pins the leading
+// dimension and inherits the callee's section on the trailing one.
+func TestSectionsRowView(t *testing.T) {
+	src := `
+float m[4][8];
+void fill(float row[8]) {
+    for (int i = 0; i < 8; i++) {
+        row[i] = 0.0;
+    }
+}
+void main(void) {
+    fill(m[0]);
+    m[3][0] = 1.0;
+}
+`
+	sp := compileSections(t, src)
+	accA, secA := sp.stmt(0)
+	accB, secB := sp.stmt(1)
+	prog := sp.prog
+	m := globalSym(t, prog, "m")
+	if got := SecOf(secA.Writes, m).String(); got != "[0:0:1][0:7:1]" {
+		t.Fatalf("row-view section: %s", got)
+	}
+	if d := DependsOnSections(accA, accB, secA, secB); d.Exists() {
+		t.Errorf("different rows should not depend, got %v", d.Kind)
+	}
+}
+
+// TestSectionsNegativeStepLoop: countdown loops produce the same section as
+// their forward twins.
+func TestSectionsNegativeStepLoop(t *testing.T) {
+	_, secs, prog := sectionsOf(t, `
+float a[64];
+void main(void) {
+    for (int i = 63; i >= 0; i -= 3) {
+        a[i] = 0.0;
+    }
+}
+`, 0)
+	a := globalSym(t, prog, "a")
+	// i takes 63, 60, ..., 0: the progression [0:63:3].
+	if got := SecOf(secs.Writes, a).String(); got != "[0:63:3]" {
+		t.Errorf("write section: %s", got)
+	}
+}
+
+// TestSectionStringDeterministic: report strings are identical across many
+// recomputations (map iteration must never leak into output).
+func TestSectionStringDeterministic(t *testing.T) {
+	src := `
+float a[16]; float b[16]; float c[16];
+void main(void) {
+    for (int i = 0; i < 16; i++) {
+        a[i] = b[i] + c[i];
+        c[i] = a[i] * 2.0;
+    }
+}
+`
+	var first string
+	for run := 0; run < 10; run++ {
+		_, secs, prog := sectionsOf(t, src, 0)
+		var sb strings.Builder
+		for _, name := range []string{"a", "b", "c"} {
+			sym := globalSym(t, prog, name)
+			sb.WriteString(name + " R" + SecOf(secs.Reads, sym).String() + " W" + SecOf(secs.Writes, sym).String() + "\n")
+		}
+		if run == 0 {
+			first = sb.String()
+			continue
+		}
+		if sb.String() != first {
+			t.Fatalf("section report differs between runs:\n%s\nvs\n%s", first, sb.String())
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGCDAdmitsInterleaved: writes to even elements against reads of odd
+// elements never collide — the GCD test (gcd(2,2)=2 does not divide 1)
+// admits the loop the identical-form rule used to reject.
+func TestGCDAdmitsInterleaved(t *testing.T) {
+	fs, sums := loopOf(t, `
+float a[64];
+void main(void) {
+    for (int i = 0; i < 31; i++) {
+        a[2 * i] = a[2 * i + 1] * 0.5;
+    }
+}
+`)
+	info := AnalyzeLoop(fs, sums)
+	if !info.Parallel {
+		t.Fatalf("even/odd interleaving should be parallel: %s", info.Reason)
+	}
+}
+
+// TestGCDRejectsAlignedShift: a[2i] vs a[2i+2] share elements two
+// iterations apart — gcd divides the difference, Banerjee cannot exclude
+// it, the loop stays serialized.
+func TestGCDRejectsAlignedShift(t *testing.T) {
+	fs, sums := loopOf(t, `
+float a[70];
+void main(void) {
+    for (int i = 0; i < 32; i++) {
+        a[2 * i] = a[2 * i + 2] * 0.5;
+    }
+}
+`)
+	info := AnalyzeLoop(fs, sums)
+	if info.Parallel {
+		t.Fatalf("aligned shift carries a dependence and must not be parallel")
+	}
+	if !strings.Contains(info.Reason, "shifted indices") {
+		t.Errorf("reason: %q", info.Reason)
+	}
+}
+
+// TestBanerjeeExcludesFarConstant: a write sweep a[i] for i in [0:9] never
+// reaches the constant read a[42] — the Banerjee range test proves
+// independence where the GCD test (gcd(1,0)=1) cannot.
+func TestBanerjeeExcludesFarConstant(t *testing.T) {
+	fs, sums := loopOf(t, `
+float a[64]; float b[16];
+void main(void) {
+    for (int i = 0; i < 10; i++) {
+        a[i] = b[i] + a[42];
+    }
+}
+`)
+	info := AnalyzeLoop(fs, sums)
+	if !info.Parallel {
+		t.Fatalf("read outside the write range should be parallel: %s", info.Reason)
+	}
+}
+
+// TestBanerjeeInRangeConstantRejected: the same shape with the constant
+// inside the write range carries a real dependence.
+func TestBanerjeeInRangeConstantRejected(t *testing.T) {
+	fs, sums := loopOf(t, `
+float a[64]; float b[16];
+void main(void) {
+    for (int i = 0; i < 10; i++) {
+        a[i] = b[i] + a[5];
+    }
+}
+`)
+	info := AnalyzeLoop(fs, sums)
+	if info.Parallel {
+		t.Fatalf("read inside the write range must not be parallel")
+	}
+}
+
+// TestSymbolicInvariantBoundStaysConservative: with a symbolic loop bound
+// there is no Banerjee range; a shifted pair that only the range test could
+// clear must stay serialized (pinning the conservative fallback).
+func TestSymbolicInvariantBoundStaysConservative(t *testing.T) {
+	fs, sums := loopOf(t, `
+float a[64]; int n;
+void main(void) {
+    for (int i = 0; i < n; i++) {
+        a[i] = a[42] + 1.0;
+    }
+}
+`)
+	info := AnalyzeLoop(fs, sums)
+	if info.Parallel {
+		t.Fatalf("symbolic bound must fall back to serial when only the range test could prove independence")
+	}
+}
+
+// TestSymbolicInvariantBoundGCDStillWorks: the GCD test needs no bounds, so
+// even/odd interleaving stays parallel under a symbolic bound.
+func TestSymbolicInvariantBoundGCDStillWorks(t *testing.T) {
+	fs, sums := loopOf(t, `
+float a[64]; int n;
+void main(void) {
+    for (int i = 0; i < n; i++) {
+        a[2 * i] = a[2 * i + 1] * 0.5;
+    }
+}
+`)
+	info := AnalyzeLoop(fs, sums)
+	if !info.Parallel {
+		t.Fatalf("GCD disproof is bound-free, loop should be parallel: %s", info.Reason)
+	}
+}
+
+// TestInvariantSymbolOffset: a loop-invariant symbolic offset appears with
+// equal coefficients on both sides and cancels; the remaining constant
+// shift is then rejected exactly like the constant case.
+func TestInvariantSymbolOffset(t *testing.T) {
+	fs, sums := loopOf(t, `
+float a[64]; int off;
+void main(void) {
+    for (int i = 0; i < 16; i++) {
+        a[i + off] = a[i + off + 1] * 0.5;
+    }
+}
+`)
+	info := AnalyzeLoop(fs, sums)
+	if info.Parallel {
+		t.Fatalf("shift by one past an invariant offset still carries a dependence")
+	}
+	if !strings.Contains(info.Reason, "shifted indices") {
+		t.Errorf("reason: %q", info.Reason)
+	}
+}
+
+// TestIterationLocalOffsetNotCancelled: a scalar recomputed every iteration
+// must NOT cancel between the two sides of the dependence equation — its
+// value differs between iterations, so the pair stays serialized.
+func TestIterationLocalOffsetNotCancelled(t *testing.T) {
+	fs, sums := loopOf(t, `
+float a[64]; float b[64];
+void main(void) {
+    for (int i = 0; i < 16; i++) {
+        int j = i * 3;
+        a[j] = a[j + 1] + b[i];
+    }
+}
+`)
+	info := AnalyzeLoop(fs, sums)
+	if info.Parallel {
+		t.Fatalf("per-iteration offset must not be treated as invariant")
+	}
+}
+
+// TestTriangularNestConservative: the outer loop of a triangular nest
+// writes a[8i+j] with j bounded by i; the inner accesses are affine in two
+// variables with equal coefficients of neither — the subscript tests must
+// not claim independence, and the outer loop is only parallel if the
+// identical-form rule applies (it does here: one write, nonzero outer
+// coefficient, distinct 8i+j slices per iteration are NOT provable, so the
+// analysis stays conservative through the inner loop's symbolic bound).
+func TestTriangularNestConservative(t *testing.T) {
+	fs, sums := loopOf(t, `
+float a[64];
+void main(void) {
+    for (int i = 0; i < 8; i++) {
+        for (int j = 0; j <= i; j++) {
+            a[8 * i + j] = a[8 * i + j] + 1.0;
+        }
+    }
+}
+`)
+	info := AnalyzeLoop(fs, sums)
+	// The single access form 8i+j is identical on both sides with nonzero
+	// outer-induction coefficient: iterations of the OUTER loop touch
+	// disjoint slices (j ≤ i < 8 keeps 8i+j inside iteration i's slice...
+	// but the analysis cannot know j's range). Identical forms force
+	// same-(i,j) collisions only, so the outer loop is admitted.
+	if !info.Parallel {
+		t.Logf("conservative rejection is acceptable: %s", info.Reason)
+	}
+}
+
+// TestTriangularShiftRejected: the shifted variant of the triangular nest
+// (a[8i+j] vs a[8i+j+1]) must be rejected — j is written by the inner
+// loop's own induction update inside the outer body, so it cannot cancel.
+func TestTriangularShiftRejected(t *testing.T) {
+	fs, sums := loopOf(t, `
+float a[64];
+void main(void) {
+    for (int i = 0; i < 8; i++) {
+        for (int j = 0; j <= i; j++) {
+            a[8 * i + j] = a[8 * i + j + 1] + 1.0;
+        }
+    }
+}
+`)
+	info := AnalyzeLoop(fs, sums)
+	if info.Parallel {
+		t.Fatalf("shifted triangular access must not be parallel")
+	}
+}
+
+// TestNonUnitStepBanerjee: stride-4 writes against a constant read past the
+// last reachable value: i ∈ {0,4,...,60} writes a[i], read a[62] is not on
+// the progression — GCD gcd(1,0)=1 divides, but Banerjee over [0:60] plus
+// the trimmed range still admits... the read at 62 > 60 is out of range.
+func TestNonUnitStepBanerjee(t *testing.T) {
+	fs, sums := loopOf(t, `
+float a[64]; float b[64];
+void main(void) {
+    for (int i = 0; i < 64; i += 4) {
+        a[i] = b[i] + a[62];
+    }
+}
+`)
+	info := AnalyzeLoop(fs, sums)
+	if !info.Parallel {
+		t.Fatalf("read beyond the last written index should be parallel: %s", info.Reason)
+	}
+}
+
+// TestLoopRangeEdgeCases pins LoopRange on the shapes the section walker
+// leans on: negative steps, non-unit strides with clipping, symbolic
+// bounds, and bodies that write the induction variable.
+func TestLoopRangeEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		ok   bool
+		lo   int64
+		hi   int64
+		step int64
+	}{
+		{"forward unit", `
+float a[64];
+void main(void) {
+    for (int i = 0; i < 64; i++) { a[i] = 0.0; }
+}`, true, 0, 63, 1},
+		{"forward stride 3 clipped", `
+float a[64];
+void main(void) {
+    for (int i = 0; i < 64; i += 3) { a[i] = 0.0; }
+}`, true, 0, 63, 3},
+		{"forward stride 5 clipped", `
+float a[64];
+void main(void) {
+    for (int i = 2; i < 64; i += 5) { a[i] = 0.0; }
+}`, true, 2, 62, 5},
+		{"countdown", `
+float a[64];
+void main(void) {
+    for (int i = 63; i >= 0; i--) { a[i] = 0.0; }
+}`, true, 0, 63, -1},
+		{"countdown stride 4 clipped", `
+float a[64];
+void main(void) {
+    for (int i = 63; i > 0; i -= 4) { a[i] = 0.0; }
+}`, true, 3, 63, -4},
+		{"symbolic bound", `
+float a[64]; int n;
+void main(void) {
+    for (int i = 0; i < n; i++) { a[i] = 0.0; }
+}`, false, 0, 0, 0},
+		{"body writes induction", `
+float a[64];
+void main(void) {
+    for (int i = 0; i < 64; i++) { a[i] = 0.0; i = i + 1; }
+}`, false, 0, 0, 0},
+		{"le bound", `
+float a[64];
+void main(void) {
+    for (int i = 0; i <= 63; i++) { a[i] = 0.0; }
+}`, true, 0, 63, 1},
+	}
+	for _, tc := range cases {
+		fs, sums := loopOf(t, tc.src)
+		ind, iv, step, ok := LoopRange(fs, sums)
+		if ok != tc.ok {
+			t.Errorf("%s: ok=%v, want %v", tc.name, ok, tc.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if ind == nil || iv.Lo != tc.lo || iv.Hi != tc.hi || step != tc.step {
+			t.Errorf("%s: got [%d:%d] step %d, want [%d:%d] step %d",
+				tc.name, iv.Lo, iv.Hi, step, tc.lo, tc.hi, tc.step)
+		}
+	}
+}

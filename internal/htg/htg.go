@@ -58,8 +58,24 @@ type Edge struct {
 	From, To *Node
 	Kind     dataflow.DepKind
 	// Bytes is the flow-dependence volume communicated when From and To
-	// execute in different tasks.
+	// execute in different tasks, shrunk to the overlapping array section
+	// when the section analysis can bound both endpoints.
 	Bytes int
+	// WholeBytes is the flow volume of the whole-symbol dependence test
+	// (what Bytes was before section sharpening; equal to Bytes when the
+	// analysis could not sharpen).
+	WholeBytes int
+}
+
+// DroppedEdge records a sibling dependence the whole-symbol test reported
+// but the section analysis proved disjoint — the parallelism the sharper
+// analysis buys, kept for reporting and for the verifier's re-derivation.
+type DroppedEdge struct {
+	From, To *Node
+	Kind     dataflow.DepKind
+	// WholeBytes is the flow volume the whole-symbol test would have
+	// communicated along the dropped edge.
+	WholeBytes int
 }
 
 // Node is one HTG node.
@@ -87,6 +103,9 @@ type Node struct {
 
 	// Acc aggregates the reads/writes of the whole subtree.
 	Acc *dataflow.Accesses
+	// Secs holds the per-symbol array sections of the subtree's accesses
+	// (nil when section analysis is disabled).
+	Secs *dataflow.Sections
 
 	// Edges lists dependences from this node to later siblings.
 	Edges []*Edge
@@ -117,9 +136,30 @@ type Graph struct {
 	// Sums holds the interprocedural effect summaries used during
 	// construction (needed again by the parallelizer).
 	Sums dataflow.Summaries
+	// Secs holds the interprocedural section summaries (nil when section
+	// analysis is disabled).
+	Secs dataflow.SectionSummaries
 	// Model is the cost model used for annotation.
 	Model *costmodel.Model
-	nodes []*Node
+	// Dropped lists the dependences removed by the section analysis, in
+	// construction order.
+	Dropped []*DroppedEdge
+	nodes   []*Node
+}
+
+// SharpenStats summarizes what the section analysis bought: the number of
+// dropped edges and the total communication bytes removed (dropped edges'
+// whole-symbol flow volume plus the shrinkage of surviving edges).
+func (g *Graph) SharpenStats() (dropped, bytesSaved int) {
+	for _, d := range g.Dropped {
+		bytesSaved += d.WholeBytes
+	}
+	for _, n := range g.nodes {
+		for _, e := range n.Edges {
+			bytesSaved += e.WholeBytes - e.Bytes
+		}
+	}
+	return len(g.Dropped), bytesSaved
 }
 
 // Nodes returns all nodes in construction order.
@@ -134,6 +174,9 @@ type Config struct {
 	Model *costmodel.Model
 	// MaxCallDepth bounds call inlining in the hierarchy (default 6).
 	MaxCallDepth int
+	// DisableSections turns off the array-section dependence sharpening,
+	// reverting to whole-symbol edges (for comparison and debugging).
+	DisableSections bool
 }
 
 // Build extracts the HTG of prog's main function, annotated with prof's
@@ -153,6 +196,9 @@ func Build(prog *minic.Program, prof *interp.Profile, cfg Config) (*Graph, error
 		Program: prog,
 		Sums:    dataflow.Summarize(prog),
 		Model:   cfg.Model,
+	}
+	if !cfg.DisableSections {
+		g.Secs = dataflow.SummarizeSections(prog, g.Sums)
 	}
 	b := &builder{g: g, prof: prof, cfg: cfg}
 	root := b.newNode(KindRoot, nil, "main")
@@ -277,20 +323,36 @@ func directCall(e minic.Expr) *minic.CallExpr {
 }
 
 // linkSiblings computes access aggregates and dependence edges among the
-// children of parent, plus region-boundary communication volumes.
+// children of parent, plus region-boundary communication volumes. With
+// section analysis enabled, each whole-symbol dependence is re-tested
+// against the endpoints' array sections: provably disjoint conflicts are
+// dropped (recorded in Graph.Dropped), surviving flow edges carry the
+// overlapping section's bytes instead of the whole symbol's.
 func (b *builder) linkSiblings(parent *Node) {
 	kids := parent.Children
 	for _, k := range kids {
 		if k.Acc == nil {
 			k.Acc = dataflow.StmtAccesses(k.Stmt, b.g.Sums)
 		}
+		if k.Secs == nil && b.g.Secs != nil {
+			k.Secs = dataflow.StmtSections(k.Stmt, b.g.Sums, b.g.Secs)
+		}
 	}
 	for i := 0; i < len(kids); i++ {
 		for j := i + 1; j < len(kids); j++ {
-			d := dataflow.DependsOn(kids[i].Acc, kids[j].Acc)
+			whole := dataflow.DependsOn(kids[i].Acc, kids[j].Acc)
+			d := whole
+			if b.g.Secs != nil {
+				d = dataflow.DependsOnSections(kids[i].Acc, kids[j].Acc, kids[i].Secs, kids[j].Secs)
+			}
 			if d.Exists() {
 				kids[i].Edges = append(kids[i].Edges, &Edge{
-					From: kids[i], To: kids[j], Kind: d.Kind, Bytes: d.FlowBytes,
+					From: kids[i], To: kids[j], Kind: d.Kind,
+					Bytes: d.FlowBytes, WholeBytes: whole.FlowBytes,
+				})
+			} else if whole.Exists() {
+				b.g.Dropped = append(b.g.Dropped, &DroppedEdge{
+					From: kids[i], To: kids[j], Kind: whole.Kind, WholeBytes: whole.FlowBytes,
 				})
 			}
 		}

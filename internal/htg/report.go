@@ -1,0 +1,84 @@
+package htg
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataflow"
+	"repro/internal/minic"
+)
+
+// SectionReport renders every sibling dependence with its array sections
+// and communication volumes before/after sharpening, plus the dependences
+// the section analysis dropped. The output is deterministic: nodes are
+// visited in construction order and symbols in (Name, ID) order, so equal
+// inputs yield byte-identical reports.
+func (g *Graph) SectionReport() string {
+	var sb strings.Builder
+	dropped, saved := g.SharpenStats()
+	fmt.Fprintf(&sb, "sections: dropped=%d bytes_saved=%d\n", dropped, saved)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if len(n.Edges) > 0 || regionHasDrops(g, n) {
+			fmt.Fprintf(&sb, "region n%d %s\n", n.ID, n.Label)
+			for _, c := range n.Children {
+				for _, e := range c.Edges {
+					fmt.Fprintf(&sb, "  edge n%d -> n%d %s bytes=%d whole=%d\n",
+						e.From.ID, e.To.ID, e.Kind, e.Bytes, e.WholeBytes)
+					writeConflictSections(&sb, e.From, e.To)
+				}
+			}
+			for _, d := range g.Dropped {
+				if d.From.Parent == n {
+					fmt.Fprintf(&sb, "  dropped n%d -x n%d %s whole=%d\n",
+						d.From.ID, d.To.ID, d.Kind, d.WholeBytes)
+					writeConflictSections(&sb, d.From, d.To)
+				}
+			}
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(g.Root)
+	return sb.String()
+}
+
+func regionHasDrops(g *Graph, n *Node) bool {
+	for _, d := range g.Dropped {
+		if d.From.Parent == n {
+			return true
+		}
+	}
+	return false
+}
+
+// writeConflictSections lists, per conflicting symbol, the writer/reader
+// sections on both endpoints of a (possibly dropped) dependence.
+func writeConflictSections(sb *strings.Builder, from, to *Node) {
+	line := func(tag string, sym *minic.Symbol, a, b dataflow.Section) {
+		fmt.Fprintf(sb, "    %s %s %s ~ %s\n", tag, sym.Name, a.String(), b.String())
+	}
+	var fw, fr, tw, tr map[*minic.Symbol]dataflow.Section
+	if from.Secs != nil {
+		fw, fr = from.Secs.Writes, from.Secs.Reads
+	}
+	if to.Secs != nil {
+		tw, tr = to.Secs.Writes, to.Secs.Reads
+	}
+	for _, sym := range from.Acc.Writes.Intersect(to.Acc.Reads) {
+		if sym.Type.IsArray() {
+			line("flow", sym, dataflow.SecOf(fw, sym), dataflow.SecOf(tr, sym))
+		}
+	}
+	for _, sym := range from.Acc.Reads.Intersect(to.Acc.Writes) {
+		if sym.Type.IsArray() {
+			line("anti", sym, dataflow.SecOf(fr, sym), dataflow.SecOf(tw, sym))
+		}
+	}
+	for _, sym := range from.Acc.Writes.Intersect(to.Acc.Writes) {
+		if sym.Type.IsArray() {
+			line("out ", sym, dataflow.SecOf(fw, sym), dataflow.SecOf(tw, sym))
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package htg
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/interp"
+	"repro/internal/minic"
+)
+
+// buildCfg compiles, profiles and builds with an explicit config.
+func buildCfg(t *testing.T, src string, cfg Config) *Graph {
+	t.Helper()
+	prog, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	prof, err := interp.New(prog).Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	g, err := Build(prog, prof, cfg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+const disjointHalvesSrc = `
+float u[64];
+
+void main(void) {
+    u[0] = 1.0;
+    u[63] = 2.0;
+    for (int i = 0; i < 64; i++) {
+        u[i] = u[i] + 1.0;
+    }
+}
+`
+
+// TestSectionsDropDisjointEdge: the two single-element writes are disjoint;
+// the section analysis drops the output-dependence edge the whole-symbol
+// test draws between them, while both keep their (overlapping) edges to the
+// sweep loop.
+func TestSectionsDropDisjointEdge(t *testing.T) {
+	g := buildCfg(t, disjointHalvesSrc, Config{})
+	dropped, saved := g.SharpenStats()
+	if dropped == 0 {
+		t.Fatalf("expected at least one dropped edge")
+	}
+	if saved <= 0 {
+		t.Errorf("expected positive bytes saved, got %d", saved)
+	}
+	// The sweep loop still depends on both writes — with one-element flow.
+	kids := g.Root.Children
+	if len(kids) != 3 {
+		t.Fatalf("expected 3 root children, got %d", len(kids))
+	}
+	for i := 0; i < 2; i++ {
+		found := false
+		for _, e := range kids[i].Edges {
+			if e.To == kids[2] {
+				found = true
+				if e.Bytes >= e.WholeBytes {
+					t.Errorf("edge %d->2 not sharpened: bytes=%d whole=%d", i, e.Bytes, e.WholeBytes)
+				}
+				if e.Bytes != 4 {
+					t.Errorf("edge %d->2 should carry one element (4B), got %d", i, e.Bytes)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("missing edge from write %d to sweep loop", i)
+		}
+	}
+	// No edge between the two disjoint writes.
+	for _, e := range kids[0].Edges {
+		if e.To == kids[1] {
+			t.Errorf("disjoint writes still linked: %v", e.Kind)
+		}
+	}
+}
+
+// TestDisableSectionsRestoresWholeSymbol: with DisableSections the graph
+// matches the historical whole-symbol behavior.
+func TestDisableSectionsRestoresWholeSymbol(t *testing.T) {
+	g := buildCfg(t, disjointHalvesSrc, Config{DisableSections: true})
+	if n, _ := g.SharpenStats(); n != 0 || len(g.Dropped) != 0 {
+		t.Fatalf("disabled sections must not drop edges")
+	}
+	kids := g.Root.Children
+	found := false
+	for _, e := range kids[0].Edges {
+		if e.To == kids[1] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("whole-symbol output dependence between the writes should exist when disabled")
+	}
+	for _, n := range g.Nodes() {
+		for _, e := range n.Edges {
+			if e.Bytes != e.WholeBytes {
+				t.Errorf("disabled sections must not shrink bytes: %d vs %d", e.Bytes, e.WholeBytes)
+			}
+		}
+	}
+}
+
+// TestSectionReportDeterministic: the -sections report is byte-identical
+// across rebuilds of the same program.
+func TestSectionReportDeterministic(t *testing.T) {
+	var first string
+	for run := 0; run < 5; run++ {
+		g := buildCfg(t, disjointHalvesSrc, Config{})
+		rep := g.SectionReport()
+		if run == 0 {
+			first = rep
+			if first == "" {
+				t.Fatalf("empty section report")
+			}
+			continue
+		}
+		if rep != first {
+			t.Fatalf("section report differs between runs:\n%s\nvs\n%s", first, rep)
+		}
+	}
+}
+
+// TestSectionsSharpenBenchmarks: across the UTDSP suite, section analysis
+// must strictly gain somewhere (dropped edge or reduced bytes) and must
+// never add edges or grow bytes relative to the whole-symbol graphs.
+func TestSectionsSharpenBenchmarks(t *testing.T) {
+	totalDropped, totalSaved := 0, 0
+	for _, b := range bench.All() {
+		g := buildCfg(t, b.Source, Config{})
+		gOff := buildCfg(t, b.Source, Config{DisableSections: true})
+		edges := func(g *Graph) (n, bytes int) {
+			for _, nd := range g.Nodes() {
+				for _, e := range nd.Edges {
+					n++
+					bytes += e.Bytes
+				}
+			}
+			return
+		}
+		nOn, bOn := edges(g)
+		nOff, bOff := edges(gOff)
+		if nOn > nOff {
+			t.Errorf("%s: sections added edges (%d > %d)", b.Name, nOn, nOff)
+		}
+		if bOn > bOff {
+			t.Errorf("%s: sections grew comm bytes (%d > %d)", b.Name, bOn, bOff)
+		}
+		d, s := g.SharpenStats()
+		totalDropped += d
+		totalSaved += s
+	}
+	if totalDropped == 0 && totalSaved == 0 {
+		t.Errorf("section analysis bought nothing across the whole suite")
+	}
+}
+
+// BenchmarkDeps measures full dependence analysis + HTG construction with
+// section sharpening over the benchmark suite, reporting edges-dropped and
+// bytes-saved counters alongside ns/op.
+func BenchmarkDeps(b *testing.B) {
+	type prepared struct {
+		prog *minic.Program
+		prof *interp.Profile
+	}
+	var progs []prepared
+	for _, bm := range bench.All() {
+		prog, err := minic.Compile(bm.Source)
+		if err != nil {
+			b.Fatalf("compile %s: %v", bm.Name, err)
+		}
+		prof, err := interp.New(prog).Run()
+		if err != nil {
+			b.Fatalf("run %s: %v", bm.Name, err)
+		}
+		progs = append(progs, prepared{prog, prof})
+	}
+	b.ResetTimer()
+	dropped, saved := 0, 0
+	for i := 0; i < b.N; i++ {
+		dropped, saved = 0, 0
+		for _, p := range progs {
+			g, err := Build(p.prog, p.prof, Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, s := g.SharpenStats()
+			dropped += d
+			saved += s
+		}
+	}
+	b.ReportMetric(float64(dropped), "edges-dropped")
+	b.ReportMetric(float64(saved), "bytes-saved")
+}

@@ -31,6 +31,13 @@ type Value struct {
 	// IntArr backs int arrays, Arr backs float arrays. Exactly one is
 	// non-nil for array values.
 	IntArr []int64
+	// Root identifies the variable that owns the backing store: the
+	// declaring symbol for globals and locals, propagated unchanged through
+	// parameter binding so footprints attribute callee accesses to the
+	// caller's array. RootOff is the flat element offset of this view into
+	// the root's store (nonzero for row views).
+	Root    *minic.Symbol
+	RootOff int
 }
 
 func (v Value) isFloat() bool { return v.Type.Base == minic.Float }
@@ -81,6 +88,35 @@ type Profile struct {
 	// OpCount is the total number of evaluated expression operations, a
 	// coarse work measure used in tests.
 	OpCount int64
+	// Footprints maps each executed statement to the concrete array
+	// elements it touched, including accesses made by functions it called.
+	// Only populated when Interp.RecordFootprints is set.
+	Footprints map[minic.Stmt]*Footprint
+}
+
+// Footprint is the concrete memory footprint of one statement: for every
+// array (identified by its root symbol — the declaring global or local, not
+// a parameter alias) the set of flat element offsets read and written while
+// the statement was on the execution stack.
+type Footprint struct {
+	Reads  map[*minic.Symbol]map[int]struct{}
+	Writes map[*minic.Symbol]map[int]struct{}
+}
+
+func newFootprint() *Footprint {
+	return &Footprint{
+		Reads:  make(map[*minic.Symbol]map[int]struct{}),
+		Writes: make(map[*minic.Symbol]map[int]struct{}),
+	}
+}
+
+func addElem(m map[*minic.Symbol]map[int]struct{}, sym *minic.Symbol, off int) {
+	s, ok := m[sym]
+	if !ok {
+		s = make(map[int]struct{})
+		m[sym] = s
+	}
+	s[off] = struct{}{}
 }
 
 // Count returns the execution count of s (0 if never executed).
@@ -94,6 +130,32 @@ type Interp struct {
 	// StepLimit aborts runaway programs (0 = no limit).
 	StepLimit int64
 	steps     int64
+	// RecordFootprints enables per-statement concrete footprint capture
+	// (Profile.Footprints). Off by default: it adds a map insert per array
+	// element access per active statement.
+	RecordFootprints bool
+	stmtStack        []minic.Stmt
+}
+
+// recordElem attributes one element access on av (at flat offset off within
+// the view) to every statement currently executing.
+func (in *Interp) recordElem(av *Value, off int, write bool) {
+	if in.profile == nil || in.profile.Footprints == nil || av.Root == nil {
+		return
+	}
+	idx := av.RootOff + off
+	for _, s := range in.stmtStack {
+		fp := in.profile.Footprints[s]
+		if fp == nil {
+			fp = newFootprint()
+			in.profile.Footprints[s] = fp
+		}
+		if write {
+			addElem(fp.Writes, av.Root, idx)
+		} else {
+			addElem(fp.Reads, av.Root, idx)
+		}
+	}
 }
 
 // New creates an interpreter for prog. The program must have been checked
@@ -130,13 +192,18 @@ func (in *Interp) Run() (*Profile, error) {
 		StmtCount: make(map[minic.Stmt]int64),
 		FuncCount: make(map[*minic.FuncDecl]int64),
 	}
+	if in.RecordFootprints {
+		in.profile.Footprints = make(map[minic.Stmt]*Footprint)
+	}
 	in.steps = 0
+	in.stmtStack = in.stmtStack[:0]
 	in.globals = make(map[*minic.Symbol]*Value)
 	for _, g := range in.prog.Globals {
 		v, err := in.newVar(g.Type)
 		if err != nil {
 			return nil, err
 		}
+		v.Root = g.Sym
 		in.globals[g.Sym] = v
 		if err := in.initVar(v, g.Type, g.Init, g.List); err != nil {
 			return nil, err
@@ -255,7 +322,7 @@ func (in *Interp) call(fn *minic.FuncDecl, args []Value) (Value, error) {
 		a := args[i]
 		if p.Type.IsArray() {
 			// Pass by reference: share the backing store.
-			pv := &Value{Type: a.Type, Arr: a.Arr, IntArr: a.IntArr}
+			pv := &Value{Type: a.Type, Arr: a.Arr, IntArr: a.IntArr, Root: a.Root, RootOff: a.RootOff}
 			fr.locals[p.Sym] = pv
 		} else {
 			pv := &Value{Type: p.Type}
@@ -300,12 +367,17 @@ func (in *Interp) exec(s minic.Stmt, fr *frame) (control, error) {
 	if err := in.tick(s.NodePos()); err != nil {
 		return ctrlNone, err
 	}
+	if in.profile.Footprints != nil {
+		in.stmtStack = append(in.stmtStack, s)
+		defer func() { in.stmtStack = in.stmtStack[:len(in.stmtStack)-1] }()
+	}
 	switch st := s.(type) {
 	case *minic.DeclStmt:
 		v, err := in.newVar(st.Type)
 		if err != nil {
 			return ctrlNone, err
 		}
+		v.Root = st.Sym
 		fr.locals[st.Sym] = v
 		return ctrlNone, in.initVarFr(v, st, fr)
 	case *minic.ExprStmt:
@@ -442,6 +514,7 @@ func (in *Interp) initVarFr(v *Value, st *minic.DeclStmt, fr *frame) error {
 		if err != nil {
 			return err
 		}
+		in.recordElem(v, i, true)
 		if v.IntArr != nil {
 			v.IntArr[i] = x.AsInt()
 		} else {
@@ -534,6 +607,7 @@ func (in *Interp) eval(e minic.Expr, fr *frame) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
+		in.recordElem(av, off, false)
 		if av.IntArr != nil {
 			return intVal(av.IntArr[off]), nil
 		}
@@ -753,7 +827,11 @@ func (in *Interp) arrayArg(a minic.Expr, fr *frame) (Value, error) {
 			return Value{}, rterrf(arg.Pos, "row %d out of bounds for %s", row, arg.Array.Name)
 		}
 		stride := base.Type.Dims[1]
-		view := Value{Type: minic.Type{Base: base.Type.Base, Dims: base.Type.Dims[1:]}}
+		view := Value{
+			Type:    minic.Type{Base: base.Type.Base, Dims: base.Type.Dims[1:]},
+			Root:    base.Root,
+			RootOff: base.RootOff + row*stride,
+		}
 		if base.IntArr != nil {
 			view.IntArr = base.IntArr[row*stride : (row+1)*stride]
 		} else {
@@ -845,7 +923,7 @@ func (in *Interp) evalAssign(ex *minic.AssignExpr, fr *frame) (Value, error) {
 	if err != nil {
 		return Value{}, err
 	}
-	read, write, err := in.lvalue(ex.LHS, fr)
+	lv, err := in.lvalue(ex.LHS, fr)
 	if err != nil {
 		return Value{}, err
 	}
@@ -853,15 +931,15 @@ func (in *Interp) evalAssign(ex *minic.AssignExpr, fr *frame) (Value, error) {
 	if ex.Op == minic.TokAssign {
 		out = rhs
 	} else {
-		cur := read()
+		cur := lv.read()
 		op := compoundBase(ex.Op)
 		out, err = applyArith(ex.Pos, op, cur, rhs)
 		if err != nil {
 			return Value{}, err
 		}
 	}
-	write(out)
-	return read(), nil
+	lv.write(out)
+	return lv.peek(), nil
 }
 
 func compoundBase(k minic.TokenKind) minic.TokenKind {
@@ -943,45 +1021,66 @@ func applyArith(pos minic.Pos, op minic.TokenKind, x, y Value) (Value, error) {
 	return Value{}, rterrf(pos, "unhandled compound op %s", op)
 }
 
-// lvalue resolves an assignable expression to read/write closures. The
-// write conversion respects the storage type (C assignment semantics).
-func (in *Interp) lvalue(e minic.Expr, fr *frame) (func() Value, func(Value), error) {
+// lval is a resolved assignable expression. read records a footprint read
+// (it stands for a semantic load, as in compound assignment); peek returns
+// the stored value without recording (used for assignment result values,
+// which C does not re-load). The write conversion respects the storage type
+// (C assignment semantics).
+type lval struct {
+	read  func() Value
+	write func(Value)
+	peek  func() Value
+}
+
+func (in *Interp) lvalue(e minic.Expr, fr *frame) (lval, error) {
 	switch lv := e.(type) {
 	case *minic.VarRef:
 		v, err := in.lookupVar(lv.Sym, fr)
 		if err != nil {
-			return nil, nil, err
+			return lval{}, err
 		}
-		read := func() Value { return *v }
+		peek := func() Value { return *v }
 		write := func(x Value) { storeScalar(v, x) }
-		return read, write, nil
+		return lval{read: peek, write: write, peek: peek}, nil
 	case *minic.IndexExpr:
 		av, err := in.lookupVar(lv.Array.Sym, fr)
 		if err != nil {
-			return nil, nil, err
+			return lval{}, err
 		}
 		off, err := in.elemOffset(lv, av, fr)
 		if err != nil {
-			return nil, nil, err
+			return lval{}, err
 		}
+		var peek func() Value
+		var write func(Value)
 		if av.IntArr != nil {
-			read := func() Value { return intVal(av.IntArr[off]) }
-			write := func(x Value) { av.IntArr[off] = x.AsInt() }
-			return read, write, nil
+			peek = func() Value { return intVal(av.IntArr[off]) }
+			write = func(x Value) {
+				in.recordElem(av, off, true)
+				av.IntArr[off] = x.AsInt()
+			}
+		} else {
+			peek = func() Value { return floatVal(av.Arr[off]) }
+			write = func(x Value) {
+				in.recordElem(av, off, true)
+				av.Arr[off] = x.AsFloat()
+			}
 		}
-		read := func() Value { return floatVal(av.Arr[off]) }
-		write := func(x Value) { av.Arr[off] = x.AsFloat() }
-		return read, write, nil
+		read := func() Value {
+			in.recordElem(av, off, false)
+			return peek()
+		}
+		return lval{read: read, write: write, peek: peek}, nil
 	}
-	return nil, nil, rterrf(e.NodePos(), "expression is not assignable")
+	return lval{}, rterrf(e.NodePos(), "expression is not assignable")
 }
 
 func (in *Interp) evalIncDec(ex *minic.IncDecExpr, fr *frame) (Value, error) {
-	read, write, err := in.lvalue(ex.X, fr)
+	lv, err := in.lvalue(ex.X, fr)
 	if err != nil {
 		return Value{}, err
 	}
-	cur := read()
+	cur := lv.read()
 	op := minic.TokPlus
 	if ex.Op == minic.TokDec {
 		op = minic.TokMinus
@@ -990,6 +1089,6 @@ func (in *Interp) evalIncDec(ex *minic.IncDecExpr, fr *frame) (Value, error) {
 	if err != nil {
 		return Value{}, err
 	}
-	write(out)
-	return read(), nil
+	lv.write(out)
+	return lv.peek(), nil
 }
